@@ -1,0 +1,143 @@
+// E7 — the paper's robustness motivation (§1, §4.2): the finished
+// Avatar(Chord) supports O(log N)-hop greedy routing and keeps almost all
+// pairs reachable under random node failures, while the bare Cbt scaffold —
+// a tree — shatters (every internal node is a cut vertex). Two more views of
+// the same claim: forwarding congestion (the scaffold funnels half of all
+// routes through the top of the tree) and end-to-end read availability of a
+// replicated KV store running in-band over the built overlay.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.hpp"
+#include "dht/kvstore.hpp"
+#include "graph/generators.hpp"
+#include "routing/lookup.hpp"
+#include "util/bitops.hpp"
+#include "util/log.hpp"
+
+using namespace chs;
+
+int main() {
+  util::set_log_level(util::LogLevel::kError);
+  const bool big = std::getenv("CHS_BENCH_SCALE") != nullptr;
+  std::printf("E7a: greedy lookup hops on Chord(N) (guest level)\n\n");
+
+  std::vector<std::uint64_t> sizes{64, 256, 1024, 4096};
+  if (big) sizes.push_back(65536);
+
+  core::Table hops({"N", "mean_hops", "max_hops", "logN", "max/logN"});
+  for (std::uint64_t n : sizes) {
+    util::Rng rng(3);
+    const auto stats =
+        routing::lookup_stats(topology::chord_target(), n, {}, 2000, rng);
+    const double lg = static_cast<double>(util::ceil_log2(n));
+    hops.add_row({core::Table::fmt(n), core::Table::fmt(stats.mean_guest_hops, 2),
+                  core::Table::fmt(stats.max_guest_hops),
+                  core::Table::fmt(lg, 0),
+                  core::Table::fmt(static_cast<double>(stats.max_guest_hops) / lg, 2)});
+  }
+  hops.print();
+
+  std::printf("\nE7b: pairwise reachability after random host failures "
+              "(Chord vs bare Cbt host graphs, n=128 hosts, N=1024)\n\n");
+  util::Rng rng(17);
+  auto ids = graph::sample_ids(128, 1024, rng);
+  const auto points = routing::robustness_sweep(
+      ids, 1024, {0.0, 0.05, 0.1, 0.2, 0.3, 0.4}, 5, rng);
+  core::Table rob({"failed_frac", "chord_reach", "cbt_reach"});
+  for (const auto& pt : points) {
+    rob.add_row({core::Table::fmt(pt.failed_fraction, 2),
+                 core::Table::fmt(pt.chord_reachability, 3),
+                 core::Table::fmt(pt.cbt_reachability, 3)});
+  }
+  rob.print();
+
+  std::printf("\nE7c: lookup success under failures (guest level, N=1024)\n\n");
+  core::Table surv({"failed_frac", "success_rate", "mean_hops"});
+  for (double frac : {0.0, 0.1, 0.2, 0.3}) {
+    std::vector<bool> alive(1024, true);
+    util::Rng r2(23);
+    for (std::size_t killed = 0;
+         killed < static_cast<std::size_t>(frac * 1024);) {
+      const std::size_t v = r2.next_below(1024);
+      if (alive[v]) {
+        alive[v] = false;
+        ++killed;
+      }
+    }
+    const auto stats = routing::lookup_stats(topology::chord_target(), 1024,
+                                             {}, 2000, r2, &alive);
+    surv.add_row({core::Table::fmt(frac, 2),
+                  core::Table::fmt(stats.success_rate, 3),
+                  core::Table::fmt(stats.mean_guest_hops, 2)});
+  }
+  surv.print();
+
+  std::printf("\nE7d: forwarding congestion under uniform lookups (guest "
+              "level; imbalance = hottest load / mean load)\n\n");
+  core::Table cong({"N", "chord_imbalance", "cbt_imbalance", "cbt_hot_depth"});
+  for (std::uint64_t n : {256ULL, 1024ULL, 4096ULL}) {
+    std::vector<graph::NodeId> dense(n);
+    for (std::uint64_t i = 0; i < n; ++i) dense[i] = i;
+    util::Rng r3(7), r4(7);
+    const auto chord_c = routing::target_congestion(topology::chord_target(),
+                                                    n, dense, 4000, r3);
+    const auto cbt_c = routing::cbt_congestion(n, dense, 4000, r4);
+    cong.add_row(
+        {core::Table::fmt(n), core::Table::fmt(chord_c.imbalance, 2),
+         core::Table::fmt(cbt_c.imbalance, 2),
+         core::Table::fmt(static_cast<std::uint64_t>(
+             topology::Cbt(n).depth_of(cbt_c.hottest)))});
+  }
+  cong.print();
+
+  std::printf("\nE7e: replicated KV reads after host failures (in-band "
+              "data plane, N=512, 48 hosts, 64 keys)\n\n");
+  core::Table kvt({"replicas", "failed_frac", "reads_ok", "lost", "routing_fail"});
+  for (std::uint32_t replicas : {1u, 2u, 3u}) {
+    for (double frac : {0.1, 0.2, 0.3}) {
+      util::Rng r5(2024);
+      auto kv_ids = graph::sample_ids(48, 512, r5);
+      core::Params p;
+      p.n_guests = 512;
+      auto eng = core::make_engine(core::scaffold_graph(kv_ids, 512), p, 6);
+      core::install_legal_cbt(*eng, core::Phase::kChord);
+      if (!core::run_to_convergence(*eng, 100000).converged) continue;
+      dht::KvCluster kv(*eng, replicas, 11);
+      for (std::uint64_t key = 0; key < 64; ++key) kv.put(key, "v");
+      std::vector<graph::NodeId> pool(kv_ids.begin(), kv_ids.end());
+      for (std::size_t i = pool.size(); i > 1; --i) {
+        std::swap(pool[i - 1], pool[r5.next_below(i)]);
+      }
+      const std::size_t kills =
+          static_cast<std::size_t>(frac * static_cast<double>(pool.size()));
+      for (std::size_t i = 0; i < kills; ++i) kv.fail_host(pool[i]);
+      std::size_t ok = 0, lost = 0, route_fail = 0;
+      for (std::uint64_t key = 0; key < 64; ++key) {
+        if (kv.get(key).has_value()) {
+          ++ok;
+          continue;
+        }
+        bool any_live = false;
+        for (graph::NodeId h : kv.holders(key)) {
+          if (!kv.is_down(h)) any_live = true;
+        }
+        ++(any_live ? route_fail : lost);
+      }
+      kvt.add_row({core::Table::fmt(static_cast<std::uint64_t>(replicas)),
+                   core::Table::fmt(frac, 2),
+                   core::Table::fmt(static_cast<std::uint64_t>(ok)),
+                   core::Table::fmt(static_cast<std::uint64_t>(lost)),
+                   core::Table::fmt(static_cast<std::uint64_t>(route_fail))});
+    }
+  }
+  kvt.print();
+
+  std::printf("\n");
+  hops.print_csv("e7a_hops");
+  rob.print_csv("e7b_robustness");
+  surv.print_csv("e7c_survival");
+  cong.print_csv("e7d_congestion");
+  kvt.print_csv("e7e_kv_failover");
+  return 0;
+}

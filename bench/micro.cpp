@@ -1,0 +1,162 @@
+// Microbenchmarks of the geometry and engine hot paths (google-benchmark).
+// These are the per-round primitives whose cost determines how large an N
+// the experiment sweeps can afford.
+#include <benchmark/benchmark.h>
+
+#include "avatar/range.hpp"
+#include "dht/kvstore.hpp"
+#include "graph/generators.hpp"
+#include "stabilizer/guest_model.hpp"
+#include "topology/cbt.hpp"
+#include "topology/target.hpp"
+#include "util/interval_map.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+void BM_CbtIntervalOf(benchmark::State& state) {
+  const chs::topology::Cbt cbt(1ULL << static_cast<unsigned>(state.range(0)));
+  chs::util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbt.interval_of(rng.next_below(cbt.n())));
+  }
+}
+BENCHMARK(BM_CbtIntervalOf)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_CbtFragments(benchmark::State& state) {
+  const chs::topology::Cbt cbt(1ULL << static_cast<unsigned>(state.range(0)));
+  chs::util::Rng rng(2);
+  for (auto _ : state) {
+    auto a = rng.next_below(cbt.n());
+    auto b = rng.next_below(cbt.n() + 1);
+    if (a > b) std::swap(a, b);
+    if (a == b) b = a + 1;
+    benchmark::DoNotOptimize(cbt.fragments(a, b));
+  }
+}
+BENCHMARK(BM_CbtFragments)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_CbtCrossingEdges(benchmark::State& state) {
+  const chs::topology::Cbt cbt(1ULL << static_cast<unsigned>(state.range(0)));
+  chs::util::Rng rng(3);
+  for (auto _ : state) {
+    auto a = rng.next_below(cbt.n());
+    auto b = rng.next_below(cbt.n() + 1);
+    if (a > b) std::swap(a, b);
+    if (a == b) b = a + 1;
+    benchmark::DoNotOptimize(cbt.crossing_edges(a, b));
+  }
+}
+BENCHMARK(BM_CbtCrossingEdges)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_ZipWinner(benchmark::State& state) {
+  chs::util::Rng rng(4);
+  for (auto _ : state) {
+    const auto g = rng.next_below(1 << 20);
+    const auto a = rng.next_below(1 << 20);
+    auto b = rng.next_below(1 << 20);
+    if (b == a) b = a + 1;
+    benchmark::DoNotOptimize(chs::avatar::zip_winner(g, a, b));
+  }
+}
+BENCHMARK(BM_ZipWinner);
+
+void BM_IntervalMapAssignFind(benchmark::State& state) {
+  chs::util::Rng rng(5);
+  for (auto _ : state) {
+    chs::util::IntervalMap<std::uint64_t> m;
+    for (int i = 0; i < 32; ++i) {
+      auto a = rng.next_below(1 << 16);
+      auto b = rng.next_below(1 << 16);
+      if (a > b) std::swap(a, b);
+      m.assign(a, b, i);
+    }
+    for (int i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(m.find(rng.next_below(1 << 16)));
+    }
+  }
+}
+BENCHMARK(BM_IntervalMapAssignFind);
+
+void BM_GraphAddRemoveEdges(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<chs::graph::NodeId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+  chs::util::Rng rng(6);
+  for (auto _ : state) {
+    chs::graph::Graph g(ids);
+    for (std::size_t i = 0; i < 4 * n; ++i) {
+      g.add_edge(rng.next_below(n), rng.next_below(n));
+    }
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_GraphAddRemoveEdges)->Arg(256)->Arg(1024);
+
+void BM_TargetAnyKeptIn(benchmark::State& state) {
+  // The DONE-prune's range query for the three predicate shapes: constant
+  // (chord), closed-form (skiplist), early-exit scan (smallworld).
+  const std::uint64_t n = 1ULL << 16;
+  const auto target = state.range(0) == 0   ? chs::topology::chord_target()
+                      : state.range(0) == 1 ? chs::topology::skiplist_target()
+                                            : chs::topology::smallworld_target(7);
+  const auto query = target.any_kept_in
+                         ? target.any_kept_in
+                         : [](std::uint64_t, std::uint64_t, std::uint32_t,
+                              std::uint64_t) { return true; };
+  chs::util::Rng rng(7);
+  for (auto _ : state) {
+    auto a = rng.next_below(n);
+    auto b = rng.next_below(n + 1);
+    if (a > b) std::swap(a, b);
+    benchmark::DoNotOptimize(
+        query(a, b, static_cast<std::uint32_t>(rng.next_below(15)), n));
+  }
+}
+BENCHMARK(BM_TargetAnyKeptIn)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_HostOf(benchmark::State& state) {
+  const std::uint64_t n = 1ULL << 20;
+  chs::util::Rng rng(8);
+  auto ids = chs::graph::sample_ids(static_cast<std::size_t>(state.range(0)),
+                                    n, rng);
+  std::sort(ids.begin(), ids.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chs::avatar::host_of(rng.next_below(n), ids));
+  }
+}
+BENCHMARK(BM_HostOf)->Arg(256)->Arg(4096);
+
+void BM_KeyToGuest(benchmark::State& state) {
+  chs::util::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chs::dht::key_to_guest(rng.next_u64(), 1 << 20));
+  }
+}
+BENCHMARK(BM_KeyToGuest);
+
+void BM_GuestModelRunAll(benchmark::State& state) {
+  // The Fig. 1 reference model end to end: O(N log N) work per run.
+  const std::uint64_t n = 1ULL << static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    chs::stabilizer::GuestAlgorithm1 model(n);
+    benchmark::DoNotOptimize(model.run_all());
+  }
+}
+BENCHMARK(BM_GuestModelRunAll)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_FitPower(benchmark::State& state) {
+  std::vector<double> xs, ys;
+  chs::util::Rng rng(10);
+  for (int i = 1; i <= 64; ++i) {
+    xs.push_back(i);
+    ys.push_back(static_cast<double>(i) * i * (0.9 + 0.2 * rng.next_double()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chs::util::fit_power(xs, ys));
+  }
+}
+BENCHMARK(BM_FitPower);
+
+}  // namespace

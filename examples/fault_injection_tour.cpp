@@ -1,0 +1,91 @@
+// Fault-injection tour: what the detector (§4.4, Definition 3) sees.
+//
+// Starting from a converged, silent Avatar(Chord), each scenario corrupts
+// one aspect of a single host's state and reports how many rounds until
+// (a) someone detects it (phase falls back to CBT) and (b) the network is
+// fully legal and silent again.
+#include <cstdio>
+#include <cstring>
+
+#include "core/network.hpp"
+#include "graph/generators.hpp"
+
+using namespace chs;
+using core::StabEngine;
+using stabilizer::HostState;
+using stabilizer::Phase;
+
+namespace {
+
+bool any_cbt(StabEngine& eng) {
+  for (auto id : eng.graph().ids()) {
+    if (eng.state(id).phase == Phase::kCbt) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<StabEngine> fresh_converged(std::uint64_t n_guests) {
+  util::Rng rng(33);
+  auto ids = graph::sample_ids(n_guests / 8, n_guests, rng);
+  core::Params p;
+  p.n_guests = n_guests;
+  auto eng = core::make_engine(core::scaffold_graph(ids, n_guests), p, 5);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  const auto res = core::run_to_convergence(*eng, 100000);
+  CHS_CHECK(res.converged);
+  return eng;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t n_guests = 256;
+
+  struct Scenario {
+    const char* name;
+    void (*corrupt)(StabEngine&, graph::NodeId);
+  };
+  const Scenario scenarios[] = {
+      {"truncate responsible range",
+       [](StabEngine& e, graph::NodeId v) {
+         auto& st = e.state_mut(v);
+         st.hi = std::max(st.lo + 1, st.hi - 1);
+       }},
+      {"roll back wave counter",
+       [](StabEngine& e, graph::NodeId v) {
+         e.state_mut(v).wave_k = 0;
+       }},
+      {"claim to be cluster root",
+       [](StabEngine& e, graph::NodeId v) {
+         e.state_mut(v).cluster = v;
+       }},
+      {"forge phase back to CBT",
+       [](StabEngine& e, graph::NodeId v) {
+         e.state_mut(v).phase = Phase::kCbt;
+       }},
+      {"drop a structural edge",
+       [](StabEngine& e, graph::NodeId v) {
+         const auto& nbrs = e.graph().neighbors(v);
+         if (!nbrs.empty()) e.inject_edge_removal(v, nbrs.front());
+       }},
+  };
+
+  for (const auto& sc : scenarios) {
+    auto eng = fresh_converged(n_guests);
+    const auto& ids = eng->graph().ids();
+    const graph::NodeId victim = ids[ids.size() / 2];
+    sc.corrupt(*eng, victim);
+    eng->republish();
+
+    const auto [detect_rounds, detected] =
+        eng->run_until([](StabEngine& e) { return any_cbt(e); }, 2000);
+    const auto recover = core::run_to_convergence(*eng, 400000);
+    std::printf("%-30s detected after %3llu rounds, fully recovered after "
+                "%llu more (legal + silent: %s)\n",
+                sc.name,
+                detected ? static_cast<unsigned long long>(detect_rounds) : 999,
+                static_cast<unsigned long long>(recover.rounds),
+                recover.converged ? "yes" : "NO");
+  }
+  return 0;
+}

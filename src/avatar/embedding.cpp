@@ -1,0 +1,56 @@
+#include "avatar/embedding.hpp"
+
+#include <algorithm>
+
+#include "topology/cbt.hpp"
+
+namespace chs::avatar {
+
+std::vector<std::pair<NodeId, NodeId>> required_host_edges(
+    const std::vector<std::pair<topology::GuestId, topology::GuestId>>& guest_edges,
+    std::span<const NodeId> sorted_ids, [[maybe_unused]] std::uint64_t n_guests) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(guest_edges.size());
+  for (const auto& [a, b] : guest_edges) {
+    CHS_DCHECK(a < n_guests && b < n_guests);
+    const NodeId ha = host_of(a, sorted_ids);
+    const NodeId hb = host_of(b, sorted_ids);
+    if (ha == hb) continue;
+    out.emplace_back(std::min(ha, hb), std::max(ha, hb));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+graph::Graph ideal_host_graph(const topology::TargetSpec& target,
+                              std::vector<NodeId> ids, std::uint64_t n_guests) {
+  graph::Graph g(std::move(ids));
+  const auto edges = required_host_edges(
+      topology::target_guest_edges(target, n_guests), g.ids(), n_guests);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+bool is_legal_avatar(const graph::Graph& g, const topology::TargetSpec& target,
+                     std::uint64_t n_guests) {
+  const auto required = required_host_edges(
+      topology::target_guest_edges(target, n_guests), g.ids(), n_guests);
+  return g.num_edges() == required.size() && g.edge_list() == required;
+}
+
+graph::Graph ideal_cbt_host_graph(std::vector<NodeId> ids, std::uint64_t n_guests) {
+  graph::Graph g(std::move(ids));
+  const topology::Cbt cbt(n_guests);
+  const auto edges = required_host_edges(cbt.edges(), g.ids(), n_guests);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+bool is_legal_avatar_cbt(const graph::Graph& g, std::uint64_t n_guests) {
+  const topology::Cbt cbt(n_guests);
+  const auto required = required_host_edges(cbt.edges(), g.ids(), n_guests);
+  return g.num_edges() == required.size() && g.edge_list() == required;
+}
+
+}  // namespace chs::avatar

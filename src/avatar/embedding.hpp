@@ -1,0 +1,41 @@
+// Dilation-1 embedding of a guest topology onto the host network (§3.1) and
+// the corresponding global legality checkers.
+//
+// For every guest edge (a, b) the hosts of a and b must either coincide or be
+// joined by a host edge; a *legal* Avatar(Guest) configuration contains
+// exactly the required host edges (no leftovers — the stabilized network is
+// silent, so stray temporary edges are a defect the tests must catch).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "avatar/range.hpp"
+#include "graph/graph.hpp"
+#include "topology/target.hpp"
+
+namespace chs::avatar {
+
+/// Host edges required by the dilation-1 embedding of the given guest edge
+/// set onto hosts `sorted_ids` (deduplicated, u < v, sorted).
+std::vector<std::pair<NodeId, NodeId>> required_host_edges(
+    const std::vector<std::pair<topology::GuestId, topology::GuestId>>& guest_edges,
+    std::span<const NodeId> sorted_ids, std::uint64_t n_guests);
+
+/// The ideal host graph of a target topology: vertex set = sorted_ids, edge
+/// set = required_host_edges(target edges). Used to bootstrap scaffolded
+/// starts (E2), routing and robustness experiments (E7), and as the oracle
+/// the protocol's final graph is compared against.
+graph::Graph ideal_host_graph(const topology::TargetSpec& target,
+                              std::vector<NodeId> ids, std::uint64_t n_guests);
+
+/// True iff `g` is exactly the ideal host graph of `target`.
+bool is_legal_avatar(const graph::Graph& g, const topology::TargetSpec& target,
+                     std::uint64_t n_guests);
+
+/// Ideal host graph of the bare Cbt scaffold (no span edges).
+graph::Graph ideal_cbt_host_graph(std::vector<NodeId> ids, std::uint64_t n_guests);
+
+bool is_legal_avatar_cbt(const graph::Graph& g, std::uint64_t n_guests);
+
+}  // namespace chs::avatar

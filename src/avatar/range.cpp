@@ -1,0 +1,52 @@
+#include "avatar/range.hpp"
+
+#include <algorithm>
+
+namespace chs::avatar {
+
+RangeBalance range_balance(std::span<const NodeId> sorted_ids,
+                           std::uint64_t n_guests) {
+  CHS_CHECK_MSG(!sorted_ids.empty(), "range_balance over empty host set");
+  RangeBalance out;
+  out.mean_range = static_cast<double>(n_guests) /
+                   static_cast<double>(sorted_ids.size());
+  for (NodeId id : sorted_ids) {
+    const Range r = range_of(id, sorted_ids, n_guests);
+    if (r.size() > out.max_range) {
+      out.max_range = r.size();
+      out.widest_host = id;
+    }
+  }
+  out.imbalance =
+      out.mean_range > 0.0
+          ? static_cast<double>(out.max_range) / out.mean_range
+          : 0.0;
+  return out;
+}
+
+NodeId host_of(GuestId g, std::span<const NodeId> sorted_ids) {
+  CHS_CHECK_MSG(!sorted_ids.empty(), "host_of over empty host set");
+  auto it = std::upper_bound(sorted_ids.begin(), sorted_ids.end(), g);
+  if (it == sorted_ids.begin()) return sorted_ids.front();  // min covers [0, ..)
+  return *(it - 1);
+}
+
+Range range_of(NodeId id, std::span<const NodeId> sorted_ids, std::uint64_t n_guests) {
+  CHS_CHECK_MSG(!sorted_ids.empty(), "range_of over empty host set");
+  auto it = std::lower_bound(sorted_ids.begin(), sorted_ids.end(), id);
+  CHS_CHECK_MSG(it != sorted_ids.end() && *it == id, "id not a member");
+  Range r;
+  r.lo = (it == sorted_ids.begin()) ? 0 : id;
+  r.hi = (it + 1 == sorted_ids.end()) ? n_guests : *(it + 1);
+  return r;
+}
+
+std::vector<Range> canonical_ranges(std::span<const NodeId> sorted_ids,
+                                    std::uint64_t n_guests) {
+  std::vector<Range> out;
+  out.reserve(sorted_ids.size());
+  for (NodeId id : sorted_ids) out.push_back(range_of(id, sorted_ids, n_guests));
+  return out;
+}
+
+}  // namespace chs::avatar

@@ -1,0 +1,87 @@
+// Responsible ranges and host assignment for the Avatar framework (§3.1).
+//
+// Given the (sorted) set of host identifiers V ⊆ [0, N), host u is
+// responsible for guests [u.id, succ(u).id), except that the host with the
+// smallest identifier covers [0, succ.id) and the host with the largest
+// covers [id, N). Equivalently: host_of(g) is the predecessor of g in V
+// (max id <= g), or the minimum of V when no id is <= g.
+//
+// The pairwise *winner rule* is the heart of the cluster-merge zip
+// (DESIGN.md D3): when clusters A and B merge, the merged host of guest g is
+// decided between the two local candidates a = host_A(g) and b = host_B(g)
+// with no further knowledge, because the predecessor within a union is the
+// max of the per-set predecessors (or the overall min when neither set has a
+// predecessor). zip_winner implements exactly that and is property-tested
+// against the global rule.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "topology/cbt.hpp"
+#include "util/check.hpp"
+
+namespace chs::avatar {
+
+using graph::NodeId;
+using topology::GuestId;
+
+/// Half-open responsible range [lo, hi).
+struct Range {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool contains(GuestId g) const { return g >= lo && g < hi; }
+  std::uint64_t size() const { return hi - lo; }
+  bool operator==(const Range&) const = default;
+};
+
+/// Load balance of the responsible ranges: with hashed (uniform random)
+/// host identifiers the classic Chord bound applies — the largest range is
+/// O(log n) times the mean N/n with high probability — and this is exactly
+/// the skew that turns into storage and routing load imbalance downstream
+/// (see routing::CongestionStats and the dht module). Exposed so operators
+/// can decide when an id set needs virtual hosts.
+struct RangeBalance {
+  std::uint64_t max_range = 0;
+  double mean_range = 0.0;     // N / n
+  double imbalance = 0.0;      // max_range / mean_range
+  NodeId widest_host = 0;      // host owning the largest range
+};
+
+RangeBalance range_balance(std::span<const NodeId> sorted_ids,
+                           std::uint64_t n_guests);
+
+/// Host responsible for guest g among sorted distinct ids (non-empty).
+NodeId host_of(GuestId g, std::span<const NodeId> sorted_ids);
+
+/// Responsible range of host `id` within sorted_ids over guest space [0, N).
+Range range_of(NodeId id, std::span<const NodeId> sorted_ids, std::uint64_t n_guests);
+
+/// All ranges, index-aligned with sorted_ids.
+std::vector<Range> canonical_ranges(std::span<const NodeId> sorted_ids,
+                                    std::uint64_t n_guests);
+
+/// Pairwise merge decision: which of candidate host ids a, b hosts guest g
+/// in the union of their clusters' member sets. a != b.
+inline NodeId zip_winner(GuestId g, NodeId a, NodeId b) {
+  CHS_DCHECK(a != b);
+  const bool a_le = a <= g;
+  const bool b_le = b <= g;
+  if (a_le && b_le) return a > b ? a : b;  // predecessor = max id <= g
+  if (a_le) return a;
+  if (b_le) return b;
+  return a < b ? a : b;  // no predecessor: overall minimum covers [0, ..)
+}
+
+/// True iff zip_winner is constant over the subtree interval I for candidate
+/// ids a, b whose ranges both cover I: this holds when neither id lies in
+/// the interior (lo, hi) of I (the winner function only changes at id
+/// boundaries).
+inline bool zip_uniform_over(const topology::CbtInterval& iv, NodeId a, NodeId b) {
+  const auto interior = [&](NodeId x) { return x > iv.lo && x < iv.hi; };
+  return !interior(a) && !interior(b);
+}
+
+}  // namespace chs::avatar

@@ -1,0 +1,121 @@
+#include "baselines/ideal.hpp"
+
+#include <algorithm>
+
+#include "avatar/embedding.hpp"
+
+namespace chs::baselines {
+namespace {
+
+// Rounds the desired set must be unchanged before undesired edges may be
+// dropped; damps delete/re-add oscillation from one-round-stale views.
+constexpr std::uint32_t kDeleteStability = 3;
+
+std::uint64_t ring_distance(NodeId a, NodeId b, std::uint64_t n) {
+  const std::uint64_t d = a >= b ? a - b : b - a;
+  return std::min(d, n - d);
+}
+
+}  // namespace
+
+void IdealProtocol::step(sim::NodeCtx<IdealProtocol>& ctx) {
+  auto& st = ctx.state();
+  const auto& nbrs = ctx.neighbors();
+  const NodeId self = ctx.self();
+
+  // Serve introduction requests from last round first: the requested peer
+  // must still be a neighbor (views are one round stale).
+  for (const auto& env : ctx.inbox()) {
+    const NodeId want = env.msg.want;
+    if (want != env.from && ctx.is_neighbor(env.from) && ctx.is_neighbor(want)) {
+      ctx.introduce(env.from, want, "ideal:serve");
+    }
+  }
+
+  // K(u): everything visible within two hops.
+  std::vector<NodeId> known;
+  known.push_back(self);
+  for (NodeId v : nbrs) {
+    known.push_back(v);
+    if (const auto* view = ctx.view(v)) {
+      known.insert(known.end(), view->nbrs.begin(), view->nbrs.end());
+    }
+  }
+  std::sort(known.begin(), known.end());
+  known.erase(std::unique(known.begin(), known.end()), known.end());
+
+  // The "ideal neighborhood given the information available": my edges in
+  // the ideal Avatar(target) host graph over the known id set.
+  const graph::Graph ideal = avatar::ideal_host_graph(target_, known, n_guests_);
+  std::vector<NodeId> desired = ideal.neighbors(self);
+  std::sort(desired.begin(), desired.end());
+  if (desired == st.desired) {
+    ++st.stable_rounds;
+  } else {
+    st.desired = desired;
+    st.stable_rounds = 0;
+  }
+
+  const auto is_desired = [&](NodeId v) {
+    return std::binary_search(st.desired.begin(), st.desired.end(), v);
+  };
+
+  // Add: request an introduction to each desired non-neighbor through the
+  // first common neighbor that can see it.
+  for (NodeId w : st.desired) {
+    if (w == self || ctx.is_neighbor(w)) continue;
+    for (NodeId v : nbrs) {
+      const auto* view = ctx.view(v);
+      if (view != nullptr && view->has_neighbor(w)) {
+        ctx.send(v, Message{w});
+        break;
+      }
+    }
+  }
+
+  // Delete: an undesired edge goes only when the other side agrees (its
+  // published desired set excludes me), my own desire has settled, and the
+  // neighbor is handed to my desired neighbor nearest it so the round's
+  // delete is covered by the round's add.
+  if (st.stable_rounds >= kDeleteStability) {
+    for (NodeId v : nbrs) {
+      if (is_desired(v)) continue;
+      const auto* view = ctx.view(v);
+      if (view == nullptr || view->desires(self)) continue;
+      NodeId anchor = self;
+      std::uint64_t best = ~std::uint64_t{0};
+      for (NodeId w : st.desired) {
+        if (w == v || !ctx.is_neighbor(w)) continue;
+        const std::uint64_t d = ring_distance(w, v, n_guests_);
+        if (d < best) {
+          best = d;
+          anchor = w;
+        }
+      }
+      if (anchor == self) continue;  // nothing to hand v to: keep the edge
+      ctx.introduce(v, anchor, "ideal:forward");
+      ctx.disconnect(v, "ideal:drop");
+    }
+  }
+
+  st.nbrs = nbrs;
+}
+
+BaselineResult run_ideal(graph::Graph initial, const topology::TargetSpec& target,
+                         std::uint64_t n_guests, std::uint64_t max_rounds,
+                         std::uint64_t seed) {
+  IdealEngine eng(std::move(initial), IdealProtocol(target, n_guests), seed);
+  const auto done = [&](IdealEngine& e) {
+    return avatar::is_legal_avatar(e.graph(), target, n_guests);
+  };
+  const auto [rounds, ok] = eng.run_until(done, max_rounds);
+  BaselineResult res;
+  res.rounds = rounds;
+  res.converged = ok;
+  res.peak_max_degree = eng.metrics().peak_max_degree();
+  res.degree_expansion = eng.metrics().degree_expansion(eng.graph());
+  res.messages = eng.metrics().messages();
+  return res;
+}
+
+}  // namespace chs::baselines

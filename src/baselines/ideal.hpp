@@ -1,0 +1,88 @@
+// Baseline 3: the naive "ideal neighborhood" design pattern the paper
+// describes (and rejects) in §4.1: "in every round, a node computes their
+// ideal neighborhood given the information available to them from their
+// state and the state of their neighbors, and then adds and deletes edges to
+// form this ideal neighborhood."
+//
+// Concretely, every node u publishes its neighbor list and its *desired*
+// neighborhood — the edges incident on u in the ideal Avatar(target) host
+// graph computed over u's 2-hop knowledge K(u) = {u} ∪ N(u) ∪ N(N(u)).
+//   * Missing desired edges: u asks a common neighbor to introduce it
+//     (one request per missing peer per round).
+//   * Undesired edges (u, v): dropped only when v's published desired set
+//     excludes u too and u's desire has been stable for a few rounds, and
+//     always paired with an introduction of v to u's desired neighbor
+//     closest to v in ring distance, so every deleted edge is covered by an
+//     edge added in the same round (connectivity is preserved exactly as in
+//     the linearization baseline).
+//
+// The greedy refinement converges on benign initial configurations for
+// targets that keep the whole base ring (chord, bichord, skiplist,
+// smallworld): every node then desires its ring successor and predecessor,
+// handing an undesired neighbor to the desired neighbor nearest it makes
+// strict ring progress, and the ideal host of a guest computed over any id
+// subset containing its true host equals the true host, so the exact ideal
+// graph is a silent fixed point. But the pattern exhibits exactly what §4.1
+// warns about: the transient degree is data-dependent rather than bounded by
+// design (Θ(n)-like peaks in E6), and for targets that prune ring edges
+// (hypercube) the desired sets computed over impoverished 2-hop knowledge
+// have no fixed point at all — a stable population of phantom edges migrates
+// forever (tests/test_baselines.cpp: NaivePatternStallsOnHypercube).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/tcf.hpp"  // BaselineResult
+#include "sim/engine.hpp"
+#include "topology/target.hpp"
+
+namespace chs::baselines {
+
+class IdealProtocol {
+ public:
+  struct Message {
+    graph::NodeId want = 0;  // introduce me to this (your) neighbor
+  };
+  struct NodeState {
+    std::vector<NodeId> nbrs;        // sorted; last round's neighbor list
+    std::vector<NodeId> desired;     // sorted; ideal neighbors over K(u)
+    std::uint32_t stable_rounds = 0; // rounds `desired` has been unchanged
+  };
+  struct PublicState {
+    std::vector<NodeId> nbrs;     // sorted
+    std::vector<NodeId> desired;  // sorted
+    bool has_neighbor(NodeId v) const {
+      return std::binary_search(nbrs.begin(), nbrs.end(), v);
+    }
+    bool desires(NodeId v) const {
+      return std::binary_search(desired.begin(), desired.end(), v);
+    }
+  };
+
+  IdealProtocol(topology::TargetSpec target, std::uint64_t n_guests)
+      : target_(std::move(target)), n_guests_(n_guests) {}
+
+  void init_node(NodeId, NodeState&, util::Rng&) {}
+  void publish(const NodeState& st, PublicState& pub) {
+    pub.nbrs = st.nbrs;
+    pub.desired = st.desired;
+  }
+  void step(sim::NodeCtx<IdealProtocol>& ctx);
+
+  std::uint64_t n_guests() const { return n_guests_; }
+
+ private:
+  topology::TargetSpec target_;
+  std::uint64_t n_guests_;
+};
+
+using IdealEngine = sim::Engine<IdealProtocol>;
+
+/// Run the ideal-neighborhood pattern until the exact Avatar(target) host
+/// graph appears (or the budget runs out).
+BaselineResult run_ideal(graph::Graph initial, const topology::TargetSpec& target,
+                         std::uint64_t n_guests, std::uint64_t max_rounds,
+                         std::uint64_t seed);
+
+}  // namespace chs::baselines

@@ -1,0 +1,203 @@
+#include "baselines/linear.hpp"
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "util/bitops.hpp"
+
+namespace chs::baselines {
+namespace {
+constexpr NodeId kEnd = ~std::uint64_t{0};
+constexpr std::uint32_t kStableThreshold = 4;
+}  // namespace
+
+void LinearProtocol::step(sim::NodeCtx<LinearProtocol>& ctx) {
+  auto& st = ctx.state();
+  const auto& nbrs = ctx.neighbors();
+  const NodeId self = ctx.self();
+
+  // Closest left/right among current neighbors.
+  NodeId left = kEnd, right = kEnd;
+  for (NodeId v : nbrs) {
+    if (v < self && (left == kEnd || v > left)) left = v;
+    if (v > self && (right == kEnd || v < right)) right = v;
+  }
+  if (left != st.left || right != st.right) {
+    st.left = left;
+    st.right = right;
+    st.stable_rounds = 0;
+    st.fingers.clear();
+    st.done_levels = 0;
+    st.exempt.clear();
+  } else {
+    ++st.stable_rounds;
+  }
+
+  // Messages first: exemptions (TargetOf/Tell) must land before the
+  // linearization pass below decides which edges to forward-and-drop.
+  for (const auto& env : ctx.inbox()) {
+    const auto& m = env.msg;
+    switch (m.kind) {
+      case Message::Kind::kAsk: {
+        // Asker wants my finger[k]; introduce it and tell it who that is.
+        // Reply kEnd only when the line *provably* ends there — a finger I
+        // merely have not built yet gets no reply (the asker retries).
+        if (!ctx.is_neighbor(env.from)) break;
+        const std::uint32_t k = m.k;
+        const NodeId f = finger_at(st, k);
+        if (f != kEnd) {
+          if (f != env.from && ctx.is_neighbor(f)) {
+            ctx.introduce(env.from, f);
+            ctx.send(env.from, Message{Message::Kind::kTell, k, f});
+            // Protect the new edge at the target once it exists.
+            ctx.send(f, Message{Message::Kind::kTargetOf, k, env.from});
+          }
+        } else if ((k == 0 && st.right == kEnd) ||
+                   (st.done_levels != 0 && k >= st.done_levels)) {
+          ctx.send(env.from, Message{Message::Kind::kEnd, k, 0});
+        }
+        break;
+      }
+      case Message::Kind::kTell: {
+        const std::uint32_t level = m.k + 1;  // I asked for peer's level-k
+        if (st.stable_rounds == 0) break;
+        if (level == st.fingers.size() + 1) {
+          st.fingers.push_back(m.node);
+          st.exempt.insert(m.node);
+          st.done_levels = 0;  // the chain extends after all
+        } else if (level <= st.fingers.size() &&
+                   st.fingers[level - 1] != m.node) {
+          // Repair: an earlier Tell was computed from a transient line.
+          // Replace this level, drop everything above it (it was derived
+          // from the wrong value), and un-exempt the stale edges so the
+          // linearization pass cleans them up.
+          for (std::size_t i = level - 1; i < st.fingers.size(); ++i) {
+            st.exempt.erase(st.fingers[i]);
+          }
+          st.fingers.resize(level - 1);
+          st.fingers.push_back(m.node);
+          st.exempt.insert(m.node);
+          st.done_levels = 0;
+        }
+        break;
+      }
+      case Message::Kind::kEnd: {
+        const std::uint32_t level = m.k + 1;
+        if (level == st.fingers.size() + 1 && st.done_levels == 0) {
+          st.done_levels = level;  // no finger at this level or beyond
+        }
+        break;
+      }
+      case Message::Kind::kTargetOf: {
+        st.exempt.insert(m.node);
+        break;
+      }
+    }
+  }
+
+  // Linearization actions: forward every non-closest, non-exempt neighbor
+  // toward the closest one on its side and drop the direct edge (the new
+  // edge keeps the graph connected).
+  for (NodeId v : nbrs) {
+    if (v == left || v == right) continue;
+    if (st.exempt.count(v)) continue;
+    const NodeId anchor = v < self ? left : right;
+    if (anchor == kEnd || anchor == v) continue;
+    ctx.introduce(v, anchor);
+    ctx.disconnect(v);
+  }
+
+  // A finger whose edge vanished (the other endpoint relinearized before our
+  // TargetOf protection landed) is useless for asking through — truncate to
+  // the first intact level so growth re-establishes it from below.
+  for (std::size_t i = 0; i < st.fingers.size(); ++i) {
+    if (!ctx.is_neighbor(st.fingers[i])) {
+      for (std::size_t j = i; j < st.fingers.size(); ++j) {
+        st.exempt.erase(st.fingers[j]);
+      }
+      st.fingers.resize(i);
+      st.done_levels = 0;
+      break;
+    }
+  }
+
+  // Drive finger construction once the line neighborhood has been stable.
+  if (st.stable_rounds >= kStableThreshold) {
+    if (st.done_levels == 0) {
+      const std::uint32_t next_level =
+          static_cast<std::uint32_t>(st.fingers.size()) + 1;
+      const NodeId ask_target = finger_at(st, next_level - 1);
+      if (ask_target == kEnd) {
+        st.done_levels = next_level;
+      } else if (ctx.is_neighbor(ask_target)) {
+        ctx.send(ask_target, Message{Message::Kind::kAsk, next_level - 1, 0});
+      }
+    } else {
+      // Verify one level per round (round-robin), including a re-probe of
+      // the level just past the end: fingers accepted — or kEnd verdicts
+      // received — while the global line was still settling get repaired by
+      // the Tell handler above.
+      const std::uint32_t level = 1 + static_cast<std::uint32_t>(
+                                          ctx.round() % (st.fingers.size() + 1));
+      const NodeId ask_target = finger_at(st, level - 1);
+      if (ask_target != kEnd && ctx.is_neighbor(ask_target)) {
+        ctx.send(ask_target, Message{Message::Kind::kAsk, level - 1, 0});
+      }
+    }
+  }
+}
+
+NodeId LinearProtocol::finger_at(const NodeState& st, std::uint32_t level) {
+  // Level 0 = right line neighbor; level k >= 1 = fingers[k-1].
+  if (level == 0) return st.right;
+  if (level <= st.fingers.size()) return st.fingers[level - 1];
+  return kEnd;
+}
+
+graph::Graph linear_chord_ideal(std::vector<NodeId> ids) {
+  graph::Graph g(std::move(ids));
+  const auto& v = g.ids();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    for (std::uint64_t jump = 1; i + jump < v.size(); jump *= 2) {
+      g.add_edge(v[i], v[i + jump]);
+    }
+  }
+  return g;
+}
+
+LinearResult run_linear(graph::Graph initial, std::uint64_t max_rounds,
+                        std::uint64_t seed) {
+  const graph::Graph ideal = linear_chord_ideal(initial.ids());
+  const graph::Graph line = graph::make_line(initial.ids());
+  LinearEngine eng(std::move(initial), LinearProtocol{}, seed);
+  LinearResult res;
+  bool line_done = false;
+  const auto done = [&](LinearEngine& e) {
+    if (!line_done) {
+      // The line is "exact" when it is a subgraph and no stray non-finger
+      // edges remain shorter than any finger jump — approximated by
+      // subgraph containment of the line.
+      bool sub = true;
+      for (const auto& [a, b] : line.edge_list()) {
+        if (!e.graph().has_edge(a, b)) {
+          sub = false;
+          break;
+        }
+      }
+      if (sub) {
+        line_done = true;
+        res.line_rounds = e.round();
+      }
+    }
+    return e.graph().same_topology(ideal);
+  };
+  const auto [rounds, ok] = eng.run_until(done, max_rounds);
+  res.rounds = rounds;
+  res.converged = ok;
+  res.peak_max_degree = eng.metrics().peak_max_degree();
+  res.degree_expansion = eng.metrics().degree_expansion(eng.graph());
+  res.messages = eng.metrics().messages();
+  return res;
+}
+
+}  // namespace chs::baselines

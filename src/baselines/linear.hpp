@@ -1,0 +1,76 @@
+// Baseline 2: a linear ("sorted list") scaffold, after Onus-Richa-Scheideler
+// linearization [15] and the Re-Chord construction [13] the paper discusses
+// under "Low diameter": the scaffold is built first, then Chord-style
+// fingers are grown over it by rank doubling.
+//
+// Linearization: every round, a node keeps only its closest left and closest
+// right neighbors; any other neighbor a on the left (resp. right) is
+// introduced to the closest left (right) neighbor and the direct edge is
+// dropped in the same round — connectivity is preserved through the new
+// edge. Worst-case stabilization of the line is Θ(n) rounds (information
+// travels one position per round along the line), which is exactly why the
+// paper rejects the Linear network as a scaffold.
+//
+// Finger doubling: once a node's line neighbors are stable, finger[0] is the
+// right line neighbor and finger[k+1] is finger[k]'s finger[k], obtained by
+// an Ask/Tell exchange in which the asked node introduces the asker to its
+// own finger. The final topology is the line plus rank-2^k jump edges.
+//
+// Experiment E6 contrasts rounds-to-convergence of this baseline (linear in
+// n on high-diameter initial topologies) against the Cbt scaffold's polylog.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/engine.hpp"
+
+namespace chs::baselines {
+
+using graph::NodeId;
+
+class LinearProtocol {
+ public:
+  struct Message {
+    enum class Kind : std::uint8_t { kAsk, kTell, kEnd, kTargetOf } kind;
+    std::uint32_t k = 0;
+    NodeId node = 0;
+  };
+  struct NodeState {
+    NodeId left = ~std::uint64_t{0};   // closest smaller neighbor (kEnd: none)
+    NodeId right = ~std::uint64_t{0};  // closest larger neighbor
+    std::uint32_t stable_rounds = 0;
+    std::vector<NodeId> fingers;      // fingers[k] = node 2^k ranks right
+    std::uint32_t done_levels = 0;    // levels confirmed final (line end hit)
+    std::set<NodeId> exempt;          // incoming finger edges to protect
+  };
+  struct PublicState {};
+
+  void init_node(NodeId, NodeState&, util::Rng&) {}
+  void publish(const NodeState&, PublicState&) {}
+  void step(sim::NodeCtx<LinearProtocol>& ctx);
+
+  /// Level-0 finger is the right line neighbor; level k >= 1 is fingers[k-1].
+  static NodeId finger_at(const NodeState& st, std::uint32_t level);
+};
+
+using LinearEngine = sim::Engine<LinearProtocol>;
+
+/// Ideal final topology: sorted line plus rank-2^k jumps.
+graph::Graph linear_chord_ideal(std::vector<NodeId> ids);
+
+struct LinearResult {
+  std::uint64_t rounds = 0;
+  bool converged = false;
+  std::uint64_t line_rounds = 0;  // rounds until the sorted line was exact
+  std::size_t peak_max_degree = 0;
+  double degree_expansion = 0.0;
+  std::uint64_t messages = 0;
+};
+
+LinearResult run_linear(graph::Graph initial, std::uint64_t max_rounds,
+                        std::uint64_t seed);
+
+}  // namespace chs::baselines

@@ -1,0 +1,82 @@
+#include "baselines/tcf.hpp"
+
+#include <algorithm>
+
+#include "avatar/embedding.hpp"
+
+namespace chs::baselines {
+
+void TcfProtocol::step(sim::NodeCtx<TcfProtocol>& ctx) {
+  auto& st = ctx.state();
+  const auto& nbrs = ctx.neighbors();
+
+  if (!st.closed) {
+    // Closure test (stale-view safe): my closed neighborhood and every
+    // neighbor's must be the *same* vertex set. One-directional containment
+    // would fire early against one-round-stale views; set equality only
+    // holds once the clique has been stable for a round.
+    std::vector<NodeId> mine = nbrs;
+    mine.push_back(ctx.self());
+    std::sort(mine.begin(), mine.end());
+    bool closed = true;
+    for (NodeId v : nbrs) {
+      const auto* view = ctx.view(v);
+      if (view == nullptr) {
+        closed = false;
+        break;
+      }
+      std::vector<NodeId> theirs = view->nbrs;
+      theirs.push_back(v);
+      std::sort(theirs.begin(), theirs.end());
+      if (theirs != mine) {
+        closed = false;
+        break;
+      }
+    }
+    if (closed && ctx.round() > 0) {
+      st.closed = true;
+    } else {
+      // Square the graph: introduce all neighbor pairs.
+      for (std::size_t i = 0; i + 1 < nbrs.size(); ++i) {
+        for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+          ctx.introduce(nbrs[i], nbrs[j]);
+        }
+      }
+    }
+  }
+
+  if (st.closed && !st.pruned) {
+    // The id set is my closed neighborhood; compute the ideal topology and
+    // delete every incident edge it does not contain.
+    std::vector<NodeId> ids = nbrs;
+    ids.push_back(ctx.self());
+    std::sort(ids.begin(), ids.end());
+    const graph::Graph ideal =
+        avatar::ideal_host_graph(target_, ids, n_guests_);
+    for (NodeId v : nbrs) {
+      if (!ideal.has_edge(ctx.self(), v)) ctx.disconnect(v);
+    }
+    st.pruned = true;
+  }
+
+  st.nbrs = nbrs;
+}
+
+BaselineResult run_tcf(graph::Graph initial, const topology::TargetSpec& target,
+                       std::uint64_t n_guests, std::uint64_t max_rounds,
+                       std::uint64_t seed) {
+  TcfEngine eng(std::move(initial), TcfProtocol(target, n_guests), seed);
+  const auto done = [&](TcfEngine& e) {
+    return avatar::is_legal_avatar(e.graph(), target, n_guests);
+  };
+  const auto [rounds, ok] = eng.run_until(done, max_rounds);
+  BaselineResult res;
+  res.rounds = rounds;
+  res.converged = ok;
+  res.peak_max_degree = eng.metrics().peak_max_degree();
+  res.degree_expansion = eng.metrics().degree_expansion(eng.graph());
+  res.messages = eng.metrics().messages();
+  return res;
+}
+
+}  // namespace chs::baselines

@@ -1,0 +1,72 @@
+// Baseline 1: the Transitive Closure Framework (TCF), after Berns, Ghosh,
+// Pemmaraju [4] — the comparison point the paper names for space cost.
+//
+// TCF builds any locally-checkable topology by (1) detecting a fault,
+// (2) forming a clique — every round each node introduces all of its
+// neighbors to each other, squaring the graph until everyone is adjacent to
+// everyone — and (3) once a node sees the full id set, locally computing the
+// target topology and deleting every edge it does not require.
+//
+// Convergence is fast (O(log diameter) rounds to the clique), but node
+// degrees necessarily reach n-1: Θ(n) space. Experiment E6 contrasts this
+// against the scaffolding algorithm's polylog degree expansion.
+//
+// Termination detection is local: a node is *closed* when for every neighbor
+// v, v's neighbor set (previous-round view) is contained in N(u) ∪ {u}.
+// Once closed, the node prunes to the ideal Avatar(target) edges over the
+// ids it sees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "topology/target.hpp"
+
+namespace chs::baselines {
+
+using graph::NodeId;
+
+class TcfProtocol {
+ public:
+  struct Message {};
+  struct NodeState {
+    bool closed = false;
+    bool pruned = false;
+    std::vector<NodeId> nbrs;
+  };
+  struct PublicState {
+    std::vector<NodeId> nbrs;
+    bool has_neighbor(NodeId v) const {
+      return std::binary_search(nbrs.begin(), nbrs.end(), v);
+    }
+  };
+
+  TcfProtocol(topology::TargetSpec target, std::uint64_t n_guests)
+      : target_(std::move(target)), n_guests_(n_guests) {}
+
+  void init_node(NodeId, NodeState&, util::Rng&) {}
+  void publish(const NodeState& st, PublicState& pub) { pub.nbrs = st.nbrs; }
+  void step(sim::NodeCtx<TcfProtocol>& ctx);
+
+ private:
+  topology::TargetSpec target_;
+  std::uint64_t n_guests_;
+};
+
+using TcfEngine = sim::Engine<TcfProtocol>;
+
+struct BaselineResult {
+  std::uint64_t rounds = 0;
+  bool converged = false;
+  std::size_t peak_max_degree = 0;
+  double degree_expansion = 0.0;
+  std::uint64_t messages = 0;
+};
+
+/// Run TCF until it produces the exact Avatar(target) host graph.
+BaselineResult run_tcf(graph::Graph initial, const topology::TargetSpec& target,
+                       std::uint64_t n_guests, std::uint64_t max_rounds,
+                       std::uint64_t seed);
+
+}  // namespace chs::baselines

@@ -1,0 +1,68 @@
+#include "core/churn.hpp"
+
+#include <set>
+
+#include "util/check.hpp"
+
+namespace chs::core {
+
+void churn_host(StabEngine& eng, graph::NodeId victim, graph::NodeId anchor) {
+  CHS_CHECK_MSG(victim != anchor, "churn_host(v, v)");
+  const auto nbrs = eng.graph().neighbors(victim);  // copy before mutation
+  for (graph::NodeId v : nbrs) eng.inject_edge_removal(victim, v);
+  eng.inject_edge(victim, anchor);
+  stabilizer::HostState& st = eng.state_mut(victim);
+  st = stabilizer::HostState{};
+  st.id = victim;
+  st.phase = Phase::kCbt;
+  st.cluster = victim;
+  st.lo = 0;
+  st.hi = eng.protocol().params().n_guests;
+  eng.protocol().recompute_fragments(st);
+  st.nbrs = eng.graph().neighbors(victim);
+  eng.republish();
+}
+
+ChurnReport run_churn_schedule(StabEngine& eng, const ChurnSchedule& schedule) {
+  CHS_CHECK_MSG(is_converged(eng), "churn schedule needs a converged start");
+  CHS_CHECK(schedule.burst >= 1);
+  const auto& ids = eng.graph().ids();
+  CHS_CHECK_MSG(ids.size() >= 2 * schedule.burst + 1,
+                "burst too large for the host count");
+  util::Rng rng(schedule.seed * 31 + 17);
+  ChurnReport report;
+  for (std::uint64_t e = 0; e < schedule.episodes; ++e) {
+    // Pick `burst` distinct victims, then anchors outside the victim set so
+    // a victim is never re-attached to a host that just lost its state.
+    std::set<graph::NodeId> victims;
+    while (victims.size() < schedule.burst) {
+      victims.insert(ids[rng.next_below(ids.size())]);
+    }
+    std::vector<ChurnEpisode> burst_episodes;
+    for (graph::NodeId victim : victims) {
+      graph::NodeId anchor = victim;
+      while (anchor == victim || victims.count(anchor) != 0) {
+        anchor = ids[rng.next_below(ids.size())];
+      }
+      churn_host(eng, victim, anchor);
+      burst_episodes.push_back(ChurnEpisode{victim, anchor, 0, false});
+    }
+    const std::uint64_t before = eng.round();
+    const auto res =
+        run_to_convergence(eng, schedule.max_rounds_per_episode);
+    const std::uint64_t recovery = eng.round() - before;
+    for (auto& ep : burst_episodes) {
+      ep.recovery_rounds = recovery;
+      ep.recovered = res.converged;
+      report.episodes.push_back(ep);
+    }
+    report.total_rounds += recovery;
+    report.max_recovery_rounds =
+        std::max(report.max_recovery_rounds, recovery);
+    report.all_recovered = report.all_recovered && res.converged;
+    if (!res.converged) break;  // leave the engine for post-mortem
+  }
+  return report;
+}
+
+}  // namespace chs::core

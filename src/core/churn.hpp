@@ -1,0 +1,54 @@
+// Dynamic membership (churn) on top of self-stabilization.
+//
+// The paper's fault model subsumes joins and leaves: a host crashing and
+// rejoining is just another transient fault, and Theorem 2 promises
+// re-convergence from whatever configuration it leaves behind. The engine's
+// vertex set is fixed, so a "leave + join" is modeled as the harder
+// amnesia case: the victim loses all its edges and its entire state, and is
+// re-attached somewhere arbitrary as a fresh singleton cluster.
+//
+// These helpers were born in the chordsim CLI and the churn tests; they are
+// public API because any application embedding the stabilizer needs exactly
+// this operation to model membership changes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/network.hpp"
+
+namespace chs::core {
+
+/// Crash-and-rejoin: remove every edge of `victim`, wipe its state to a
+/// fresh singleton cluster, and re-attach it by one edge to `anchor`
+/// (victim != anchor). The topology stays connected iff it was connected
+/// without the victim; stabilization then restores Avatar(target).
+void churn_host(StabEngine& eng, graph::NodeId victim, graph::NodeId anchor);
+
+struct ChurnEpisode {
+  graph::NodeId victim = 0;
+  graph::NodeId anchor = 0;
+  std::uint64_t recovery_rounds = 0;
+  bool recovered = false;
+};
+
+struct ChurnSchedule {
+  std::uint64_t episodes = 3;
+  /// Churn events per episode (>= 1: simultaneous multi-host churn).
+  std::uint64_t burst = 1;
+  std::uint64_t max_rounds_per_episode = 400000;
+  std::uint64_t seed = 1;
+};
+
+struct ChurnReport {
+  std::vector<ChurnEpisode> episodes;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t max_recovery_rounds = 0;
+  bool all_recovered = true;
+};
+
+/// Run a randomized churn schedule against a *converged* engine: each
+/// episode churns `burst` random hosts simultaneously (never towards a
+/// just-churned host), then waits for full re-convergence.
+ChurnReport run_churn_schedule(StabEngine& eng, const ChurnSchedule& schedule);
+
+}  // namespace chs::core

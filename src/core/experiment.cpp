@@ -1,0 +1,94 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace chs::core {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CHS_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(const std::string& name) const {
+  std::printf("# csv %s\n", name.c_str());
+  const auto join = [](const std::vector<std::string>& row) {
+    std::string out;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ",";
+      out += row[i];
+    }
+    return out;
+  };
+  std::printf("%s\n", join(headers_).c_str());
+  for (const auto& row : rows_) std::printf("%s\n", join(row).c_str());
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+Stats stats_of(const std::vector<double>& xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  s.min = s.max = xs[0];
+  double total = 0.0;
+  for (double x : xs) {
+    total += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = total / static_cast<double>(xs.size());
+  return s;
+}
+
+SweepOutcome run_sweep_point(const SweepPoint& pt, const Params& base_params,
+                             std::uint64_t max_rounds) {
+  util::Rng rng(pt.seed * 0x9e3779b97f4a7c15ULL + 13);
+  auto ids = graph::sample_ids(pt.n_hosts, pt.n_guests, rng);
+  graph::Graph g = graph::make_family(pt.family, std::move(ids), rng);
+
+  SweepOutcome out;
+  out.initial_max_degree = g.max_degree();
+
+  Params params = base_params;
+  params.n_guests = pt.n_guests;
+  auto eng = make_engine(std::move(g), params, pt.seed);
+  out.result = run_to_convergence(*eng, max_rounds);
+  out.final_max_degree = eng->graph().max_degree();
+  out.peak_max_degree = eng->metrics().peak_max_degree();
+  return out;
+}
+
+}  // namespace chs::core

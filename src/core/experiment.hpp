@@ -1,0 +1,58 @@
+// Shared experiment harness: aligned-table printing, small statistics, and
+// the common "sweep N over initial families and seeds" driver the benches
+// (E1-E9) are built from. Benches print both a human-readable table and an
+// optional CSV block so results can be archived in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "graph/generators.hpp"
+
+namespace chs::core {
+
+/// Fixed-width table printer (stdout).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+  /// Comma-separated dump with a leading "# csv" marker line.
+  void print_csv(const std::string& name) const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+struct Stats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+Stats stats_of(const std::vector<double>& xs);
+
+/// One stabilization run from a generated initial configuration.
+struct SweepPoint {
+  graph::Family family;
+  std::size_t n_hosts;
+  std::uint64_t n_guests;
+  std::uint64_t seed;
+};
+
+struct SweepOutcome {
+  RunResult result;
+  std::size_t initial_max_degree = 0;
+  std::size_t final_max_degree = 0;
+  std::size_t peak_max_degree = 0;
+};
+
+SweepOutcome run_sweep_point(const SweepPoint& pt, const Params& base_params,
+                             std::uint64_t max_rounds);
+
+}  // namespace chs::core

@@ -1,0 +1,38 @@
+// Global (god's-eye) invariant monitor for property tests.
+//
+// The protocol's safety argument rests on a handful of properties that must
+// hold in *every* round of every execution, not just at convergence:
+//
+//   I1 connectivity    — the protocol never disconnects the network
+//                        (§2.1: self-stabilization is only promised while
+//                        the network stays connected, so the algorithm must
+//                        not break it itself);
+//   I2 range sanity    — every host's range is well-formed, anchored at its
+//                        id (or 0), within [0, N);
+//   I3 map geometry    — boundary/parent keys match the crossing-edge
+//                        geometry forced by the range;
+//   I4 structural edges— every structural reference (boundary, parent,
+//                        succ, pred) is an existing graph edge;
+//   I5 cluster sanity  — every host's cluster id is some host's id;
+//   I6 silence         — once converged, no further state or topology
+//                        changes occur (checked by the caller via
+//                        quiescent_streak).
+//
+// check_invariants returns the first violated invariant's description, or
+// an empty string. Property tests call it after every round of randomized
+// executions.
+#pragma once
+
+#include <string>
+
+#include "core/network.hpp"
+
+namespace chs::core {
+
+std::string check_invariants(const StabEngine& eng);
+
+/// Step `rounds` rounds, checking invariants after each; returns the first
+/// violation ("round N: ...") or empty.
+std::string run_with_invariants(StabEngine& eng, std::uint64_t rounds);
+
+}  // namespace chs::core

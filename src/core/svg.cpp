@@ -1,0 +1,155 @@
+#include "core/svg.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "stabilizer/state.hpp"
+
+namespace chs::core {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Colors shared with the DOT exporter (trace.cpp) so both renderings of the
+// same snapshot read identically.
+constexpr const char* kPhaseFill[] = {"#f4a261", "#8ecae6", "#b7e4c7"};
+constexpr const char* kPhaseName[] = {"CBT", "CHORD", "DONE"};
+constexpr const char* kEdgeColor[] = {"#d62828", "#1d3557", "#2a9d8f",
+                                      "#bbbbbb"};
+constexpr double kEdgeWidth[] = {2.0, 1.2, 1.2, 0.8};
+
+std::size_t phase_index(Phase p) {
+  switch (p) {
+    case Phase::kCbt:
+      return 0;
+    case Phase::kChord:
+      return 1;
+    case Phase::kDone:
+      return 2;
+  }
+  return 0;
+}
+
+struct Layout {
+  double cx, cy, radius;
+
+  std::pair<double, double> at(graph::NodeId id, std::uint64_t n_guests) const {
+    const double theta = 2.0 * kPi * static_cast<double>(id) /
+                             static_cast<double>(std::max<std::uint64_t>(
+                                 n_guests, 1)) -
+                         kPi / 2.0;  // id 0 at 12 o'clock
+    return {cx + radius * std::cos(theta), cy + radius * std::sin(theta)};
+  }
+};
+
+void open_svg(std::ostringstream& out, const SvgOptions& opts) {
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opts.size
+      << "\" height=\"" << opts.size << "\" viewBox=\"0 0 " << opts.size
+      << " " << opts.size << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!opts.title.empty()) {
+    out << "<text x=\"" << opts.size / 2.0
+        << "\" y=\"20\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+           "font-size=\"15\">"
+        << opts.title << "</text>\n";
+  }
+}
+
+void emit_edge(std::ostringstream& out, const Layout& lay, graph::NodeId u,
+               graph::NodeId v, std::uint64_t n_guests, const char* color,
+               double width) {
+  const auto [x1, y1] = lay.at(u, n_guests);
+  const auto [x2, y2] = lay.at(v, n_guests);
+  out << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+      << "\" y2=\"" << y2 << "\" stroke=\"" << color << "\" stroke-width=\""
+      << width << "\" stroke-opacity=\"0.8\"/>\n";
+}
+
+void emit_node(std::ostringstream& out, const Layout& lay, graph::NodeId id,
+               std::uint64_t n_guests, const char* fill,
+               const SvgOptions& opts) {
+  const auto [x, y] = lay.at(id, n_guests);
+  out << "<circle cx=\"" << x << "\" cy=\"" << y << "\" r=\""
+      << opts.node_radius << "\" fill=\"" << fill
+      << "\" stroke=\"#333\" stroke-width=\"0.8\"/>\n";
+  if (opts.label_nodes) {
+    // Push the label radially outward so it clears the rim.
+    const double dx = x - lay.cx, dy = y - lay.cy;
+    const double len = std::max(1.0, std::hypot(dx, dy));
+    const double lx = x + dx / len * (opts.node_radius + 9.0);
+    const double ly = y + dy / len * (opts.node_radius + 9.0);
+    out << "<text x=\"" << lx << "\" y=\"" << ly
+        << "\" text-anchor=\"middle\" dominant-baseline=\"middle\" "
+           "font-family=\"sans-serif\" font-size=\"9\">"
+        << id << "</text>\n";
+  }
+}
+
+void emit_edge_legend(std::ostringstream& out, const SvgOptions& opts,
+                      bool with_phases) {
+  constexpr const char* kClassName[] = {"ring", "tree", "finger", "transient"};
+  double y = opts.size - 18.0;
+  for (int c = 3; c >= 0; --c, y -= 16.0) {
+    out << "<line x1=\"12\" y1=\"" << y << "\" x2=\"40\" y2=\"" << y
+        << "\" stroke=\"" << kEdgeColor[c] << "\" stroke-width=\""
+        << kEdgeWidth[c] << "\"/>\n"
+        << "<text x=\"46\" y=\"" << y + 3.5
+        << "\" font-family=\"sans-serif\" font-size=\"11\">" << kClassName[c]
+        << "</text>\n";
+  }
+  if (with_phases) {
+    for (int p = 2; p >= 0; --p, y -= 16.0) {
+      out << "<circle cx=\"20\" cy=\"" << y << "\" r=\"5\" fill=\""
+          << kPhaseFill[p] << "\" stroke=\"#333\" stroke-width=\"0.8\"/>\n"
+          << "<text x=\"32\" y=\"" << y + 3.5
+          << "\" font-family=\"sans-serif\" font-size=\"11\">" << kPhaseName[p]
+          << "</text>\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_svg(const graph::Graph& g, std::uint64_t n_guests,
+                   const SvgOptions& opts) {
+  std::ostringstream out;
+  open_svg(out, opts);
+  const Layout lay{opts.size / 2.0, opts.size / 2.0, opts.size / 2.0 - 40.0};
+  for (const auto& [u, v] : g.edge_list()) {
+    emit_edge(out, lay, u, v, n_guests, "#1d3557", 1.0);
+  }
+  for (graph::NodeId id : g.ids()) {
+    emit_node(out, lay, id, n_guests, "#eeeeee", opts);
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+std::string to_svg(const StabEngine& eng, const SvgOptions& opts) {
+  const Params& params = eng.protocol().params();
+  const EdgeClassifier classifier(eng.graph().ids(), params);
+  std::ostringstream out;
+  open_svg(out, opts);
+  const Layout lay{opts.size / 2.0, opts.size / 2.0, opts.size / 2.0 - 40.0};
+  // Transients beneath structure: draw in class order so load-bearing edges
+  // stay visible.
+  for (auto want : {EdgeClass::kTransient, EdgeClass::kTree, EdgeClass::kFinger,
+                    EdgeClass::kRing}) {
+    for (const auto& [u, v] : eng.graph().edge_list()) {
+      const EdgeClass c = classifier.classify(u, v);
+      if (c != want) continue;
+      const auto ci = static_cast<std::size_t>(c);
+      emit_edge(out, lay, u, v, params.n_guests, kEdgeColor[ci],
+                kEdgeWidth[ci]);
+    }
+  }
+  for (graph::NodeId id : eng.graph().ids()) {
+    emit_node(out, lay, id, params.n_guests,
+              kPhaseFill[phase_index(eng.state(id).phase)], opts);
+  }
+  if (opts.legend) emit_edge_legend(out, opts, /*with_phases=*/true);
+  out << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace chs::core

@@ -1,0 +1,36 @@
+// Self-contained SVG rendering of host-network snapshots — no Graphviz
+// required. Hosts sit on a circle at the angle of their identifier (the
+// natural layout for a ring-structured overlay: ring edges hug the rim,
+// fingers become chords whose span is visible at a glance, and the CBT
+// scaffold shows as the web of mid-length chords).
+//
+// The DOT exporter (trace.hpp) remains the right tool when an external
+// layout engine is wanted; this renderer is for dropping a ready-to-open
+// .svg out of an example, a bench, or the chordsim CLI.
+#pragma once
+
+#include <string>
+
+#include "core/network.hpp"
+#include "core/trace.hpp"
+#include "graph/graph.hpp"
+
+namespace chs::core {
+
+struct SvgOptions {
+  double size = 720.0;        // canvas width = height, pixels
+  double node_radius = 5.0;
+  bool label_nodes = true;    // host id text next to each node
+  bool legend = true;         // edge-class / phase legend box
+  std::string title;          // optional caption
+};
+
+/// Render a bare host graph (uniform styling).
+std::string to_svg(const graph::Graph& g, std::uint64_t n_guests,
+                   const SvgOptions& opts = {});
+
+/// Render a stabilizer engine: node fill encodes the phase, edge color and
+/// width encode the EdgeClass against the engine's target.
+std::string to_svg(const StabEngine& eng, const SvgOptions& opts = {});
+
+}  // namespace chs::core

@@ -1,0 +1,183 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "avatar/embedding.hpp"
+#include "stabilizer/state.hpp"
+
+namespace chs::core {
+namespace {
+
+using graph::NodeId;
+
+// Palette chosen to survive grayscale printing: phases by fill lightness,
+// edge classes by both color and line style.
+constexpr const char* kPhaseFill[] = {"#f4a261", "#8ecae6", "#b7e4c7"};
+constexpr const char* kEdgeColor[] = {"#d62828", "#1d3557", "#2a9d8f",
+                                      "#bbbbbb"};
+constexpr const char* kEdgeStyle[] = {"bold", "solid", "solid", "dashed"};
+
+std::size_t phase_index(Phase p) {
+  switch (p) {
+    case Phase::kCbt:
+      return 0;
+    case Phase::kChord:
+      return 1;
+    case Phase::kDone:
+      return 2;
+  }
+  return 0;
+}
+
+NodeId ring_successor(NodeId u, const std::vector<NodeId>& sorted) {
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), u);
+  return it == sorted.end() ? sorted.front() : *it;
+}
+
+void emit_node_positions(std::ostringstream& out,
+                         const std::vector<NodeId>& ids, std::uint64_t n_guests,
+                         bool circular) {
+  if (!circular) return;
+  const double radius = std::max(2.0, static_cast<double>(ids.size()) * 0.35);
+  for (NodeId id : ids) {
+    const double theta = 2.0 * 3.14159265358979323846 *
+                         static_cast<double>(id) /
+                         static_cast<double>(std::max<std::uint64_t>(n_guests, 1));
+    out << "  n" << id << " [pos=\"" << radius * std::cos(theta) << ","
+        << radius * std::sin(theta) << "!\"];\n";
+  }
+}
+
+}  // namespace
+
+const char* edge_class_name(EdgeClass c) {
+  switch (c) {
+    case EdgeClass::kRing:
+      return "ring";
+    case EdgeClass::kTree:
+      return "tree";
+    case EdgeClass::kFinger:
+      return "finger";
+    case EdgeClass::kTransient:
+      return "transient";
+  }
+  return "?";
+}
+
+EdgeClassifier::EdgeClassifier(std::vector<NodeId> ids, const Params& params) {
+  sorted_ = std::move(ids);
+  std::sort(sorted_.begin(), sorted_.end());
+  cbt_ideal_ = avatar::ideal_cbt_host_graph(sorted_, params.n_guests);
+  target_ideal_ =
+      avatar::ideal_host_graph(params.target, sorted_, params.n_guests);
+}
+
+EdgeClass EdgeClassifier::classify(NodeId u, NodeId v) const {
+  if (ring_successor(u, sorted_) == v || ring_successor(v, sorted_) == u) {
+    return EdgeClass::kRing;
+  }
+  if (cbt_ideal_.has_edge(u, v)) return EdgeClass::kTree;
+  if (target_ideal_.has_edge(u, v)) return EdgeClass::kFinger;
+  return EdgeClass::kTransient;
+}
+
+std::string to_dot(const graph::Graph& g, const DotOptions& opts) {
+  std::ostringstream out;
+  out << "graph " << opts.graph_name << " {\n"
+      << "  layout=neato; overlap=false; splines=true;\n"
+      << "  node [shape=circle, style=filled, fillcolor=\"#eeeeee\", "
+         "fontsize=10];\n";
+  for (NodeId id : g.ids()) out << "  n" << id << " [label=\"" << id << "\"];\n";
+  emit_node_positions(out, g.ids(), g.ids().empty() ? 1 : g.ids().back() + 1,
+                      opts.circular_layout);
+  for (const auto& [u, v] : g.edge_list()) {
+    out << "  n" << u << " -- n" << v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const StabEngine& eng, const DotOptions& opts) {
+  const Params& params = eng.protocol().params();
+  const EdgeClassifier classifier(eng.graph().ids(), params);
+  std::ostringstream out;
+  out << "graph " << opts.graph_name << " {\n"
+      << "  layout=neato; overlap=false; splines=true;\n"
+      << "  node [shape=circle, style=filled, fontsize=10];\n";
+  for (NodeId id : eng.graph().ids()) {
+    const auto& st = eng.state(id);
+    out << "  n" << id << " [label=\"" << id << "\\n[" << st.lo << ","
+        << st.hi << ")\"";
+    if (opts.color_phases) {
+      out << ", fillcolor=\"" << kPhaseFill[phase_index(st.phase)] << "\"";
+    }
+    out << "];\n";
+  }
+  emit_node_positions(out, eng.graph().ids(), params.n_guests,
+                      opts.circular_layout);
+  for (const auto& [u, v] : eng.graph().edge_list()) {
+    out << "  n" << u << " -- n" << v;
+    if (opts.color_edge_classes) {
+      const auto c = static_cast<std::size_t>(classifier.classify(u, v));
+      out << " [color=\"" << kEdgeColor[c] << "\", style=" << kEdgeStyle[c]
+          << "]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+void TimelineRecorder::sample(const StabEngine& eng) {
+  TimelineSample s;
+  s.round = eng.round();
+  s.edges = eng.graph().num_edges();
+  s.max_degree = eng.graph().max_degree();
+  s.messages = eng.metrics().messages();
+  std::set<NodeId> clusters;
+  for (NodeId id : eng.graph().ids()) {
+    const auto& st = eng.state(id);
+    switch (st.phase) {
+      case Phase::kCbt:
+        ++s.hosts_cbt;
+        clusters.insert(st.cluster);
+        break;
+      case Phase::kChord:
+        ++s.hosts_chord;
+        break;
+      case Phase::kDone:
+        ++s.hosts_done;
+        break;
+    }
+  }
+  s.clusters = clusters.size();
+  samples_.push_back(s);
+}
+
+std::uint64_t TimelineRecorder::run(StabEngine& eng, std::uint64_t rounds) {
+  std::uint64_t executed = 0;
+  for (; executed < rounds; ++executed) {
+    if (eng.round() % stride_ == 0) sample(eng);
+    if (is_converged(eng)) break;
+    eng.step_round();
+  }
+  if (samples_.empty() || samples_.back().round != eng.round()) sample(eng);
+  return executed;
+}
+
+std::string TimelineRecorder::to_csv() const {
+  std::ostringstream out;
+  out << "round,edges,max_degree,clusters,hosts_cbt,hosts_chord,hosts_done,"
+         "messages\n";
+  for (const auto& s : samples_) {
+    out << s.round << ',' << s.edges << ',' << s.max_degree << ','
+        << s.clusters << ',' << s.hosts_cbt << ',' << s.hosts_chord << ','
+        << s.hosts_done << ',' << s.messages << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace chs::core

@@ -1,0 +1,94 @@
+// Visualization and timeline export: Graphviz DOT snapshots of the host
+// network with edges classified against the ideal topology, and a per-round
+// timeline recorder for convergence plots.
+//
+// These are developer/operator tools — nothing in the protocol depends on
+// them — but they make the scaffolding process inspectable: a DOT snapshot
+// mid-run shows the CBT skeleton thickening into Chord fingers, and the
+// timeline CSV is what the EXPERIMENTS.md convergence plots are cut from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "graph/graph.hpp"
+
+namespace chs::core {
+
+/// How a host edge relates to the ideal Avatar(target) configuration.
+enum class EdgeClass : std::uint8_t {
+  kRing,      // successor-ring edge (finger 0 / merge-maintained ring)
+  kTree,      // CBT scaffold edge
+  kFinger,    // a kept span (finger) edge of the target
+  kTransient, // none of the above: protocol temporary or initial-config debris
+};
+
+const char* edge_class_name(EdgeClass c);
+
+/// Classifies host edges against the ideal topology for a fixed node set;
+/// construction precomputes the ideal scaffold/target graphs (O(N log N)),
+/// classification is O(log n) per edge.
+class EdgeClassifier {
+ public:
+  EdgeClassifier(std::vector<graph::NodeId> ids, const Params& params);
+  EdgeClass classify(graph::NodeId u, graph::NodeId v) const;
+
+ private:
+  std::vector<graph::NodeId> sorted_;
+  graph::Graph cbt_ideal_;
+  graph::Graph target_ideal_;
+};
+
+struct DotOptions {
+  bool color_phases = true;       // node fill from phase (CBT/CHORD/DONE)
+  bool color_edge_classes = true; // edge color/style from EdgeClass
+  bool circular_layout = true;    // pin hosts on a circle by id (neato -n)
+  std::string graph_name = "avatar";
+};
+
+/// DOT snapshot of a bare host graph (no protocol state: plain styling).
+std::string to_dot(const graph::Graph& g, const DotOptions& opts = {});
+
+/// DOT snapshot of a stabilizer engine: nodes annotated/colored by phase and
+/// responsible range, edges styled by classification.
+std::string to_dot(const StabEngine& eng, const DotOptions& opts = {});
+
+/// One sampled round of a run.
+struct TimelineSample {
+  std::uint64_t round = 0;
+  std::size_t edges = 0;
+  std::size_t max_degree = 0;
+  std::size_t clusters = 0;     // distinct cluster ids among CBT-phase hosts
+  std::size_t hosts_cbt = 0;    // phase histogram
+  std::size_t hosts_chord = 0;
+  std::size_t hosts_done = 0;
+  std::uint64_t messages = 0;   // cumulative
+};
+
+/// Records the quantities above every `stride` rounds while stepping an
+/// engine; the timeline is what convergence-shape plots are drawn from.
+class TimelineRecorder {
+ public:
+  explicit TimelineRecorder(std::uint64_t stride = 1) : stride_(stride) {}
+
+  /// Sample now (unconditionally).
+  void sample(const StabEngine& eng);
+
+  /// Step the engine `rounds` times, sampling every stride-th round;
+  /// stops early (after one final sample) once `core::is_converged`.
+  /// Returns rounds actually executed.
+  std::uint64_t run(StabEngine& eng, std::uint64_t rounds);
+
+  const std::vector<TimelineSample>& samples() const { return samples_; }
+
+  /// CSV with header; columns match TimelineSample fields.
+  std::string to_csv() const;
+
+ private:
+  std::uint64_t stride_;
+  std::vector<TimelineSample> samples_;
+};
+
+}  // namespace chs::core

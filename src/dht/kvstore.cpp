@@ -1,0 +1,321 @@
+#include "dht/kvstore.hpp"
+
+#include <algorithm>
+
+#include "stabilizer/state.hpp"
+#include "util/bitops.hpp"
+#include "util/check.hpp"
+
+namespace chs::dht {
+namespace {
+
+std::uint64_t cw(GuestId from, GuestId to, std::uint64_t n) {
+  return (to + n - from) % n;
+}
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Per-attempt client timeout: a greedy route needs at most O(log N) host
+// hops each way; 6(log N + 2) covers there-and-back with slack.
+std::uint64_t attempt_budget(std::uint64_t n_guests) {
+  return 6 * (static_cast<std::uint64_t>(util::ceil_log2(n_guests)) + 2);
+}
+
+// Hard per-message hop cap: routes that lost greedy progress (detours
+// around down hosts, below) circulate at most this long before the drop is
+// surfaced to the client as a timeout.
+std::uint32_t hop_cap(std::uint64_t n_guests) {
+  return 4 * (util::ceil_log2(n_guests) + 2);
+}
+
+// Down-aware closest-preceding-finger (same geometry as
+// routing::LookupProtocol::next_hop, restricted to hosts whose published
+// heartbeat is live). When no live neighbor precedes the target — the greedy
+// invariant is unsatisfiable because the hosts that would make progress are
+// down — fall back to the live neighbor whose representative guest is
+// ring-closest to the target in either direction. Detours can revisit hosts;
+// the hop cap bounds the walk and the client's replica retry covers the rest.
+template <typename IsLive>
+NodeId next_live_hop(const KvProtocol::NodeState& st, GuestId t,
+                     std::uint64_t n, NodeId avoid, IsLive&& is_live) {
+  if (t >= st.lo && t < st.hi) return KvProtocol::kNoneHost;
+  NodeId best_host = KvProtocol::kNoneHost;
+  std::uint64_t best_dist = ~std::uint64_t{0};
+  NodeId detour_host = KvProtocol::kNoneHost;
+  std::uint64_t detour_dist = ~std::uint64_t{0};
+  const auto consider = [&](GuestId g, NodeId host) {
+    if (host == KvProtocol::kNoneHost || !is_live(host)) return;
+    const std::uint64_t fwd = cw(g, t, n);
+    if (fwd < best_dist) {
+      best_dist = fwd;
+      best_host = host;
+    }
+    if (host != avoid) {
+      const std::uint64_t either = std::min(fwd, cw(t, g, n));
+      if (either < detour_dist) {
+        detour_dist = either;
+        detour_host = host;
+      }
+    }
+  };
+  for (const auto& level : st.fwd) {
+    for (const auto& e : level.entries()) {
+      GuestId g;
+      if (t >= e.lo && t < e.hi) {
+        g = t;
+      } else {
+        g = e.hi - 1;
+        if (cw(e.lo, t, n) < cw(g, t, n)) g = e.lo;
+      }
+      consider(g, e.value);
+    }
+  }
+  if (st.succ != KvProtocol::kNoneHost) consider(st.hi % n, st.succ);
+  return best_host != KvProtocol::kNoneHost ? best_host : detour_host;
+}
+
+}  // namespace
+
+std::uint64_t key_to_guest(std::uint64_t key, std::uint64_t n_guests) {
+  CHS_CHECK(n_guests >= 1);
+  return mix64(key * 0x9e3779b97f4a7c15ULL + 0x1357) % n_guests;
+}
+
+GuestId replica_guest(std::uint64_t key, std::uint32_t j,
+                      std::uint32_t n_replicas, std::uint64_t n_guests) {
+  CHS_CHECK(n_replicas >= 1 && j < n_replicas);
+  const std::uint64_t stride = n_guests / n_replicas;
+  return (key_to_guest(key, n_guests) + j * stride) % n_guests;
+}
+
+void KvProtocol::step(sim::NodeCtx<KvProtocol>& ctx) {
+  auto& st = ctx.state();
+  if (st.down) {
+    st.to_send.clear();  // a down host neither originates nor forwards
+    return;
+  }
+
+  const auto is_live = [&](NodeId h) {
+    if (!ctx.is_neighbor(h)) return false;
+    const auto* view = ctx.view(h);
+    return view != nullptr && !view->down;
+  };
+
+  const auto deliver_local = [&](const Message& m) {
+    switch (m.kind) {
+      case Message::Kind::kPut: {
+        st.store[m.key] = m.value;
+        ++st.served_puts;
+        Message ack;
+        ack.kind = Message::Kind::kPutAck;
+        ack.op_id = m.op_id;
+        ack.key = m.key;
+        ack.target = m.origin % n_guests_;  // a host's id lies in its range
+        ack.origin = ctx.self();
+        ack.hops = m.hops;
+        return ack;
+      }
+      case Message::Kind::kGet: {
+        ++st.served_gets;
+        Message rep;
+        rep.kind = Message::Kind::kGetReply;
+        rep.op_id = m.op_id;
+        rep.key = m.key;
+        const auto it = st.store.find(m.key);
+        rep.found = it != st.store.end();
+        if (rep.found) rep.value = it->second;
+        rep.target = m.origin % n_guests_;
+        rep.origin = ctx.self();
+        rep.hops = m.hops;
+        return rep;
+      }
+      case Message::Kind::kPutAck:
+      case Message::Kind::kGetReply:
+        st.completed.push_back(m);
+        return Message{};  // sentinel: nothing to route onward
+    }
+    return Message{};
+  };
+
+  const auto route = [&](Message m, NodeId from) {
+    while (true) {
+      if (m.target >= st.lo && m.target < st.hi) {
+        Message reply = deliver_local(m);
+        if (m.kind == Message::Kind::kPut || m.kind == Message::Kind::kGet) {
+          m = std::move(reply);  // route the ack/reply from here
+          from = ctx.self();
+          continue;
+        }
+        return;  // ack/reply consumed by the client host
+      }
+      if (m.hops >= hop_cap(n_guests_)) return;  // detoured too long: drop
+      // Prefer not to bounce straight back to the sender when detouring.
+      const NodeId next =
+          next_live_hop(st, m.target, n_guests_, /*avoid=*/from, is_live);
+      if (next == kNoneHost || next == ctx.self()) return;  // dead end: drop
+      ++m.hops;
+      ctx.send(next, m);
+      return;
+    }
+  };
+
+  for (Message& m : st.to_send) route(std::move(m), ctx.self());
+  st.to_send.clear();
+  for (const auto& env : ctx.inbox()) route(env.msg, env.from);
+}
+
+KvCluster::KvCluster(const core::StabEngine& src, std::uint32_t n_replicas,
+                     std::uint64_t seed, std::uint32_t max_message_delay)
+    : n_replicas_(n_replicas), max_delay_(max_message_delay), rng_(seed) {
+  CHS_CHECK_MSG(core::is_converged(src),
+                "KvCluster requires a converged stabilizer engine");
+  CHS_CHECK(n_replicas >= 1);
+  const std::uint64_t n = src.protocol().params().n_guests;
+  CHS_CHECK_MSG(n_replicas <= n, "more replicas than ring positions");
+  graph::Graph g(src.graph().ids());
+  for (const auto& [u, v] : src.graph().edge_list()) g.add_edge(u, v);
+  eng_ = std::make_unique<KvEngine>(std::move(g), KvProtocol(n), seed);
+  for (NodeId id : eng_->graph().ids()) {
+    const auto& from = src.state(id);
+    auto& to = eng_->state_mut(id);
+    to.lo = from.lo;
+    to.hi = from.hi;
+    to.fwd = from.fwd_maps;
+    to.succ =
+        from.succ == stabilizer::kNone ? KvProtocol::kNoneHost : from.succ;
+  }
+  eng_->set_max_message_delay(max_delay_);
+  eng_->republish();
+}
+
+NodeId KvCluster::pick_live_client() {
+  const auto& ids = eng_->graph().ids();
+  for (std::size_t attempt = 0; attempt < 4 * ids.size(); ++attempt) {
+    const NodeId h = ids[rng_.next_below(ids.size())];
+    if (!eng_->state(h).down) return h;
+  }
+  for (NodeId h : ids) {
+    if (!eng_->state(h).down) return h;
+  }
+  CHS_CHECK_MSG(false, "every host is down");
+  return KvProtocol::kNoneHost;
+}
+
+template <typename Pred>
+bool KvCluster::pump(Pred&& done, std::uint64_t budget) {
+  for (std::uint64_t r = 0; r < budget; ++r) {
+    if (done()) return true;
+    eng_->step_round();
+    ++stats_.rounds;
+  }
+  return done();
+}
+
+std::uint32_t KvCluster::put(std::uint64_t key, std::string value) {
+  using Message = KvProtocol::Message;
+  const std::uint64_t n = eng_->protocol().n_guests();
+  std::uint32_t acked = 0;
+  for (std::uint32_t j = 0; j < n_replicas_; ++j) {
+    ++stats_.puts;
+    // A failed attempt is retried once from a different entry host: a
+    // different starting point usually yields a disjoint greedy route.
+    bool ok = false;
+    for (int attempt = 0; attempt < 2 && !ok; ++attempt) {
+      const NodeId client = pick_live_client();
+      const std::uint64_t op = next_op_++;
+      Message m;
+      m.kind = Message::Kind::kPut;
+      m.op_id = op;
+      m.key = key;
+      m.value = value;
+      m.target = replica_guest(key, j, n_replicas_, n);
+      m.origin = client;
+      eng_->state_mut(client).to_send.push_back(std::move(m));
+      ok = pump(
+          [&] {
+            for (const auto& c : eng_->state(client).completed) {
+              if (c.op_id == op && c.kind == Message::Kind::kPutAck) {
+                stats_.max_hops = std::max(stats_.max_hops, c.hops);
+                return true;
+              }
+            }
+            return false;
+          },
+          attempt_budget(n) * max_delay_);
+    }
+    if (ok) {
+      ++acked;
+      ++stats_.put_acks;
+    }
+  }
+  return acked;
+}
+
+std::optional<std::string> KvCluster::get(std::uint64_t key) {
+  using Message = KvProtocol::Message;
+  const std::uint64_t n = eng_->protocol().n_guests();
+  ++stats_.gets;
+  for (std::uint32_t j = 0; j < n_replicas_; ++j) {
+    if (j > 0) ++stats_.get_retries;
+    // Two attempts per replica position from different entry hosts before
+    // falling through to the next replica.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const NodeId client = pick_live_client();
+      const std::uint64_t op = next_op_++;
+      Message m;
+      m.kind = Message::Kind::kGet;
+      m.op_id = op;
+      m.key = key;
+      m.target = replica_guest(key, j, n_replicas_, n);
+      m.origin = client;
+      eng_->state_mut(client).to_send.push_back(std::move(m));
+      std::optional<std::string> result;
+      bool answered = pump(
+          [&] {
+            for (const auto& c : eng_->state(client).completed) {
+              if (c.op_id == op && c.kind == Message::Kind::kGetReply) {
+                if (c.found) result = c.value;
+                stats_.max_hops = std::max(stats_.max_hops, c.hops);
+                return true;
+              }
+            }
+            return false;
+          },
+          attempt_budget(n) * max_delay_);
+      if (result.has_value()) {
+        ++stats_.get_hits;
+        return result;
+      }
+      // A definitive not-found from the responsible host ends this replica
+      // position; a timeout warrants the second attempt.
+      if (answered) break;
+    }
+  }
+  return std::nullopt;
+}
+
+void KvCluster::fail_host(NodeId h) {
+  eng_->state_mut(h).down = true;
+  eng_->republish();
+}
+
+void KvCluster::recover_host(NodeId h) {
+  eng_->state_mut(h).down = false;
+  eng_->republish();
+}
+
+bool KvCluster::is_down(NodeId h) const { return eng_->state(h).down; }
+
+std::vector<NodeId> KvCluster::holders(std::uint64_t key) const {
+  std::vector<NodeId> out;
+  for (NodeId id : eng_->graph().ids()) {
+    if (eng_->state(id).store.count(key) != 0) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace chs::dht

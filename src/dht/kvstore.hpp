@@ -1,0 +1,148 @@
+// A replicated key-value store running over the stabilized overlay — the
+// client application the paper's introduction motivates ("overlay networks
+// are used to organize a diverse set of processes for efficient operations
+// like searching and routing").
+//
+// The store is a pure data plane: its routing tables are snapshotted from a
+// *converged* stabilizer engine exactly like routing::LookupProtocol, and
+// every put/get travels as real messages over the built host network.
+//
+// Placement. A key hashes to a guest position key_to_guest(key); replica j
+// of R lives at replica_guest(key, j) = (key_to_guest(key) + j*N/R) mod N,
+// i.e. replicas sit at equally spaced independent ring positions (Chord
+// successor-lists would put all replicas behind one primary; spaced virtual
+// positions keep each replica reachable by an independent greedy route,
+// which is what makes failover work without a failure detector on the whole
+// path). The host responsible for that guest stores the pair.
+//
+// Failures. A host can be marked down: it stops processing messages and
+// publishes `down` so neighbors route around it (one-round-stale heartbeat
+// knowledge, the standard assumption). A get whose route dead-ends or whose
+// primary is down simply times out at the client, which retries the next
+// replica position.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "sim/engine.hpp"
+#include "util/interval_map.hpp"
+
+namespace chs::dht {
+
+using graph::NodeId;
+using topology::GuestId;
+
+/// Position of a key on the guest ring (SplitMix64 finalizer of the key).
+std::uint64_t key_to_guest(std::uint64_t key, std::uint64_t n_guests);
+
+/// Ring position of replica j in [0, n_replicas).
+GuestId replica_guest(std::uint64_t key, std::uint32_t j,
+                      std::uint32_t n_replicas, std::uint64_t n_guests);
+
+class KvProtocol {
+ public:
+  static constexpr NodeId kNoneHost = ~std::uint64_t{0};
+
+  struct Message {
+    enum class Kind : std::uint8_t { kPut, kGet, kPutAck, kGetReply };
+    Kind kind = Kind::kPut;
+    std::uint64_t op_id = 0;
+    std::uint64_t key = 0;
+    std::string value;
+    GuestId target = 0;      // ring position this message is routed to
+    NodeId origin = kNoneHost;  // client host; acks/replies route to its id
+    std::uint32_t hops = 0;
+    bool found = false;
+  };
+
+  struct NodeState {
+    std::uint64_t lo = 0, hi = 0;                // responsible range
+    std::vector<util::IntervalMap<NodeId>> fwd;  // level k: hosts of range+2^k
+    NodeId succ = kNoneHost;
+    bool down = false;
+    std::map<std::uint64_t, std::string> store;  // replicas this host holds
+    std::vector<Message> to_send;                // client ops to fire
+    // Client-side completion log: acks and replies that reached this host.
+    std::vector<Message> completed;
+    std::uint64_t served_puts = 0;  // server-side counters
+    std::uint64_t served_gets = 0;
+  };
+
+  struct PublicState {
+    bool down = false;
+  };
+
+  explicit KvProtocol(std::uint64_t n_guests) : n_guests_(n_guests) {}
+
+  std::uint64_t n_guests() const { return n_guests_; }
+
+  void init_node(NodeId, NodeState&, util::Rng&) {}
+  void publish(const NodeState& st, PublicState& pub) { pub.down = st.down; }
+  void step(sim::NodeCtx<KvProtocol>& ctx);
+
+ private:
+  std::uint64_t n_guests_;
+};
+
+using KvEngine = sim::Engine<KvProtocol>;
+
+struct KvStats {
+  std::uint64_t puts = 0, put_acks = 0;
+  std::uint64_t gets = 0, get_hits = 0, get_retries = 0;
+  std::uint64_t rounds = 0;
+  std::uint32_t max_hops = 0;
+};
+
+/// Synchronous client facade over a KvEngine: each call issues the op from a
+/// live host, steps the engine until completion or timeout, and handles
+/// replica failover. This is the public API examples use.
+class KvCluster {
+ public:
+  /// Snapshot a *converged* stabilizer engine (CHS_CHECKs convergence).
+  /// `max_message_delay` > 1 runs the data plane under the §7 bounded-
+  /// asynchrony model (each message delayed uniformly in [1, d] rounds);
+  /// client timeouts stretch accordingly.
+  KvCluster(const core::StabEngine& src, std::uint32_t n_replicas,
+            std::uint64_t seed, std::uint32_t max_message_delay = 1);
+
+  /// Store key at every replica position; returns how many replicas acked
+  /// (0 means the put failed everywhere reachable).
+  std::uint32_t put(std::uint64_t key, std::string value);
+
+  /// Read, trying replica positions in order until one answers; nullopt
+  /// when every replica timed out or answered not-found.
+  std::optional<std::string> get(std::uint64_t key);
+
+  /// Mark a host down (it keeps its data; a later recover is a warm restart).
+  void fail_host(NodeId h);
+  void recover_host(NodeId h);
+  bool is_down(NodeId h) const;
+
+  /// Hosts currently storing `key`, for tests and introspection.
+  std::vector<NodeId> holders(std::uint64_t key) const;
+
+  std::uint32_t n_replicas() const { return n_replicas_; }
+  const KvStats& stats() const { return stats_; }
+  KvEngine& engine() { return *eng_; }
+  const KvEngine& engine() const { return *eng_; }
+
+ private:
+  NodeId pick_live_client();
+  /// Run until the predicate fires or `budget` rounds pass.
+  template <typename Pred>
+  bool pump(Pred&& done, std::uint64_t budget);
+
+  std::unique_ptr<KvEngine> eng_;
+  std::uint32_t n_replicas_;
+  std::uint32_t max_delay_ = 1;
+  std::uint64_t next_op_ = 1;
+  util::Rng rng_;
+  KvStats stats_;
+};
+
+}  // namespace chs::dht

@@ -1,0 +1,124 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace chs::graph {
+namespace {
+constexpr std::uint64_t kUnreached = std::numeric_limits<std::uint64_t>::max();
+
+std::size_t component_sweep(const Graph& g, std::vector<char>* visited_out) {
+  const std::size_t n = g.size();
+  std::vector<char> visited(n, 0);
+  std::size_t components = 0;
+  std::vector<NodeIndex> stack;
+  for (NodeIndex s = 0; s < n; ++s) {
+    if (visited[s]) continue;
+    ++components;
+    stack.push_back(s);
+    visited[s] = 1;
+    while (!stack.empty()) {
+      const NodeIndex u = stack.back();
+      stack.pop_back();
+      for (NodeId vid : g.neighbors(g.id_of(u))) {
+        const NodeIndex v = g.index_of(vid);
+        if (!visited[v]) {
+          visited[v] = 1;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  if (visited_out) *visited_out = std::move(visited);
+  return components;
+}
+}  // namespace
+
+bool is_connected(const Graph& g) {
+  if (g.size() <= 1) return true;
+  return component_sweep(g, nullptr) == 1;
+}
+
+std::size_t num_components(const Graph& g) { return component_sweep(g, nullptr); }
+
+std::vector<std::uint64_t> bfs_distances(const Graph& g, NodeId source) {
+  std::vector<std::uint64_t> dist(g.size(), kUnreached);
+  std::queue<NodeIndex> q;
+  const NodeIndex s = g.index_of(source);
+  dist[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const NodeIndex u = q.front();
+    q.pop();
+    for (NodeId vid : g.neighbors(g.id_of(u))) {
+      const NodeIndex v = g.index_of(vid);
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint64_t eccentricity(const Graph& g, NodeId source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint64_t ecc = 0;
+  for (std::uint64_t d : dist) {
+    CHS_CHECK_MSG(d != kUnreached, "eccentricity on disconnected graph");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint64_t diameter(const Graph& g) {
+  std::uint64_t best = 0;
+  for (NodeId id : g.ids()) best = std::max(best, eccentricity(g, id));
+  return best;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  if (g.size() == 0) return s;
+  s.min = std::numeric_limits<std::size_t>::max();
+  std::size_t total = 0;
+  for (NodeId id : g.ids()) {
+    const std::size_t d = g.degree(id);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    total += d;
+  }
+  s.mean = static_cast<double>(total) / static_cast<double>(g.size());
+  return s;
+}
+
+double reachable_pair_fraction(const Graph& g) {
+  const std::size_t n = g.size();
+  if (n <= 1) return 1.0;
+  std::uint64_t reachable = 0;
+  for (NodeId id : g.ids()) {
+    for (std::uint64_t d : bfs_distances(g, id)) {
+      if (d != kUnreached && d != 0) ++reachable;
+    }
+  }
+  return static_cast<double>(reachable) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+Graph remove_nodes(const Graph& g, const std::vector<NodeId>& victims) {
+  std::unordered_set<NodeId> dead(victims.begin(), victims.end());
+  std::vector<NodeId> keep;
+  keep.reserve(g.size());
+  for (NodeId id : g.ids())
+    if (!dead.count(id)) keep.push_back(id);
+  Graph out(keep);
+  for (const auto& [u, v] : g.edge_list())
+    if (!dead.count(u) && !dead.count(v)) out.add_edge(u, v);
+  return out;
+}
+
+}  // namespace chs::graph

@@ -1,0 +1,40 @@
+// Whole-graph analysis used by legality checkers, experiments, and tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace chs::graph {
+
+/// True iff the graph is connected (trivially true for <= 1 node).
+bool is_connected(const Graph& g);
+
+/// Connected component count.
+std::size_t num_components(const Graph& g);
+
+/// BFS distances (in hops) from source; unreachable nodes get UINT64_MAX.
+std::vector<std::uint64_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Exact eccentricity of `source` (max BFS distance; graph must be connected).
+std::uint64_t eccentricity(const Graph& g, NodeId source);
+
+/// Exact diameter via all-pairs BFS — O(V * E), only for test-sized graphs.
+std::uint64_t diameter(const Graph& g);
+
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+};
+DegreeStats degree_stats(const Graph& g);
+
+/// Fraction of ordered node pairs (u, v), u != v, with v reachable from u
+/// — 1.0 for a connected graph; used by the robustness experiment (E7).
+double reachable_pair_fraction(const Graph& g);
+
+/// Copy of g with the given nodes (and incident edges) removed.
+Graph remove_nodes(const Graph& g, const std::vector<NodeId>& victims);
+
+}  // namespace chs::graph

@@ -1,0 +1,147 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace chs::graph {
+
+std::vector<NodeId> sample_ids(std::size_t n, std::uint64_t id_space,
+                               util::Rng& rng) {
+  CHS_CHECK_MSG(n <= id_space, "more hosts than identifiers");
+  if (n == id_space) {
+    std::vector<NodeId> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+    return ids;
+  }
+  // Floyd's algorithm: n distinct samples without replacement.
+  std::unordered_set<NodeId> chosen;
+  chosen.reserve(n * 2);
+  for (std::uint64_t j = id_space - n; j < id_space; ++j) {
+    const NodeId t = rng.next_below(j + 1);
+    chosen.insert(chosen.count(t) ? j : t);
+  }
+  std::vector<NodeId> ids(chosen.begin(), chosen.end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Graph make_line(std::vector<NodeId> ids) {
+  Graph g(std::move(ids));
+  const auto& v = g.ids();
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) g.add_edge(v[i], v[i + 1]);
+  return g;
+}
+
+Graph make_ring(std::vector<NodeId> ids) {
+  Graph g = make_line(std::move(ids));
+  const auto& v = g.ids();
+  if (v.size() > 2) g.add_edge(v.front(), v.back());
+  return g;
+}
+
+Graph make_star(std::vector<NodeId> ids) {
+  Graph g(std::move(ids));
+  const auto& v = g.ids();
+  for (std::size_t i = 1; i < v.size(); ++i) g.add_edge(v[0], v[i]);
+  return g;
+}
+
+Graph make_clique(std::vector<NodeId> ids) {
+  Graph g(std::move(ids));
+  const auto& v = g.ids();
+  for (std::size_t i = 0; i < v.size(); ++i)
+    for (std::size_t j = i + 1; j < v.size(); ++j) g.add_edge(v[i], v[j]);
+  return g;
+}
+
+Graph make_balanced_tree(std::vector<NodeId> ids) {
+  Graph g(std::move(ids));
+  const auto& v = g.ids();
+  for (std::size_t i = 1; i < v.size(); ++i) g.add_edge(v[i], v[(i - 1) / 2]);
+  return g;
+}
+
+Graph make_random_tree(std::vector<NodeId> ids, util::Rng& rng) {
+  Graph g(std::move(ids));
+  const auto& v = g.ids();
+  // Random attachment: node i joins a uniformly random earlier node, after a
+  // random shuffle so tree shape does not correlate with id order.
+  std::vector<std::size_t> order(v.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    g.add_edge(v[order[i]], v[order[rng.next_below(i)]]);
+  return g;
+}
+
+Graph make_connected_gnp(std::vector<NodeId> ids, double p, util::Rng& rng) {
+  Graph g = make_random_tree(std::move(ids), rng);
+  const auto& v = g.ids();
+  for (std::size_t i = 0; i < v.size(); ++i)
+    for (std::size_t j = i + 1; j < v.size(); ++j)
+      if (rng.next_double() < p) g.add_edge(v[i], v[j]);
+  return g;
+}
+
+Graph make_lollipop(std::vector<NodeId> ids, double clique_fraction) {
+  Graph g(std::move(ids));
+  const auto& v = g.ids();
+  const std::size_t k = std::max<std::size_t>(
+      2, static_cast<std::size_t>(clique_fraction * static_cast<double>(v.size())));
+  const std::size_t head = std::min(k, v.size());
+  for (std::size_t i = 0; i < head; ++i)
+    for (std::size_t j = i + 1; j < head; ++j) g.add_edge(v[i], v[j]);
+  for (std::size_t i = head; i < v.size(); ++i) g.add_edge(v[i - 1], v[i]);
+  return g;
+}
+
+Graph make_kneighbor_ring(std::vector<NodeId> ids, std::size_t k) {
+  Graph g(std::move(ids));
+  const auto& v = g.ids();
+  if (v.size() < 2) return g;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    for (std::size_t d = 1; d <= k; ++d)
+      g.add_edge(v[i], v[(i + d) % v.size()]);
+  return g;
+}
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kLine: return "line";
+    case Family::kRing: return "ring";
+    case Family::kStar: return "star";
+    case Family::kRandomTree: return "random_tree";
+    case Family::kConnectedGnp: return "connected_gnp";
+    case Family::kLollipop: return "lollipop";
+    case Family::kKNeighborRing: return "kneighbor_ring";
+  }
+  return "?";
+}
+
+std::vector<Family> all_families() {
+  return {Family::kLine,     Family::kRing,         Family::kStar,
+          Family::kRandomTree, Family::kConnectedGnp, Family::kLollipop,
+          Family::kKNeighborRing};
+}
+
+Graph make_family(Family f, std::vector<NodeId> ids, util::Rng& rng) {
+  switch (f) {
+    case Family::kLine: return make_line(std::move(ids));
+    case Family::kRing: return make_ring(std::move(ids));
+    case Family::kStar: return make_star(std::move(ids));
+    case Family::kRandomTree: return make_random_tree(std::move(ids), rng);
+    case Family::kConnectedGnp: {
+      const double p = std::min(1.0, 4.0 / static_cast<double>(ids.size()));
+      return make_connected_gnp(std::move(ids), p, rng);
+    }
+    case Family::kLollipop: return make_lollipop(std::move(ids), 0.25);
+    case Family::kKNeighborRing: return make_kneighbor_ring(std::move(ids), 3);
+  }
+  CHS_CHECK_MSG(false, "unknown family");
+  return Graph{};
+}
+
+}  // namespace chs::graph

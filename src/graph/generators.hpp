@@ -1,0 +1,63 @@
+// Generators for initial configurations.
+//
+// Self-stabilization is quantified over *every* weakly-connected initial
+// topology; the experiments sample adversarially-shaped families that stress
+// different aspects of the algorithm:
+//   line / lollipop — Θ(n) diameter (worst case for information spread),
+//   star            — Θ(n) degree at one node (worst case for degree metrics),
+//   random tree     — sparse, irregular,
+//   connected G(n,p)— dense, low diameter,
+//   kneighbor ring  — regular with locality.
+// All generators are deterministic in (ids, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace chs::graph {
+
+/// Sample n distinct host ids uniformly from [0, id_space). If n == id_space
+/// the result is simply 0..id_space-1.
+std::vector<NodeId> sample_ids(std::size_t n, std::uint64_t id_space,
+                               util::Rng& rng);
+
+Graph make_line(std::vector<NodeId> ids);
+Graph make_ring(std::vector<NodeId> ids);
+Graph make_star(std::vector<NodeId> ids);          // first id is the hub
+Graph make_clique(std::vector<NodeId> ids);
+Graph make_balanced_tree(std::vector<NodeId> ids);  // array-heap shape
+
+/// Uniform random labeled tree (random Prüfer-like attachment).
+Graph make_random_tree(std::vector<NodeId> ids, util::Rng& rng);
+
+/// G(n, p) conditioned on connectivity: edges sampled independently, then a
+/// random spanning tree is added to guarantee connectivity.
+Graph make_connected_gnp(std::vector<NodeId> ids, double p, util::Rng& rng);
+
+/// Clique of ceil(fraction * n) nodes with a path hanging off it — the
+/// classic "lollipop" that combines high degree and high diameter.
+Graph make_lollipop(std::vector<NodeId> ids, double clique_fraction);
+
+/// Ring where each node also links to its k nearest successors.
+Graph make_kneighbor_ring(std::vector<NodeId> ids, std::size_t k);
+
+/// Named family dispatch used by the experiment sweeps.
+enum class Family {
+  kLine,
+  kRing,
+  kStar,
+  kRandomTree,
+  kConnectedGnp,
+  kLollipop,
+  kKNeighborRing,
+};
+
+const char* family_name(Family f);
+std::vector<Family> all_families();
+Graph make_family(Family f, std::vector<NodeId> ids, util::Rng& rng);
+
+}  // namespace chs::graph

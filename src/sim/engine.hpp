@@ -1,0 +1,339 @@
+// Synchronous message-passing overlay-network simulator (§2.1 of the paper).
+//
+// Computation proceeds in synchronous rounds. In round r each node
+//   1. receives every message sent to it in round r-1,
+//   2. reads the *previous-round* public state of each current neighbor
+//      (the paper's "nodes exchange their local state" — see DESIGN.md D4),
+//   3. executes protocol actions: mutate its own state, send messages to
+//      current neighbors, and request edge mutations.
+// Edge mutations follow the overlay model: a node may delete any incident
+// edge, and may *introduce* two of its current neighbors to each other
+// (creating the edge between them). All sends and mutations are validated
+// against the topology as it stood at the start of the round and applied
+// between rounds, so the round is atomic and order-independent.
+//
+// The engine is templated on a Protocol type providing:
+//   struct Message;                          // copyable payload
+//   struct NodeState;                        // full per-node state
+//   struct PublicState;                      // the part neighbors can read
+//   void init_node(NodeId, NodeState&, util::Rng&);
+//   void publish(const NodeState&, PublicState&);
+//   void step(NodeCtx<Protocol>&);           // one round for one node
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace chs::sim {
+
+using graph::NodeId;
+using graph::NodeIndex;
+
+template <typename M>
+struct Envelope {
+  NodeId from;
+  M msg;
+};
+
+template <typename P>
+class Engine;
+
+/// Per-node, per-round view handed to Protocol::step.
+template <typename P>
+class NodeCtx {
+ public:
+  using Message = typename P::Message;
+  using NodeState = typename P::NodeState;
+  using PublicState = typename P::PublicState;
+
+  NodeId self() const { return self_; }
+  std::uint64_t round() const { return round_; }
+  NodeState& state() { return *state_; }
+  const NodeState& state() const { return *state_; }
+  util::Rng& rng() { return *rng_; }
+
+  /// Messages delivered this round (sent last round), sender order.
+  std::span<const Envelope<Message>> inbox() const { return inbox_; }
+
+  /// Neighbor ids as of the start of this round (sorted).
+  const std::vector<NodeId>& neighbors() const { return *neighbors_; }
+
+  bool is_neighbor(NodeId v) const {
+    return std::binary_search(neighbors_->begin(), neighbors_->end(), v);
+  }
+
+  /// Previous-round public state of neighbor v; null if v is not a neighbor.
+  const PublicState* view(NodeId v) const {
+    if (!is_neighbor(v)) return nullptr;
+    return engine_->public_state_ptr(v);
+  }
+
+  /// Send a message over an existing edge; delivered next round.
+  void send(NodeId to, Message m) { engine_->queue_send(self_, to, std::move(m)); }
+
+  /// Deliver a message to self after `delay` rounds (>= 1). Used to pace
+  /// multi-guest-level wave processing inside one host (DESIGN.md D2).
+  void hold(Message m, std::uint64_t delay) {
+    CHS_CHECK(delay >= 1);
+    engine_->queue_hold(self_, round_ + delay, std::move(m));
+  }
+
+  /// Connect two of this node's current neighbors by a new logical edge.
+  void introduce(NodeId a, NodeId b, const char* site = "?") {
+    engine_->queue_introduce(self_, a, b, site);
+  }
+
+  /// Delete the edge between self and v.
+  void disconnect(NodeId v, const char* site = "?") {
+    engine_->queue_disconnect(self_, v, site);
+  }
+
+  /// Debug: who last requested deletion of edge (self, v), if recorded.
+  const char* last_delete_site(NodeId v) const {
+    return engine_->last_delete_site(self_, v);
+  }
+
+ private:
+  friend class Engine<P>;
+  NodeId self_ = 0;
+  std::uint64_t round_ = 0;
+  NodeState* state_ = nullptr;
+  util::Rng* rng_ = nullptr;
+  std::span<const Envelope<Message>> inbox_;
+  const std::vector<NodeId>* neighbors_ = nullptr;
+  Engine<P>* engine_ = nullptr;
+};
+
+template <typename P>
+class Engine {
+ public:
+  using Message = typename P::Message;
+  using NodeState = typename P::NodeState;
+  using PublicState = typename P::PublicState;
+
+  Engine(graph::Graph g, P protocol, std::uint64_t seed)
+      : graph_(std::move(g)), protocol_(std::move(protocol)), root_rng_(seed) {
+    const std::size_t n = graph_.size();
+    states_.resize(n);
+    publics_.resize(n);
+    inboxes_.resize(n);
+    delayed_.resize(n);
+    holds_.resize(n);
+    rngs_.reserve(n);
+    for (NodeIndex i = 0; i < n; ++i) {
+      rngs_.push_back(root_rng_.split(graph_.id_of(i)));
+      protocol_.init_node(graph_.id_of(i), states_[i], rngs_[i]);
+    }
+    republish();
+    metrics_.observe_initial(graph_);
+  }
+
+  const graph::Graph& graph() const { return graph_; }
+  P& protocol() { return protocol_; }
+  const P& protocol() const { return protocol_; }
+  std::uint64_t round() const { return round_; }
+  RunMetrics& metrics() { return metrics_; }
+  const RunMetrics& metrics() const { return metrics_; }
+
+  NodeState& state_mut(NodeId id) { return states_[graph_.index_of(id)]; }
+  const NodeState& state(NodeId id) const { return states_[graph_.index_of(id)]; }
+
+  /// Refresh public snapshots after external (fault-injection) mutation.
+  void republish() {
+    for (NodeIndex i = 0; i < graph_.size(); ++i)
+      protocol_.publish(states_[i], publics_[i]);
+  }
+
+  /// Direct topology mutation for fault injection; bypasses overlay rules.
+  bool inject_edge(NodeId u, NodeId v) { return graph_.add_edge(u, v); }
+  bool inject_edge_removal(NodeId u, NodeId v) { return graph_.remove_edge(u, v); }
+
+  /// Asynchrony model (§7 future work): each message is delayed uniformly
+  /// in [1, d] rounds instead of exactly 1. Channels stay reliable and
+  /// FIFO-per-round; protocol budgets should be scaled via
+  /// Params::delay_slack to match.
+  void set_max_message_delay(std::uint32_t d) {
+    CHS_CHECK(d >= 1);
+    max_delay_ = d;
+  }
+
+  /// Execute one synchronous round.
+  void step_round() {
+    const std::size_t n = graph_.size();
+    round_actions_ = 0;
+    deliveries_this_round_ = 0;
+
+    // Release held self-messages and delayed deliveries due this round.
+    for (NodeIndex i = 0; i < n; ++i) {
+      auto it = holds_[i].find(round_);
+      if (it != holds_[i].end()) {
+        for (auto& m : it->second) {
+          inboxes_[i].push_back(Envelope<Message>{graph_.id_of(i), std::move(m)});
+          ++deliveries_this_round_;
+        }
+        holds_[i].erase(it);
+      }
+      auto dt = delayed_[i].find(round_);
+      if (dt != delayed_[i].end()) {
+        for (auto& env : dt->second) {
+          inboxes_[i].push_back(std::move(env));
+          ++deliveries_this_round_;
+        }
+        delayed_[i].erase(dt);
+      }
+    }
+
+    // Step every node against the start-of-round topology and snapshots.
+    for (NodeIndex i = 0; i < n; ++i) {
+      NodeCtx<P> ctx;
+      ctx.self_ = graph_.id_of(i);
+      ctx.round_ = round_;
+      ctx.state_ = &states_[i];
+      ctx.rng_ = &rngs_[i];
+      ctx.inbox_ = std::span<const Envelope<Message>>(inboxes_[i]);
+      ctx.neighbors_ = &graph_.neighbors(ctx.self_);
+      ctx.engine_ = this;
+      protocol_.step(ctx);
+      inboxes_[i].clear();
+    }
+
+    // Apply deferred edge mutations (adds win over concurrent deletes of the
+    // same pair only if requested by distinct pairs; we apply deletes first
+    // so an introduce in the same round re-creates deliberately).
+    for (std::size_t di = 0; di < pending_deletes_.size(); ++di) {
+      const auto& [u, v] = pending_deletes_[di];
+      if (graph_.remove_edge(u, v)) {
+        metrics_.count_edge_del();
+        last_delete_[std::minmax(u, v)] = pending_delete_sites_[di];
+      }
+    }
+    pending_delete_sites_.clear();
+    for (const auto& [u, v] : pending_adds_) {
+      if (graph_.add_edge(u, v)) metrics_.count_edge_add();
+    }
+    pending_deletes_.clear();
+    pending_adds_.clear();
+
+    // Publish states for next round's neighbor views.
+    republish();
+
+    for (auto& box : inboxes_) box.clear();
+
+    metrics_.observe_round(graph_, round_actions_);
+    if (round_actions_ == 0 && deliveries_this_round_ == 0 && !holds_pending()) {
+      ++quiescent_streak_;
+    } else {
+      quiescent_streak_ = 0;
+    }
+    ++round_;
+  }
+
+  /// Consecutive fully-silent rounds (no deliveries, holds, or actions).
+  std::uint64_t quiescent_streak() const { return quiescent_streak_; }
+
+  /// Run until `done(*this)` holds or max_rounds elapse. Returns the number
+  /// of rounds executed and whether the predicate was satisfied.
+  template <typename Pred>
+  std::pair<std::uint64_t, bool> run_until(Pred&& done, std::uint64_t max_rounds) {
+    const std::uint64_t start = round_;
+    while (round_ - start < max_rounds) {
+      if (done(*this)) return {round_ - start, true};
+      step_round();
+    }
+    return {round_ - start, done(*this)};
+  }
+
+ private:
+  friend class NodeCtx<P>;
+
+  const PublicState* public_state_ptr(NodeId v) const {
+    return &publics_[graph_.index_of(v)];
+  }
+
+  void queue_send(NodeId from, NodeId to, Message m) {
+    CHS_CHECK_MSG(graph_.has_edge(from, to) || from == to,
+                  "send over non-existent edge");
+    const std::uint64_t delay =
+        max_delay_ == 1 ? 1 : 1 + root_rng_.next_below(max_delay_);
+    delayed_[graph_.index_of(to)][round_ + delay].push_back(
+        Envelope<Message>{from, std::move(m)});
+    metrics_.count_message();
+    ++round_actions_;
+  }
+
+  void queue_hold(NodeId self, std::uint64_t due_round, Message m) {
+    holds_[graph_.index_of(self)][due_round].push_back(std::move(m));
+    ++round_actions_;
+  }
+
+  void queue_introduce(NodeId self, NodeId a, NodeId b, const char* site = "?") {
+    CHS_CHECK_MSG(a != b, "introduce(a, a)");
+    const bool a_ok = a == self || graph_.has_edge(self, a);
+    const bool b_ok = b == self || graph_.has_edge(self, b);
+    if (!(a_ok && b_ok)) {
+      std::fprintf(stderr,
+                   "introduce of non-neighbors: self=%llu a=%llu(%d) "
+                   "b=%llu(%d) round=%llu site=%s\n",
+                   static_cast<unsigned long long>(self),
+                   static_cast<unsigned long long>(a), int(a_ok),
+                   static_cast<unsigned long long>(b), int(b_ok),
+                   static_cast<unsigned long long>(round_), site);
+      CHS_CHECK_MSG(false, "introduce of non-neighbors");
+    }
+    pending_adds_.emplace_back(a, b);
+    ++round_actions_;
+  }
+
+  void queue_disconnect(NodeId self, NodeId v, const char* site = "?") {
+    // The edge may have been deleted by the other endpoint in an earlier
+    // round; tolerate (the request is then a no-op).
+    pending_deletes_.emplace_back(self, v);
+    pending_delete_sites_.push_back(site);
+    ++round_actions_;
+  }
+
+  const char* last_delete_site(NodeId a, NodeId b) {
+    auto it = last_delete_.find(std::minmax(a, b));
+    return it == last_delete_.end() ? "(none)" : it->second;
+  }
+
+  bool holds_pending() const {
+    for (const auto& h : holds_)
+      if (!h.empty()) return true;
+    for (const auto& d : delayed_)
+      if (!d.empty()) return true;
+    return false;
+  }
+
+  graph::Graph graph_;
+  P protocol_;
+  util::Rng root_rng_;
+  std::vector<NodeState> states_;
+  std::vector<PublicState> publics_;
+  std::vector<std::vector<Envelope<Message>>> inboxes_;
+  std::vector<std::map<std::uint64_t, std::vector<Envelope<Message>>>> delayed_;
+  std::vector<std::map<std::uint64_t, std::vector<Message>>> holds_;
+  std::vector<util::Rng> rngs_;
+  std::vector<std::pair<NodeId, NodeId>> pending_adds_;
+  std::vector<std::pair<NodeId, NodeId>> pending_deletes_;
+  std::vector<const char*> pending_delete_sites_;
+  std::map<std::pair<NodeId, NodeId>, const char*> last_delete_;
+  RunMetrics metrics_;
+  std::uint32_t max_delay_ = 1;
+  std::uint64_t round_ = 0;
+  std::uint64_t round_actions_ = 0;
+  std::uint64_t deliveries_this_round_ = 0;
+  std::uint64_t quiescent_streak_ = 0;
+};
+
+}  // namespace chs::sim

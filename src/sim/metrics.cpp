@@ -1,0 +1,25 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace chs::sim {
+
+void RunMetrics::observe_initial(const graph::Graph& g) {
+  initial_max_degree_ = g.max_degree();
+  peak_max_degree_ = initial_max_degree_;
+}
+
+void RunMetrics::observe_round(const graph::Graph& g, std::uint64_t /*actions*/) {
+  ++rounds_;
+  const std::size_t d = g.max_degree();
+  peak_max_degree_ = std::max(peak_max_degree_, d);
+  trace_.push_back(d);
+}
+
+double RunMetrics::degree_expansion(const graph::Graph& final_graph) const {
+  const std::size_t baseline =
+      std::max<std::size_t>(1, std::max(initial_max_degree_, final_graph.max_degree()));
+  return static_cast<double>(peak_max_degree_) / static_cast<double>(baseline);
+}
+
+}  // namespace chs::sim

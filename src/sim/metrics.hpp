@@ -1,0 +1,51 @@
+// Run metrics: the two quantities the paper analyzes (§2.2) plus counters.
+//
+// Convergence time  — rounds until the legality predicate holds (tracked by
+//                     the caller via Engine::run_until).
+// Degree expansion  — max degree of any node *during* the run divided by
+//                     max(initial max degree, final max degree). A value of
+//                     1.0 means the protocol never exceeded the degrees the
+//                     configuration itself required.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace chs::sim {
+
+class RunMetrics {
+ public:
+  void observe_initial(const graph::Graph& g);
+  void observe_round(const graph::Graph& g, std::uint64_t actions);
+
+  void count_message() { ++messages_; }
+  void count_edge_add() { ++edge_adds_; }
+  void count_edge_del() { ++edge_dels_; }
+
+  std::uint64_t messages() const { return messages_; }
+  std::uint64_t edge_adds() const { return edge_adds_; }
+  std::uint64_t edge_dels() const { return edge_dels_; }
+  std::uint64_t rounds() const { return rounds_; }
+
+  std::size_t initial_max_degree() const { return initial_max_degree_; }
+  std::size_t peak_max_degree() const { return peak_max_degree_; }
+
+  /// §2.2 degree expansion given the final topology.
+  double degree_expansion(const graph::Graph& final_graph) const;
+
+  /// Per-round max degree trace (index 0 = after the first round).
+  const std::vector<std::size_t>& max_degree_trace() const { return trace_; }
+
+ private:
+  std::uint64_t messages_ = 0;
+  std::uint64_t edge_adds_ = 0;
+  std::uint64_t edge_dels_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::size_t initial_max_degree_ = 0;
+  std::size_t peak_max_degree_ = 0;
+  std::vector<std::size_t> trace_;
+};
+
+}  // namespace chs::sim

@@ -1,0 +1,242 @@
+// Matching epochs between clusters (§3.2 "Matching").
+//
+// Each cluster root runs fixed-length epochs on its own clock. An epoch:
+//   1. Poll wave over the cluster: count external edges, sample one
+//      uniformly (weighted reservoir up the tree).
+//   2. Zero externals => the cluster spans the connected network: start the
+//      kPhaseChord wave and move to the target-construction phase.
+//   3. Otherwise flip a fair coin. A *follower* routes a merge request along
+//      the sampled external edge to the foreign cluster's root; every relay
+//      hop introduces the next holder to the follower root, so the request's
+//      final recipient holds a direct edge to it (pointer forwarding). A
+//      *leader* collects the requests that reach it, pairs them up,
+//      introduces the paired follower roots to each other and grants the
+//      match; an odd request is matched with the leader itself.
+// Matched roots run a propose/ack handshake (serializing: a cluster merges
+// with at most one partner at a time) and enter the zip (merge.cpp).
+#include <algorithm>
+
+#include "stabilizer/protocol.hpp"
+#include "util/log.hpp"
+
+namespace chs::stabilizer {
+
+void Protocol::epoch_tick(Ctx& ctx) {
+  HostState& st = ctx.state();
+  if (st.phase != Phase::kCbt) return;
+  if (!st.is_root()) {
+    // Only roots run epochs; stale epoch state on a demoted root is cleared.
+    if (st.epoch.role != EpochRole::kIdle) st.epoch = EpochFsm{};
+    return;
+  }
+  if (st.merge.stage != MergeStage::kNone) return;  // busy merging
+
+  if (st.epoch.timer > 0) --st.epoch.timer;
+
+  // Leaders pair their followers shortly before the epoch closes so that the
+  // grant/propose/ack handshake still fits inside it.
+  if (st.epoch.role == EpochRole::kLeadCollect &&
+      st.epoch.timer == params_.log_n_plus_1()) {
+    lead_match(ctx);
+  }
+
+  if (st.epoch.timer == 0) {
+    // Epoch over: drop request-chain temporaries and start the next one.
+    st.epoch.requests.clear();
+    st.epoch.granted_peer = kNone;
+    start_epoch(ctx);
+  }
+}
+
+void Protocol::start_epoch(Ctx& ctx) {
+  HostState& st = ctx.state();
+  ++st.epoch.nonce;
+  st.epoch.role = EpochRole::kPolling;
+  // Randomized epoch length. With a fixed length, two surviving clusters
+  // keep a *constant* relative phase forever (both clocks tick identically),
+  // so if the relay latency of a merge request happens to land in the
+  // peer's dead window (it is itself following, or its pairing moment has
+  // passed), it lands there in every subsequent epoch — a deterministic
+  // livelock observed in practice with exactly two clusters left. The
+  // jitter re-draws the relative phase every epoch, which is what makes
+  // "a cluster is matched with constant probability per epoch" (the paper's
+  // Theorem 1 intuition) actually independent across epochs. The jitter is
+  // O(log N) rounds, so epoch lengths stay Θ(log N).
+  st.epoch.timer = params_.epoch_rounds() +
+                   ctx.rng().next_below(params_.epoch_jitter_rounds() + 1);
+  start_wave(ctx, WaveId{WaveKind::kPoll, st.epoch.nonce, 0});
+}
+
+void Protocol::poll_completed(Ctx& ctx, const WaveAgg& agg) {
+  HostState& st = ctx.state();
+  if (st.epoch.role != EpochRole::kPolling) return;  // stale wave
+  if (!agg.ok) {
+    st.epoch.role = EpochRole::kIdle;
+    return;
+  }
+  if (agg.ext_count == 0) {
+    // The cluster has no edge leaving it; since the network is connected the
+    // cluster spans it — the scaffold is complete. Begin phase CHORD.
+    start_wave(ctx, WaveId{WaveKind::kPhaseChord, st.epoch.nonce, 0});
+    return;
+  }
+  if (agg.cand_owner == kNone) {
+    st.epoch.role = EpochRole::kIdle;
+    return;
+  }
+  const bool leader =
+      ctx.rng().next_below(65536) < params_.leader_prob_u16;
+  if (leader) {
+    st.epoch.role = EpochRole::kLeadCollect;
+    st.epoch.requests.clear();
+    return;
+  }
+  st.epoch.role = EpochRole::kFollowWait;
+  // Retrace toward the owner of the sampled external edge, starting at my
+  // own root fragment.
+  handle_follow_go(ctx, MFollowGo{st.epoch.nonce, st.id, guest_root()}, st.id);
+}
+
+void Protocol::handle_follow_go(Ctx& ctx, const MFollowGo& m, NodeId from) {
+  HostState& st = ctx.state();
+  (void)from;
+  if (st.phase != Phase::kCbt) { CHS_LOG_DEBUG("fgo: phase host=%llu", (unsigned long long)st.id); return; }
+  auto wit = st.waves.find(WaveId{WaveKind::kPoll, m.nonce, 0});
+  if (wit == st.waves.end()) { CHS_LOG_DEBUG("fgo: no wave host=%llu", (unsigned long long)st.id); return; }
+  auto fit = wit->second.frags.find(m.entry);
+  if (fit == wit->second.frags.end() || !fit->second.completed) { CHS_LOG_DEBUG("fgo: frag host=%llu entry=%llu", (unsigned long long)st.id, (unsigned long long)m.entry); return; }
+  const FragWave& fw = fit->second;
+  if (fw.cand_via_child == kNone) {
+    // I own the sampled external edge: cross it. The foreign host must be
+    // able to relay the follower root onward, so introduce them.
+    if (fw.agg.cand_owner != st.id) { CHS_LOG_DEBUG("fgo: stale owner host=%llu", (unsigned long long)st.id); return; }  // stale retrace
+    const NodeId foreign = fw.agg.cand_foreign;
+    if (!ctx.is_neighbor(foreign)) { CHS_LOG_DEBUG("fgo: foreign gone host=%llu", (unsigned long long)st.id); return; }
+    if (m.froot != st.id && !ctx.is_neighbor(m.froot)) { CHS_LOG_DEBUG("fgo: froot edge gone host=%llu", (unsigned long long)st.id); return; }
+    if (m.froot != st.id && m.froot != foreign) ctx.introduce(foreign, m.froot, "cluster:0");
+    ctx.send(foreign, MMergeReqHop{m.froot});
+    CHS_LOG_DEBUG("fgo: crossed host=%llu foreign=%llu froot=%llu", (unsigned long long)st.id, (unsigned long long)foreign, (unsigned long long)m.froot);
+    return;
+  }
+  auto bit = st.boundary_host.find(fw.cand_via_child);
+  if (bit == st.boundary_host.end() || !ctx.is_neighbor(bit->second)) { CHS_LOG_DEBUG("fgo: boundary gone host=%llu", (unsigned long long)st.id); return; }
+  if (m.froot != st.id && !ctx.is_neighbor(m.froot)) { CHS_LOG_DEBUG("fgo: froot edge gone2 host=%llu", (unsigned long long)st.id); return; }
+  if (m.froot != st.id && m.froot != bit->second) {
+    ctx.introduce(bit->second, m.froot, "cluster:1");
+  }
+  ctx.send(bit->second, MFollowGo{m.nonce, m.froot, fw.cand_via_child});
+}
+
+void Protocol::handle_merge_req_hop(Ctx& ctx, const MMergeReqHop& m, NodeId from) {
+  HostState& st = ctx.state();
+  (void)from;
+  if (st.phase != Phase::kCbt) { CHS_LOG_DEBUG("hop: phase host=%llu", (unsigned long long)st.id); return; }
+  if (m.froot == kNone) return;
+  if (st.is_root()) {
+    CHS_LOG_DEBUG("hop: AT ROOT host=%llu role=%s froot=%llu", (unsigned long long)st.id, epoch_role_name(st.epoch.role), (unsigned long long)m.froot);
+    if (st.epoch.role == EpochRole::kLeadCollect &&
+        st.merge.stage == MergeStage::kNone && m.froot != st.id) {
+      if (!std::count(st.epoch.requests.begin(), st.epoch.requests.end(),
+                      m.froot)) {
+        st.epoch.requests.push_back(m.froot);
+      }
+    }
+    return;
+  }
+  // Relay up my cluster tree, keeping the follower root directly connected
+  // to the message holder.
+  const GuestId top = topmost_entry(st);
+  auto pit = st.parent_host.find(top);
+  if (pit == st.parent_host.end() || !ctx.is_neighbor(pit->second)) { CHS_LOG_DEBUG("hop: parent gone host=%llu top=%llu", (unsigned long long)st.id, (unsigned long long)top); return; }
+  if (m.froot != st.id && !ctx.is_neighbor(m.froot)) { CHS_LOG_DEBUG("hop: froot edge gone host=%llu", (unsigned long long)st.id); return; }
+  if (m.froot != st.id && m.froot != pit->second) {
+    ctx.introduce(pit->second, m.froot, "cluster:2");
+  }
+  ctx.send(pit->second, MMergeReqHop{m.froot});
+}
+
+void Protocol::lead_match(Ctx& ctx) {
+  HostState& st = ctx.state();
+  auto& reqs = st.epoch.requests;
+  // Deterministic pairing of the collected follower roots. The follower
+  // roots all hold direct edges to me (pointer forwarding), so I may
+  // introduce any two of them to each other.
+  std::sort(reqs.begin(), reqs.end());
+  reqs.erase(std::unique(reqs.begin(), reqs.end()), reqs.end());
+  std::size_t i = 0;
+  for (; i + 1 < reqs.size(); i += 2) {
+    const NodeId f1 = reqs[i], f2 = reqs[i + 1];
+    if (!ctx.is_neighbor(f1) || !ctx.is_neighbor(f2)) continue;
+    const std::uint64_t nonce =
+        util::Rng(st.id ^ (st.epoch.nonce << 20) ^ i).next_u64();
+    ctx.introduce(f1, f2, "cluster:3");
+    ctx.send(f1, MMatchGrant{f2, nonce});
+    ctx.send(f2, MMatchGrant{f1, nonce});
+  }
+  if (i < reqs.size() && st.merge.stage == MergeStage::kNone) {
+    // Odd one out: merge it with this leader's own cluster.
+    const NodeId f = reqs[i];
+    if (ctx.is_neighbor(f)) {
+      const std::uint64_t nonce =
+          util::Rng(st.id ^ (st.epoch.nonce << 20) ^ i).next_u64();
+      ctx.send(f, MMatchGrant{st.id, nonce});
+      st.epoch.granted_peer = f;
+      // I expect f to propose; I remain receptive via granted_peer.
+    }
+  }
+  reqs.clear();
+}
+
+void Protocol::handle_match_grant(Ctx& ctx, const MMatchGrant& m, NodeId from) {
+  HostState& st = ctx.state();
+  (void)from;
+  if (st.phase != Phase::kCbt || !st.is_root()) return;
+  if (st.merge.stage != MergeStage::kNone) return;
+  if (st.epoch.role != EpochRole::kFollowWait) return;
+  if (m.peer == kNone || m.peer == st.id) return;
+  if (!ctx.is_neighbor(m.peer)) return;
+  st.epoch.granted_peer = m.peer;
+  ctx.send(m.peer, MMergePropose{m.nonce, st.id});
+  st.merge.stage = MergeStage::kProposed;
+  st.merge.peer_cluster = m.peer;
+  st.merge.nonce = m.nonce;
+  st.merge.deadline = ctx.round() + params_.merge_budget_rounds();
+}
+
+void Protocol::handle_merge_propose(Ctx& ctx, const MMergePropose& m, NodeId from) {
+  HostState& st = ctx.state();
+  if (st.phase != Phase::kCbt || !st.is_root()) {
+    if (ctx.is_neighbor(from)) ctx.send(from, MMergeAck{m.nonce, false});
+    return;
+  }
+  const bool expecting = st.epoch.granted_peer == from;
+  const bool receptive =
+      expecting && (st.merge.stage == MergeStage::kNone ||
+                    (st.merge.stage == MergeStage::kProposed &&
+                     st.merge.peer_cluster == from && st.merge.nonce == m.nonce));
+  if (!receptive) {
+    if (ctx.is_neighbor(from)) ctx.send(from, MMergeAck{m.nonce, false});
+    return;
+  }
+  if (ctx.is_neighbor(from)) ctx.send(from, MMergeAck{m.nonce, true});
+  if (st.merge.stage != MergeStage::kZip) begin_zip(ctx, from, m.nonce);
+}
+
+void Protocol::handle_merge_ack(Ctx& ctx, const MMergeAck& m, NodeId from) {
+  HostState& st = ctx.state();
+  if (!st.is_root() || st.phase != Phase::kCbt) return;
+  if (st.merge.nonce != m.nonce) return;
+  if (!m.accept) {
+    if (st.merge.stage == MergeStage::kProposed && st.merge.peer_cluster == from) {
+      st.merge.clear();
+      st.epoch.granted_peer = kNone;
+      st.epoch.role = EpochRole::kIdle;
+    }
+    return;
+  }
+  if (st.merge.stage == MergeStage::kProposed && st.merge.peer_cluster == from) {
+    begin_zip(ctx, from, m.nonce);
+  }
+}
+
+}  // namespace chs::stabilizer

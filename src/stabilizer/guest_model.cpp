@@ -1,0 +1,121 @@
+#include "stabilizer/guest_model.hpp"
+
+#include <algorithm>
+
+#include "util/bitops.hpp"
+#include "util/check.hpp"
+
+namespace chs::stabilizer {
+
+GuestAlgorithm1::GuestAlgorithm1(std::uint64_t n_guests)
+    : n_(n_guests), cbt_(n_guests), last_wave_(n_guests, -1),
+      degree_(n_guests, 0) {
+  CHS_CHECK_MSG(n_ >= 2, "Algorithm 1 needs at least two guests");
+  for (auto [p, c] : cbt_.edges()) {
+    add_edge(p, c);
+  }
+}
+
+std::uint32_t GuestAlgorithm1::num_waves() const {
+  return util::chord_num_fingers(n_);
+}
+
+bool GuestAlgorithm1::add_edge(GuestId a, GuestId b) {
+  CHS_CHECK(a != b && a < n_ && b < n_);
+  const auto [it, inserted] = edges_.insert(std::minmax(a, b));
+  (void)it;
+  if (inserted) {
+    ++degree_[a];
+    ++degree_[b];
+  }
+  return inserted;
+}
+
+std::uint64_t GuestAlgorithm1::run_wave(std::uint32_t k) {
+  CHS_CHECK_MSG(static_cast<std::int32_t>(k) == waves_done_ + 1,
+                "waves must run in order: the k-finger induction needs the "
+                "k-1 fingers");
+  CHS_CHECK(k < num_waves());
+  const std::uint32_t depth = cbt_.depth();
+  const std::vector<std::size_t> degree_before = degree_;
+  const std::size_t edges_before = edges_.size();
+
+  // Propagate (line 2): LastWave_a := k, sweeping one tree level per round.
+  // The model applies the assignment level by level only to account rounds;
+  // no feedback action reads LastWave until the wave has reached the leaves,
+  // exactly as in the PIF schedule.
+  std::uint64_t rounds = 0;
+  for (std::uint32_t d = 0; d <= depth; ++d) ++rounds;
+  for (GuestId a = 0; a < n_; ++a) last_wave_[a] = static_cast<std::int32_t>(k);
+
+  // Feedback: leaves up, one level per round. Collect every guest by depth
+  // once (O(N log N) total across waves; this is a reference model).
+  std::vector<std::vector<GuestId>> by_depth(depth + 1);
+  for (GuestId a = 0; a < n_; ++a) by_depth[cbt_.depth_of(a)].push_back(a);
+
+  for (std::uint32_t d = depth + 1; d-- > 0;) {
+    ++rounds;
+    for (GuestId a : by_depth[d]) {
+      if (k == 0) {
+        // Lines 3-7. The 0th finger of a is b = a+1 (ring successor); the
+        // host edge realizing it already exists (same host or host's
+        // successor — §4.3), so the guest edge is created directly. Guest
+        // N-1's finger is the ring-closure edge (N-1, 0), which rides the
+        // feedback wave to the root (lines 6-7) and is added by the root at
+        // wave completion below.
+        if (a == n_ - 1) continue;
+        const GuestId b = a + 1;
+        CHS_CHECK_MSG(last_wave_[a] == 0 && last_wave_[b] == 0,
+                      "line 4: LastWave mismatch in a legal run");
+        add_edge(a, b);
+      } else {
+        // Lines 11-14: a introduces b0 and b1, where a is the (k-1)-finger
+        // of b0 and b1 is the (k-1)-finger of a. The edge (b0, b1) is the
+        // k-finger of b0.
+        const std::uint64_t span = std::uint64_t{1} << (k - 1);
+        const GuestId b0 = (a + n_ - (span % n_)) % n_;
+        const GuestId b1 = (a + span) % n_;
+        if (b0 == a || b1 == a || b0 == b1) continue;  // tiny-N degeneracy
+        CHS_CHECK_MSG(last_wave_[a] == static_cast<std::int32_t>(k) &&
+                          last_wave_[b0] == static_cast<std::int32_t>(k) &&
+                          last_wave_[b1] == static_cast<std::int32_t>(k),
+                      "line 12: LastWave mismatch in a legal run");
+        // The overlay rule (§2.1): a may connect b0 and b1 only if both are
+        // currently its neighbors. This is the inductive hypothesis made
+        // executable: (b0, a) is b0's (k-1)-finger, (a, b1) is a's.
+        CHS_CHECK_MSG(edges_.count(std::minmax(a, b0)) == 1,
+                      "induction: (b0, a) — b0's (k-1)-finger — must exist");
+        CHS_CHECK_MSG(edges_.count(std::minmax(a, b1)) == 1,
+                      "induction: (a, b1) — a's (k-1)-finger — must exist");
+        add_edge(b0, b1);
+      }
+    }
+  }
+
+  if (k == 0 && n_ >= 3) {
+    // Root closes the base ring at wave completion (the only wave-0 edge
+    // whose host edge may not pre-exist; it was forwarded up during
+    // feedback, costing no extra rounds).
+    add_edge(n_ - 1, 0);
+  }
+
+  WaveRecord rec;
+  rec.k = k;
+  rec.rounds = rounds;
+  rec.edges_added = edges_.size() - edges_before;
+  for (GuestId a = 0; a < n_; ++a) {
+    rec.max_degree_delta =
+        std::max(rec.max_degree_delta, degree_[a] - degree_before[a]);
+  }
+  records_.push_back(rec);
+  waves_done_ = static_cast<std::int32_t>(k);
+  return rounds;
+}
+
+std::uint64_t GuestAlgorithm1::run_all() {
+  std::uint64_t total = 0;
+  for (std::uint32_t k = 0; k < num_waves(); ++k) total += run_wave(k);
+  return total;
+}
+
+}  // namespace chs::stabilizer

@@ -1,0 +1,85 @@
+// A literal, guest-granular transliteration of Algorithm 1 (Fig. 1 of the
+// paper), used as an executable reference model.
+//
+// The production protocol (chord_build.cpp) runs Algorithm 1 at *host*
+// granularity: hosts derive the behavior of every guest in their responsible
+// range, wave state lives in fragment maps, and a host processes one guest
+// tree level per round via hold queues. That implementation is efficient but
+// far from the paper's pseudocode. This model is the opposite trade: it
+// materializes all N guests of the Cbt scaffold and executes the PIF waves
+// exactly as Fig. 1 writes them —
+//
+//   wave k propagate:  LastWave_a := k, one tree level per round;
+//   wave k feedback:   leaves up, one level per round; a guest a receiving
+//                      the feedback wave creates the edge its line 5/13
+//                      prescribes (k = 0: the edge (a, a+1); k >= 1: the
+//                      edge (b0, b1) where a is the (k-1)-finger of b0 and
+//                      b1 is the (k-1)-finger of a);
+//   wave 0 extras:     edges to guests 0 and N-1 ride the feedback wave up
+//                      to the root, which closes the base ring (lines 6-7).
+//
+// Every precondition the paper's argument leans on is CHS_CHECKed while the
+// model runs: the overlay rule that a guest may only connect two of its
+// *current* neighbors (the inductive hypothesis "fingers 0..k-1 exist"
+// materialized), and the LastWave agreement tests of lines 4 and 12.
+// test_guest_model.cpp then cross-validates the host-level implementation
+// against this model wave by wave.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "topology/cbt.hpp"
+
+namespace chs::stabilizer {
+
+using topology::GuestId;
+
+class GuestAlgorithm1 {
+ public:
+  using EdgeSet = std::set<std::pair<GuestId, GuestId>>;
+
+  /// Starts from the legal Cbt(N) scaffold (the paper's G0 in Lemma 3).
+  explicit GuestAlgorithm1(std::uint64_t n_guests);
+
+  /// Execute the PIF(MakeFinger(k)) wave; waves must be run in order
+  /// 0, 1, 2, ... (the induction needs the k-1 fingers). Returns the number
+  /// of synchronous rounds the wave consumed.
+  std::uint64_t run_wave(std::uint32_t k);
+
+  /// All log N − 1 waves of the chord target; returns total rounds.
+  std::uint64_t run_all();
+
+  std::uint64_t n_guests() const { return n_; }
+  std::uint32_t num_waves() const;
+
+  /// Guest edges present now (normalized u < v). Starts as the Cbt edges.
+  const EdgeSet& edges() const { return edges_; }
+
+  /// LastWave of guest a (-1 before any wave).
+  std::int32_t last_wave(GuestId a) const { return last_wave_[a]; }
+
+  std::size_t degree(GuestId a) const { return degree_[a]; }
+
+  struct WaveRecord {
+    std::uint32_t k = 0;
+    std::uint64_t rounds = 0;        // 2 * (tree depth + 1) by construction
+    std::uint64_t edges_added = 0;   // new undirected edges this wave
+    std::size_t max_degree_delta = 0;  // largest per-guest degree increase
+  };
+  const std::vector<WaveRecord>& records() const { return records_; }
+
+ private:
+  bool add_edge(GuestId a, GuestId b);
+
+  std::uint64_t n_;
+  topology::Cbt cbt_;
+  EdgeSet edges_;
+  std::vector<std::int32_t> last_wave_;
+  std::vector<std::size_t> degree_;
+  std::vector<WaveRecord> records_;
+  std::int32_t waves_done_ = -1;  // highest completed wave
+};
+
+}  // namespace chs::stabilizer

@@ -1,0 +1,261 @@
+// Protocol glue: per-round step ordering, message dispatch, fragment caches,
+// edge classification/hygiene, and the sim::Engine interface.
+#include <algorithm>
+
+#include "stabilizer/protocol.hpp"
+#include "util/log.hpp"
+
+namespace chs::stabilizer {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kCbt: return "CBT";
+    case Phase::kChord: return "CHORD";
+    case Phase::kDone: return "DONE";
+  }
+  return "?";
+}
+
+const char* wave_kind_name(WaveKind k) {
+  switch (k) {
+    case WaveKind::kPoll: return "poll";
+    case WaveKind::kPhaseChord: return "phase-chord";
+    case WaveKind::kMakeFinger: return "make-finger";
+    case WaveKind::kDone: return "done";
+  }
+  return "?";
+}
+
+const char* epoch_role_name(EpochRole r) {
+  switch (r) {
+    case EpochRole::kIdle: return "idle";
+    case EpochRole::kPolling: return "polling";
+    case EpochRole::kFollowWait: return "follow-wait";
+    case EpochRole::kLeadCollect: return "lead-collect";
+  }
+  return "?";
+}
+
+const char* merge_stage_name(MergeStage s) {
+  switch (s) {
+    case MergeStage::kNone: return "none";
+    case MergeStage::kProposed: return "proposed";
+    case MergeStage::kZip: return "zip";
+    case MergeStage::kCommitWait: return "commit-wait";
+  }
+  return "?";
+}
+
+Protocol::Protocol(Params params)
+    : params_(std::move(params)),
+      cbt_(params_.n_guests),
+      num_waves_(params_.target.num_waves(params_.n_guests)) {
+  CHS_CHECK_MSG(params_.n_guests >= 2, "need at least two guests");
+  CHS_CHECK_MSG(num_waves_ >= 1 && num_waves_ <= util::ceil_log2(params_.n_guests),
+                "target wave count out of range");
+}
+
+void Protocol::init_node(NodeId id, HostState& st, util::Rng& rng) {
+  CHS_CHECK_MSG(id < params_.n_guests, "host id outside guest space");
+  st = HostState{};
+  st.id = id;
+  st.phase = Phase::kCbt;
+  st.cluster = id;
+  st.lo = 0;
+  st.hi = params_.n_guests;
+  st.epoch.timer = 1 + rng.next_below(params_.epoch_rounds());
+  recompute_fragments(st);
+}
+
+void Protocol::publish(const HostState& st, PublicState& pub) {
+  pub.id = st.id;
+  pub.phase = st.phase;
+  pub.cluster = st.cluster;
+  pub.merging_with =
+      st.merge.stage == MergeStage::kNone ? kNone : st.merge.peer_cluster;
+  pub.lo = st.lo;
+  pub.hi = st.hi;
+  pub.succ = st.succ;
+  pub.pred = st.pred;
+  pub.wave_k = st.wave_k;
+  pub.active_wave_k = st.active_wave_k;
+  pub.in_phase_wave = st.in_phase_wave;
+  pub.in_done_wave = st.in_done_wave;
+  pub.nbrs = st.nbrs;
+}
+
+void Protocol::recompute_fragments(HostState& st) const {
+  st.frags = cbt_.fragments(st.lo, st.hi);
+  st.out_edge_to_entry.clear();
+  for (const auto& f : st.frags) {
+    for (const auto& oe : f.out_edges) {
+      st.out_edge_to_entry[oe.child_pos] = f.entry;
+    }
+  }
+}
+
+GuestId Protocol::entry_of(const HostState& st, GuestId pos) const {
+  CHS_DCHECK(pos >= st.lo && pos < st.hi);
+  GuestId cur = pos;
+  while (true) {
+    const auto p = cbt_.parent(cur);
+    if (!p || *p < st.lo || *p >= st.hi) return cur;
+    cur = *p;
+  }
+}
+
+GuestId Protocol::topmost_entry(const HostState& st) const {
+  CHS_DCHECK(!st.frags.empty());
+  GuestId best = st.frags.front().entry;
+  std::uint32_t best_depth = st.frags.front().entry_depth;
+  for (const auto& f : st.frags) {
+    if (f.entry_depth < best_depth) {
+      best_depth = f.entry_depth;
+      best = f.entry;
+    }
+  }
+  return best;
+}
+
+std::vector<NodeId> Protocol::structural_neighbors(const HostState& st) const {
+  std::vector<NodeId> out;
+  for (const auto& [pos, host] : st.boundary_host) {
+    (void)pos;
+    out.push_back(host);
+  }
+  for (const auto& [pos, host] : st.parent_host) {
+    (void)pos;
+    out.push_back(host);
+  }
+  if (st.succ != kNone) out.push_back(st.succ);
+  if (st.pred != kNone) out.push_back(st.pred);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Protocol::deletion_certificate(Ctx& ctx, NodeId v) const {
+  // Connectivity certificate: some structural neighbor w currently reports
+  // v as its own neighbor, so dropping (me, v) leaves the path me-w-v.
+  for (NodeId w : structural_neighbors(ctx.state())) {
+    if (w == v || !ctx.is_neighbor(w)) continue;
+    const PublicState* view = ctx.view(w);
+    if (view != nullptr && view->has_neighbor(v)) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> Protocol::external_neighbors(Ctx& ctx) const {
+  std::vector<NodeId> out;
+  const HostState& st = ctx.state();
+  for (NodeId v : ctx.neighbors()) {
+    const PublicState* view = ctx.view(v);
+    if (view == nullptr) continue;
+    if (view->cluster != st.cluster) out.push_back(v);
+  }
+  return out;
+}
+
+void Protocol::classify_and_clean_edges(Ctx& ctx) {
+  HostState& st = ctx.state();
+  if (st.phase != Phase::kCbt) return;  // DONE prune handles the rest
+  if (st.merge.stage != MergeStage::kNone) return;
+  const auto structural = structural_neighbors(st);
+  for (NodeId v : ctx.neighbors()) {
+    if (std::binary_search(structural.begin(), structural.end(), v)) continue;
+    const PublicState* view = ctx.view(v);
+    if (view == nullptr) continue;
+    if (view->cluster != st.cluster) continue;      // genuine external edge
+    if (view->merging_with != kNone) continue;      // peer busy; wait
+    if (deletion_certificate(ctx, v)) ctx.disconnect(v, "protocol-d0");
+  }
+}
+
+void Protocol::step(Ctx& ctx) {
+  HostState& st = ctx.state();
+
+  // Phase-wave tolerance windows expire on their own; a genuinely stalled
+  // wave then surfaces as a raw phase mismatch between neighbors.
+  if ((st.in_phase_wave || st.in_done_wave) &&
+      ctx.round() > st.phase_wave_deadline) {
+    st.in_phase_wave = false;
+    st.in_done_wave = false;
+  }
+
+  if (!check_local(ctx)) {
+    reset_to_singleton(ctx);
+    return;
+  }
+
+  // Dispatch the inbox in variant-order priority (control before data), then
+  // by arrival. A reset mid-dispatch invalidates the remaining messages.
+  std::vector<const sim::Envelope<Message>*> order;
+  order.reserve(ctx.inbox().size());
+  for (const auto& env : ctx.inbox()) order.push_back(&env);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto* a, const auto* b) {
+                     return a->msg.index() < b->msg.index();
+                   });
+  const std::uint64_t resets_before = st.resets;
+  for (const auto* env : order) {
+    dispatch(ctx, *env);
+    if (st.resets != resets_before) break;
+  }
+  if (st.resets == resets_before) {
+    epoch_tick(ctx);
+    chord_sequencer(ctx);
+    gc_waves(ctx);
+    classify_and_clean_edges(ctx);
+  }
+  st.nbrs = ctx.neighbors();
+}
+
+void Protocol::dispatch(Ctx& ctx, const sim::Envelope<Message>& env) {
+  const NodeId from = env.from;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, MWaveDown>) {
+          handle_wave_down(ctx, m, from);
+        } else if constexpr (std::is_same_v<T, MWaveFwd>) {
+          handle_wave_fwd(ctx, m);
+        } else if constexpr (std::is_same_v<T, MWaveUp>) {
+          handle_wave_up(ctx, m, from);
+        } else if constexpr (std::is_same_v<T, MWaveTick>) {
+          handle_wave_tick(ctx, m);
+        } else if constexpr (std::is_same_v<T, MRingNote>) {
+          handle_ring_note(ctx, m);
+        } else if constexpr (std::is_same_v<T, MFingerNote>) {
+          handle_finger_note(ctx, m, from);
+        } else if constexpr (std::is_same_v<T, MFollowGo>) {
+          handle_follow_go(ctx, m, from);
+        } else if constexpr (std::is_same_v<T, MMergeReqHop>) {
+          handle_merge_req_hop(ctx, m, from);
+        } else if constexpr (std::is_same_v<T, MMatchGrant>) {
+          handle_match_grant(ctx, m, from);
+        } else if constexpr (std::is_same_v<T, MMergePropose>) {
+          handle_merge_propose(ctx, m, from);
+        } else if constexpr (std::is_same_v<T, MMergeAck>) {
+          handle_merge_ack(ctx, m, from);
+        } else if constexpr (std::is_same_v<T, MZipStart>) {
+          handle_zip_start(ctx, m, from);
+        } else if constexpr (std::is_same_v<T, MZipStep>) {
+          handle_zip_step(ctx, m, from);
+        } else if constexpr (std::is_same_v<T, MZipPhase2>) {
+          handle_zip_phase2(ctx, m);
+        } else if constexpr (std::is_same_v<T, MZipDone>) {
+          handle_zip_done(ctx, m, from);
+        } else if constexpr (std::is_same_v<T, MZipRetire>) {
+          handle_zip_retire(ctx, m);
+        } else if constexpr (std::is_same_v<T, MZipBye>) {
+          handle_zip_bye(ctx, m, from);
+        } else if constexpr (std::is_same_v<T, MMergeCommit>) {
+          handle_merge_commit(ctx, m, from);
+        } else {
+          static_assert(std::is_same_v<T, MNudge>, "unhandled message type");
+        }
+      },
+      env.msg);
+}
+
+}  // namespace chs::stabilizer

@@ -1,0 +1,140 @@
+// The self-stabilizing Avatar(Cbt) + network-scaffolded target protocol.
+//
+// One sim::Engine protocol implementing the whole paper:
+//   * fault detection and reset to singleton clusters (§3.2 "Clustering",
+//     §4.4 phase selection, detector.cpp),
+//   * randomized leader/follower matching epochs between clusters
+//     (§3.2 "Matching", cluster.cpp),
+//   * pairwise cluster merge via the interval zip (§3.2 "Merging",
+//     DESIGN.md D3, merge.cpp),
+//   * fragment-granular PIF waves over the guest Cbt (§3.2 "Communication",
+//     waves.cpp),
+//   * Algorithm 1: MakeFinger waves building the target topology over the
+//     scaffold, ring closure through the root, and the DONE wave
+//     (§4.3, chord_build.cpp).
+//
+// The class is one logical unit split across those translation units; all
+// handler methods are public so white-box tests can drive individual pieces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "stabilizer/messages.hpp"
+#include "stabilizer/params.hpp"
+#include "stabilizer/state.hpp"
+#include "topology/cbt.hpp"
+
+namespace chs::stabilizer {
+
+class Protocol {
+ public:
+  using Message = stabilizer::Message;
+  using NodeState = HostState;
+  using PublicState = stabilizer::PublicState;
+  using Ctx = sim::NodeCtx<Protocol>;
+
+  explicit Protocol(Params params);
+
+  const Params& params() const { return params_; }
+  const topology::Cbt& cbt() const { return cbt_; }
+  std::uint32_t num_waves() const { return num_waves_; }
+  GuestId guest_root() const { return cbt_.root(); }
+
+  // --- sim::Engine interface (protocol.cpp) ---
+  void init_node(NodeId id, HostState& st, util::Rng& rng);
+  void publish(const HostState& st, PublicState& pub);
+  void step(Ctx& ctx);
+
+  // --- shared helpers (protocol.cpp) ---
+  void recompute_fragments(HostState& st) const;
+  /// Fragment entry whose component contains position pos (pos must lie in
+  /// the host's range).
+  GuestId entry_of(const HostState& st, GuestId pos) const;
+  /// Entry of minimum depth (the fragment the host's own payload rides on).
+  GuestId topmost_entry(const HostState& st) const;
+  /// Structural neighbors in phase kCbt: boundary + parent + succ + pred.
+  std::vector<NodeId> structural_neighbors(const HostState& st) const;
+  bool deletion_certificate(Ctx& ctx, NodeId v) const;
+  void classify_and_clean_edges(Ctx& ctx);
+  std::vector<NodeId> external_neighbors(Ctx& ctx) const;
+
+  // --- detector.cpp (§4.4, Definition 3, Lemmas 1-2) ---
+  bool check_local(Ctx& ctx) const;
+  void reset_to_singleton(Ctx& ctx);
+
+  // --- waves.cpp ---
+  void start_wave(Ctx& ctx, WaveId id);
+  void process_wave_entry(Ctx& ctx, const WaveMeta& meta, GuestId entry);
+  void handle_wave_down(Ctx& ctx, const MWaveDown& m, NodeId from);
+  void handle_wave_fwd(Ctx& ctx, const MWaveFwd& m);
+  void handle_wave_up(Ctx& ctx, const MWaveUp& m, NodeId from);
+  void handle_wave_tick(Ctx& ctx, const MWaveTick& m);
+  void try_complete_fragment(Ctx& ctx, const WaveMeta& meta, GuestId entry);
+  void fragment_completed(Ctx& ctx, const WaveMeta& meta, GuestId entry);
+  void apply_propagate_action(Ctx& ctx, const WaveMeta& meta);
+  void apply_range_actions(Ctx& ctx, const WaveMeta& meta);
+  void wave_completed_at_root(Ctx& ctx, const WaveMeta& meta, const WaveAgg& agg);
+  void gc_waves(Ctx& ctx);
+
+  // --- cluster.cpp (matching epochs) ---
+  void epoch_tick(Ctx& ctx);
+  void start_epoch(Ctx& ctx);
+  void poll_completed(Ctx& ctx, const WaveAgg& agg);
+  void lead_match(Ctx& ctx);
+  void handle_follow_go(Ctx& ctx, const MFollowGo& m, NodeId from);
+  void handle_merge_req_hop(Ctx& ctx, const MMergeReqHop& m, NodeId from);
+  void handle_match_grant(Ctx& ctx, const MMatchGrant& m, NodeId from);
+  void handle_merge_propose(Ctx& ctx, const MMergePropose& m, NodeId from);
+  void handle_merge_ack(Ctx& ctx, const MMergeAck& m, NodeId from);
+
+  // --- merge.cpp (interval zip) ---
+  void begin_zip(Ctx& ctx, NodeId peer_root, std::uint64_t nonce);
+  void join_zip(Ctx& ctx, NodeId peer_cluster, std::uint64_t nonce);
+  void handle_zip_start(Ctx& ctx, const MZipStart& m, NodeId from);
+  void handle_zip_step(Ctx& ctx, const MZipStep& m, NodeId from);
+  void handle_zip_phase2(Ctx& ctx, const MZipPhase2& m);
+  void handle_zip_done(Ctx& ctx, const MZipDone& m, NodeId from);
+  void handle_zip_retire(Ctx& ctx, const MZipRetire& m);
+  void handle_zip_bye(Ctx& ctx, const MZipBye& m, NodeId from);
+  /// True iff this host has no remaining use for its zip edge to `node`.
+  bool zip_edge_unneeded(Ctx& ctx, NodeId node) const;
+  /// Reference counting of zip counterpart edges (transient-degree bound).
+  void zip_ref(HostState& st, NodeId node);
+  void zip_unref(Ctx& ctx, NodeId node);
+  void handle_merge_commit(Ctx& ctx, const MMergeCommit& m, NodeId from);
+  void resolve_step(Ctx& ctx, GuestId pos);
+  void maybe_report_done(Ctx& ctx, GuestId pos);
+  /// My cluster's candidate host for position pos (me, or a boundary host).
+  NodeId child_candidate(const HostState& st, GuestId pos) const;
+  void send_zip_step(Ctx& ctx, GuestId pos);
+  void record_interval_outcome(Ctx& ctx, const CbtInterval& iv, NodeId winner,
+                               NodeId parent_winner);
+  void observe_peer_id(HostState& st, NodeId peer_id);
+  void apply_commit(Ctx& ctx, std::uint64_t nonce, NodeId new_cluster);
+
+  // --- chord_build.cpp (Algorithm 1) ---
+  void chord_sequencer(Ctx& ctx);
+  void make_finger_actions(Ctx& ctx, std::int32_t k);
+  void handle_ring_note(Ctx& ctx, const MRingNote& m);
+  void handle_finger_note(Ctx& ctx, const MFingerNote& m, NodeId from);
+  void apply_done_prune(Ctx& ctx);
+  /// Assign host to target interval [tlo, thi) mod N in the level-k map.
+  static void assign_mod(util::IntervalMap<NodeId>& map, std::uint64_t tlo,
+                         std::uint64_t thi, NodeId host, std::uint64_t n);
+  /// True iff some source a in [s0, s1) keeps its span-2^k edge.
+  bool any_kept(std::uint64_t s0, std::uint64_t s1, std::uint32_t k) const;
+
+ private:
+  void dispatch(Ctx& ctx, const sim::Envelope<Message>& env);
+
+  Params params_;
+  topology::Cbt cbt_;
+  std::uint32_t num_waves_;
+};
+
+using StabEngine = sim::Engine<Protocol>;
+
+}  // namespace chs::stabilizer

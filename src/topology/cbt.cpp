@@ -1,0 +1,166 @@
+#include "topology/cbt.hpp"
+
+#include <algorithm>
+
+namespace chs::topology {
+namespace {
+/// Depth of a complete-BST subtree spanning `size` positions.
+std::uint32_t subtree_depth(std::uint64_t size) {
+  return size == 0 ? 0 : util::floor_log2(size);
+}
+
+bool fully_inside(const CbtInterval& iv, GuestId rlo, GuestId rhi) {
+  return iv.lo >= rlo && iv.hi <= rhi;
+}
+bool fully_outside(const CbtInterval& iv, GuestId rlo, GuestId rhi) {
+  return iv.hi <= rlo || iv.lo >= rhi;
+}
+}  // namespace
+
+std::uint32_t Cbt::depth() const { return subtree_depth(n_); }
+
+CbtInterval Cbt::interval_of(GuestId g) const {
+  CHS_CHECK_MSG(g < n_, "guest id out of range");
+  CbtInterval iv = whole();
+  while (iv.mid() != g) {
+    iv = g < iv.mid() ? iv.left() : iv.right();
+    CHS_DCHECK(!iv.empty());
+  }
+  return iv;
+}
+
+std::uint32_t Cbt::depth_of(GuestId g) const {
+  CHS_CHECK_MSG(g < n_, "guest id out of range");
+  CbtInterval iv = whole();
+  std::uint32_t d = 0;
+  while (iv.mid() != g) {
+    iv = g < iv.mid() ? iv.left() : iv.right();
+    ++d;
+  }
+  return d;
+}
+
+std::optional<GuestId> Cbt::parent(GuestId g) const {
+  CHS_CHECK_MSG(g < n_, "guest id out of range");
+  CbtInterval iv = whole();
+  std::optional<GuestId> par;
+  while (iv.mid() != g) {
+    par = iv.mid();
+    iv = g < iv.mid() ? iv.left() : iv.right();
+  }
+  return par;
+}
+
+std::vector<GuestId> Cbt::children(GuestId g) const {
+  const CbtInterval iv = interval_of(g);
+  std::vector<GuestId> out;
+  if (!iv.left().empty()) out.push_back(iv.left().mid());
+  if (!iv.right().empty()) out.push_back(iv.right().mid());
+  return out;
+}
+
+bool Cbt::is_edge(GuestId a, GuestId b) const {
+  if (a == b || a >= n_ || b >= n_) return false;
+  const auto pa = parent(a);
+  if (pa && *pa == b) return true;
+  const auto pb = parent(b);
+  return pb && *pb == a;
+}
+
+std::vector<std::pair<GuestId, GuestId>> Cbt::edges() const {
+  std::vector<std::pair<GuestId, GuestId>> out;
+  out.reserve(n_ > 0 ? n_ - 1 : 0);
+  for (GuestId g = 0; g < n_; ++g) {
+    for (GuestId c : children(g)) out.emplace_back(g, c);
+  }
+  return out;
+}
+
+void Cbt::descend_crossings(CbtInterval iv, GuestId rlo, GuestId rhi,
+                            std::vector<CrossingEdge>& out) const {
+  if (iv.empty()) return;
+  const GuestId m = iv.mid();
+  const bool m_in = m >= rlo && m < rhi;
+  for (const CbtInterval& civ : {iv.left(), iv.right()}) {
+    if (civ.empty()) continue;
+    const GuestId cm = civ.mid();
+    const bool c_in = cm >= rlo && cm < rhi;
+    if (m_in != c_in) {
+      out.push_back(CrossingEdge{m, cm, civ, c_in});
+    }
+    // Crossing edges strictly inside civ require civ to straddle the range
+    // border, i.e. be neither fully inside nor fully outside.
+    if (!fully_inside(civ, rlo, rhi) && !fully_outside(civ, rlo, rhi)) {
+      descend_crossings(civ, rlo, rhi, out);
+    }
+  }
+}
+
+std::vector<Cbt::CrossingEdge> Cbt::crossing_edges(GuestId rlo, GuestId rhi) const {
+  std::vector<CrossingEdge> out;
+  if (rlo >= rhi) return out;
+  descend_crossings(whole(), rlo, rhi, out);
+  return out;
+}
+
+std::vector<Cbt::Fragment> Cbt::fragments(GuestId rlo, GuestId rhi) const {
+  std::vector<Fragment> result;
+  if (rlo >= rhi) return result;
+  rhi = std::min<GuestId>(rhi, n_);
+
+  // Entry positions: in-range children of crossing edges, plus the tree root
+  // if it lies inside the range.
+  std::vector<std::pair<GuestId, std::optional<GuestId>>> entries;  // (entry, parent)
+  for (const CrossingEdge& e : crossing_edges(rlo, rhi)) {
+    if (e.child_inside) entries.emplace_back(e.child_pos, e.parent_pos);
+  }
+  if (root() >= rlo && root() < rhi) entries.emplace_back(root(), std::nullopt);
+  std::sort(entries.begin(), entries.end());
+
+  for (const auto& [entry, parent_pos] : entries) {
+    Fragment f;
+    f.entry = entry;
+    f.entry_depth = depth_of(entry);
+    f.parent_pos = parent_pos;
+    f.max_internal_rel_depth = 0;
+
+    // Walk the in-range subtree below `entry`; prune to the O(depth) spine of
+    // partially-overlapping intervals (fully-in-range subtrees contribute a
+    // closed-form depth and contain no crossing edges).
+    struct Item {
+      CbtInterval iv;
+      std::uint32_t rel_depth;  // of iv.mid()
+    };
+    std::vector<Item> stack{{interval_of(entry), 0}};
+    while (!stack.empty()) {
+      const Item it = stack.back();
+      stack.pop_back();
+      const GuestId m = it.iv.mid();
+      CHS_DCHECK(m >= rlo && m < rhi);
+      f.max_internal_rel_depth = std::max(f.max_internal_rel_depth, it.rel_depth);
+      for (const CbtInterval& civ : {it.iv.left(), it.iv.right()}) {
+        if (civ.empty()) continue;
+        const GuestId cm = civ.mid();
+        const bool c_in = cm >= rlo && cm < rhi;
+        if (!c_in) {
+          f.out_edges.push_back(Fragment::OutEdge{m, cm, it.rel_depth});
+          continue;
+        }
+        if (fully_inside(civ, rlo, rhi)) {
+          f.max_internal_rel_depth = std::max(
+              f.max_internal_rel_depth, it.rel_depth + 1 + subtree_depth(civ.size()));
+        } else {
+          stack.push_back(Item{civ, it.rel_depth + 1});
+        }
+      }
+    }
+    std::sort(f.out_edges.begin(), f.out_edges.end(),
+              [](const Fragment::OutEdge& a, const Fragment::OutEdge& b) {
+                return a.child_pos < b.child_pos;
+              });
+    result.push_back(std::move(f));
+  }
+  return result;
+}
+
+}  // namespace chs::topology

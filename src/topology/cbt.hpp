@@ -1,0 +1,108 @@
+// Geometry of the Cbt(N) guest network (§3.2).
+//
+// Cbt(N) is the complete binary search tree over guest identifiers [0, N),
+// realized by recursive median split: the subtree spanning the half-open
+// interval [lo, hi) is rooted at position m = lo + (hi-lo)/2, with left
+// subtree [lo, m) and right subtree [m+1, hi). Every guest id is therefore
+// also a tree position, intervals identify subtrees, and all relations
+// (parent, children, depth) are computable in O(depth) with no stored state.
+//
+// The *fragment geometry* functions answer the question a host with
+// responsible range R = [rlo, rhi) needs: which tree edges cross the border
+// of R (these are exactly the host-level edges the dilation-1 embedding
+// requires), and how R decomposes into maximal in-range subtrees
+// ("fragments") that a PIF wave traverses. A contiguous id range of a BST is
+// crossed by only O(depth) tree edges — the edges on the search paths of its
+// two endpoints — so fragment geometry is small even for huge ranges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bitops.hpp"
+#include "util/check.hpp"
+
+namespace chs::topology {
+
+using GuestId = std::uint64_t;
+
+/// Subtree interval [lo, hi); the subtree root is mid().
+struct CbtInterval {
+  GuestId lo;
+  GuestId hi;
+
+  GuestId mid() const { return lo + (hi - lo) / 2; }
+  std::uint64_t size() const { return hi - lo; }
+  bool empty() const { return lo >= hi; }
+  bool contains(GuestId g) const { return g >= lo && g < hi; }
+  CbtInterval left() const { return {lo, mid()}; }
+  CbtInterval right() const { return {mid() + 1, hi}; }
+  bool operator==(const CbtInterval&) const = default;
+};
+
+class Cbt {
+ public:
+  explicit Cbt(std::uint64_t n_guests) : n_(n_guests) {
+    CHS_CHECK_MSG(n_ >= 1, "Cbt needs at least one guest");
+  }
+
+  std::uint64_t n() const { return n_; }
+  CbtInterval whole() const { return {0, n_}; }
+  GuestId root() const { return whole().mid(); }
+
+  /// Max depth of any position (root is depth 0).
+  std::uint32_t depth() const;
+
+  /// The subtree interval whose root is position g (O(depth) descent).
+  CbtInterval interval_of(GuestId g) const;
+
+  std::uint32_t depth_of(GuestId g) const;
+  std::optional<GuestId> parent(GuestId g) const;
+
+  /// Children of g: 0, 1, or 2 positions.
+  std::vector<GuestId> children(GuestId g) const;
+
+  bool is_edge(GuestId a, GuestId b) const;
+
+  /// All tree edges (parent, child); O(N) — checkers and tests only.
+  std::vector<std::pair<GuestId, GuestId>> edges() const;
+
+  /// A tree edge with exactly one endpoint inside the range [rlo, rhi).
+  struct CrossingEdge {
+    GuestId parent_pos;
+    GuestId child_pos;
+    CbtInterval child_interval;  // subtree hanging below child_pos
+    bool child_inside;           // true: child in range, parent outside
+  };
+
+  /// All tree edges crossing the border of [rlo, rhi); O(depth²) worst case.
+  std::vector<CrossingEdge> crossing_edges(GuestId rlo, GuestId rhi) const;
+
+  /// One maximal in-range subtree of the induced forest on [rlo, rhi).
+  struct Fragment {
+    GuestId entry;                   // in-range position whose parent is out of range (or tree root)
+    std::uint32_t entry_depth;       // global depth of `entry`
+    std::optional<GuestId> parent_pos;  // out-of-range parent (nullopt if entry is tree root)
+    std::uint32_t max_internal_rel_depth;  // deepest in-range descendant, relative to entry
+    // Crossing edges leaving this fragment downward: (from in-range parent,
+    // to out-of-range child), with the parent's depth relative to `entry`.
+    struct OutEdge {
+      GuestId parent_pos;
+      GuestId child_pos;
+      std::uint32_t rel_depth;  // depth(parent_pos) - depth(entry)
+    };
+    std::vector<OutEdge> out_edges;
+  };
+
+  /// Decompose range [rlo, rhi) into fragments (sorted by entry position).
+  std::vector<Fragment> fragments(GuestId rlo, GuestId rhi) const;
+
+ private:
+  void descend_crossings(CbtInterval iv, GuestId rlo, GuestId rhi,
+                         std::vector<CrossingEdge>& out) const;
+
+  std::uint64_t n_;
+};
+
+}  // namespace chs::topology

@@ -1,0 +1,33 @@
+#include "topology/chord.hpp"
+
+#include <algorithm>
+
+namespace chs::topology {
+
+bool Chord::is_finger_edge(GuestId a, GuestId b) const {
+  if (a == b || a >= n_ || b >= n_) return false;
+  for (std::uint32_t k = 0; k < num_fingers(); ++k) {
+    if (finger(a, k) == b || finger(b, k) == a) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<GuestId, GuestId>> Chord::edges() const {
+  std::vector<std::pair<GuestId, GuestId>> out;
+  out.reserve(n_ * num_fingers());
+  for (GuestId i = 0; i < n_; ++i) {
+    for (std::uint32_t k = 0; k < num_fingers(); ++k) {
+      const GuestId j = finger(i, k);
+      if (i < j) {
+        out.emplace_back(i, j);
+      } else if (j < i) {
+        out.emplace_back(j, i);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace chs::topology

@@ -1,0 +1,44 @@
+// The Chord(N) guest topology (Definition 1 of the paper).
+//
+// For every guest i in [0, N), Chord(N) contains the edges (i, i + 2^k mod N)
+// for 0 <= k < log N − 1; guest j = i + 2^k is the k-th finger of i. Finger 0
+// is the base ring. Note Definition 1 deliberately stops one power short of
+// N/2 — there are ceil(log2 N) − 1 fingers per node — and we follow it
+// verbatim (the BiChord extension target adds the final power).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/cbt.hpp"
+#include "util/bitops.hpp"
+
+namespace chs::topology {
+
+class Chord {
+ public:
+  explicit Chord(std::uint64_t n_guests) : n_(n_guests) {
+    CHS_CHECK_MSG(n_ >= 2, "Chord needs at least two guests");
+  }
+
+  std::uint64_t n() const { return n_; }
+
+  /// Number of fingers per guest (= number of MakeFinger waves).
+  std::uint32_t num_fingers() const { return util::chord_num_fingers(n_); }
+
+  /// The k-th finger of guest i: (i + 2^k) mod N.
+  GuestId finger(GuestId i, std::uint32_t k) const {
+    CHS_DCHECK(i < n_ && k < 63);
+    return (i + (std::uint64_t{1} << k)) % n_;
+  }
+
+  bool is_finger_edge(GuestId a, GuestId b) const;
+
+  /// All undirected finger edges, deduplicated; O(N log N).
+  std::vector<std::pair<GuestId, GuestId>> edges() const;
+
+ private:
+  std::uint64_t n_;
+};
+
+}  // namespace chs::topology

@@ -1,0 +1,17 @@
+#include "topology/hypercube.hpp"
+
+namespace chs::topology {
+
+std::vector<std::pair<GuestId, GuestId>> Hypercube::edges() const {
+  std::vector<std::pair<GuestId, GuestId>> out;
+  out.reserve(n_ * dimension() / 2);
+  for (GuestId i = 0; i < n_; ++i) {
+    for (std::uint32_t k = 0; k < dimension(); ++k) {
+      const GuestId j = i ^ (std::uint64_t{1} << k);
+      if (i < j) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace chs::topology

@@ -1,0 +1,41 @@
+// Hypercube(N) guest topology, an extension target for the scaffolding
+// pattern (§6/§7 of the paper suggest building further robust topologies
+// from the same Cbt scaffold).
+//
+// For N = 2^m, guests i and i xor 2^k are adjacent for every bit k < m. As
+// undirected edges this is { (i, i + 2^k) : bit k of i is 0 } — a *subset*
+// of the full-finger ring edges, so the inductive MakeFinger construction of
+// Algorithm 1 builds a superset and the generic target layer prunes edges
+// the target does not keep (see topology/target.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/cbt.hpp"
+#include "util/bitops.hpp"
+
+namespace chs::topology {
+
+class Hypercube {
+ public:
+  explicit Hypercube(std::uint64_t n_guests) : n_(n_guests) {
+    CHS_CHECK_MSG(util::is_pow2(n_) && n_ >= 2, "Hypercube needs N = 2^m >= 2");
+  }
+
+  std::uint64_t n() const { return n_; }
+  std::uint32_t dimension() const { return util::floor_log2(n_); }
+
+  bool is_edge(GuestId a, GuestId b) const {
+    if (a >= n_ || b >= n_) return false;
+    const std::uint64_t x = a ^ b;
+    return util::is_pow2(x);
+  }
+
+  std::vector<std::pair<GuestId, GuestId>> edges() const;
+
+ private:
+  std::uint64_t n_;
+};
+
+}  // namespace chs::topology

@@ -1,0 +1,131 @@
+#include "topology/target.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace chs::topology {
+
+TargetSpec chord_target() {
+  return TargetSpec{
+      .name = "chord",
+      .num_waves = [](std::uint64_t n) { return util::chord_num_fingers(n); },
+      .keep = [](GuestId, std::uint32_t, std::uint64_t) { return true; },
+      .any_kept_in = {},
+  };
+}
+
+TargetSpec bichord_target() {
+  return TargetSpec{
+      .name = "bichord",
+      .num_waves = [](std::uint64_t n) { return util::ceil_log2(n); },
+      .keep = [](GuestId, std::uint32_t, std::uint64_t) { return true; },
+      .any_kept_in = {},
+  };
+}
+
+TargetSpec hypercube_target() {
+  return TargetSpec{
+      .name = "hypercube",
+      .num_waves =
+          [](std::uint64_t n) {
+            CHS_CHECK_MSG(util::is_pow2(n), "hypercube target needs N = 2^m");
+            return util::ceil_log2(n);
+          },
+      .keep =
+          [](GuestId i, std::uint32_t k, std::uint64_t n) {
+            CHS_CHECK_MSG(util::is_pow2(n), "hypercube target needs N = 2^m");
+            return (i & (std::uint64_t{1} << k)) == 0;
+          },
+      .any_kept_in = {},
+  };
+}
+
+TargetSpec skiplist_target() {
+  return TargetSpec{
+      .name = "skiplist",
+      .num_waves = [](std::uint64_t n) { return util::ceil_log2(n); },
+      .keep =
+          [](GuestId i, std::uint32_t k, std::uint64_t) {
+            return (i & ((std::uint64_t{1} << k) - 1)) == 0;
+          },
+      // [s0, s1) contains a multiple of 2^k iff rounding s0 up to the next
+      // multiple stays below s1.
+      .any_kept_in =
+          [](std::uint64_t s0, std::uint64_t s1, std::uint32_t k,
+             std::uint64_t) {
+            if (s0 >= s1) return false;
+            const std::uint64_t step = std::uint64_t{1} << k;
+            const std::uint64_t first = (s0 + step - 1) / step * step;
+            return first < s1;
+          },
+  };
+}
+
+namespace {
+
+// SplitMix64 finalizer as a stateless hash: every node computes the same
+// value for the same (i, n, salt), which is what keeps the derandomized
+// small world locally checkable.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint32_t smallworld_level(GuestId i, std::uint64_t n_guests,
+                               std::uint64_t salt) {
+  const std::uint32_t waves = util::ceil_log2(n_guests);
+  if (waves <= 1) return 0;  // degenerate N <= 2: ring only
+  const std::uint64_t h =
+      mix64(i * 0x9e3779b97f4a7c15ULL + salt + n_guests * 0x2545f4914f6cdd1dULL);
+  return 1 + static_cast<std::uint32_t>(h % (waves - 1));
+}
+
+TargetSpec smallworld_target(std::uint64_t salt) {
+  return TargetSpec{
+      .name = "smallworld",
+      .num_waves = [](std::uint64_t n) { return util::ceil_log2(n); },
+      .keep =
+          [salt](GuestId i, std::uint32_t k, std::uint64_t n) {
+            return k == 0 || k == smallworld_level(i, n, salt);
+          },
+      // Exact early-exit scan: each guest keeps level k with probability
+      // about 1/(waves-1), so the expected scan length is O(log N).
+      .any_kept_in =
+          [salt](std::uint64_t s0, std::uint64_t s1, std::uint32_t k,
+                 std::uint64_t n) {
+            if (s0 >= s1) return false;
+            if (k == 0) return true;
+            for (std::uint64_t i = s0; i < s1; ++i) {
+              if (k == smallworld_level(i, n, salt)) return true;
+            }
+            return false;
+          },
+  };
+}
+
+std::vector<std::pair<GuestId, GuestId>> target_guest_edges(const TargetSpec& t,
+                                                            std::uint64_t n_guests) {
+  const Cbt cbt(n_guests);
+  std::vector<std::pair<GuestId, GuestId>> out = cbt.edges();
+  for (auto& [a, b] : out) {
+    if (a > b) std::swap(a, b);
+  }
+  const std::uint32_t waves = t.num_waves(n_guests);
+  for (GuestId i = 0; i < n_guests; ++i) {
+    for (std::uint32_t k = 0; k < waves; ++k) {
+      if (!t.keep(i, k, n_guests)) continue;
+      const GuestId j = (i + (std::uint64_t{1} << k)) % n_guests;
+      if (i == j) continue;
+      out.emplace_back(std::min(i, j), std::max(i, j));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace chs::topology

@@ -1,0 +1,72 @@
+// Generic target-topology description for the network-scaffolding pattern
+// (§6 of the paper).
+//
+// Algorithm 1 builds ring-finger ("span") edges inductively: wave k creates
+// the span-2^k edge of every guest using the span-2^(k-1) edges of wave k−1.
+// Any topology whose edge set is CBT ∪ {a subset of span edges} can reuse the
+// construction unchanged: the builder runs `num_waves` MakeFinger waves, and
+// at the final DONE wave each host prunes span edges the target does not
+// `keep`. (The scaffold edges are always kept — "unlike a real scaffold, we
+// maintain the scaffold edges after the target network is built".)
+//
+// Instantiations:
+//   chord_target      — the paper's Chord(N): keep all, log N − 1 waves.
+//   bichord_target    — full finger table: one extra wave (span N/2).
+//   hypercube_target  — keep (i, i+2^k) iff bit k of i is 0 (N must be 2^m).
+//   skiplist_target   — keep (i, i+2^k) iff 2^k divides i: a deterministic
+//                       skip list over the ring (express lanes thin out
+//                       geometrically; guest 0 is the top-lane hub).
+//   smallworld_target — ring plus exactly one long-range finger per guest at
+//                       a hash-chosen level (Kleinberg-style small world,
+//                       derandomized so it stays locally checkable).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "topology/cbt.hpp"
+#include "util/bitops.hpp"
+
+namespace chs::topology {
+
+struct TargetSpec {
+  std::string name;
+  /// Number of MakeFinger waves (= highest span exponent + 1). Must satisfy
+  /// num_waves(N) <= ceil(log2 N) so the inductive construction stays valid.
+  std::function<std::uint32_t(std::uint64_t n_guests)> num_waves;
+  /// Whether the undirected span edge (i, (i + 2^k) mod N) belongs to the
+  /// final target topology.
+  std::function<bool(GuestId i, std::uint32_t k, std::uint64_t n_guests)> keep;
+  /// Optional exact range query: does any guest i in [s0, s1), s1 <= n,
+  /// keep its level-k finger? The DONE-time prune asks this for whole
+  /// responsible ranges; when unset, the protocol falls back to a bit-k
+  /// parity heuristic that is exact for keep predicates depending on i only
+  /// through bit k (chord, bichord, hypercube). Targets with finer
+  /// predicates (skiplist, smallworld) must provide it.
+  std::function<bool(std::uint64_t s0, std::uint64_t s1, std::uint32_t k,
+                     std::uint64_t n_guests)>
+      any_kept_in;
+};
+
+TargetSpec chord_target();
+TargetSpec bichord_target();
+TargetSpec hypercube_target();
+TargetSpec skiplist_target();
+/// `salt` varies the hash so different deployments get different long-range
+/// wirings; every node must agree on it (it is part of the target, like N).
+TargetSpec smallworld_target(std::uint64_t salt = 0);
+
+/// The level of guest i's one long-range finger in smallworld_target(salt):
+/// a value in [1, num_waves). Exposed so tests and routing analyses can
+/// reason about the wiring without re-deriving the hash.
+std::uint32_t smallworld_level(GuestId i, std::uint64_t n_guests,
+                               std::uint64_t salt = 0);
+
+/// Final guest edge set for a target: CBT(N) tree edges plus kept span
+/// edges. O(N log N); used by legality checkers and tests.
+std::vector<std::pair<GuestId, GuestId>> target_guest_edges(const TargetSpec& t,
+                                                            std::uint64_t n_guests);
+
+}  // namespace chs::topology

@@ -1,0 +1,37 @@
+// Lightweight invariant checking.
+//
+// CHS_CHECK is always on (simulation correctness beats raw speed here; the
+// hot paths that matter are measured with the checks in place, and the
+// microbenchmarks quantify their cost). CHS_DCHECK compiles out in NDEBUG
+// builds and guards the expensive structural validations.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace chs::util {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace chs::util
+
+#define CHS_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) ::chs::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CHS_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) ::chs::util::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CHS_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define CHS_DCHECK(expr) CHS_CHECK(expr)
+#endif

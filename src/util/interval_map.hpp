@@ -1,0 +1,137 @@
+// IntervalMap: a map from disjoint half-open u64 intervals to values.
+//
+// Hosts track "which host owns guest interval [a, b)" for their outgoing
+// fingers (the image of a host's responsible range under +2^k is contiguous,
+// so it intersects only a handful of other hosts' ranges). A sorted vector of
+// interval starts gives O(log m) lookup and cheap in-order iteration; m stays
+// small (O(log N) expected), so a flat representation beats node-based maps.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace chs::util {
+
+template <typename V>
+class IntervalMap {
+ public:
+  struct Entry {
+    std::uint64_t lo;  // inclusive
+    std::uint64_t hi;  // exclusive
+    V value;
+  };
+
+  /// Insert [lo, hi) -> value, overwriting any overlapped portions of
+  /// existing intervals (splitting them as needed).
+  void assign(std::uint64_t lo, std::uint64_t hi, V value) {
+    if (lo >= hi) return;
+    std::vector<Entry> next;
+    next.reserve(entries_.size() + 2);
+    bool inserted = false;
+    auto push_new = [&] {
+      if (!inserted) {
+        next.push_back(Entry{lo, hi, std::move(value)});
+        inserted = true;
+      }
+    };
+    for (auto& e : entries_) {
+      if (e.hi <= lo) {
+        next.push_back(std::move(e));
+        continue;
+      }
+      if (e.lo >= hi) {
+        push_new();
+        next.push_back(std::move(e));
+        continue;
+      }
+      // Overlap: keep the non-overlapped flanks of e.
+      if (e.lo < lo) next.push_back(Entry{e.lo, lo, e.value});
+      push_new();
+      if (e.hi > hi) next.push_back(Entry{hi, e.hi, e.value});
+    }
+    push_new();
+    entries_ = std::move(next);
+    coalesce();
+  }
+
+  /// Entry covering point p, if any (for boundary-aligned iteration).
+  const Entry* find_entry(std::uint64_t p) const {
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), p,
+        [](std::uint64_t v, const Entry& e) { return v < e.lo; });
+    if (it == entries_.begin()) return nullptr;
+    --it;
+    return p < it->hi ? &*it : nullptr;
+  }
+
+  /// Value covering point p, if any.
+  std::optional<V> find(std::uint64_t p) const {
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), p,
+        [](std::uint64_t v, const Entry& e) { return v < e.lo; });
+    if (it == entries_.begin()) return std::nullopt;
+    --it;
+    if (p < it->hi) return it->value;
+    return std::nullopt;
+  }
+
+  /// Remove all intervals (or interval portions) inside [lo, hi).
+  void erase(std::uint64_t lo, std::uint64_t hi) {
+    if (lo >= hi) return;
+    std::vector<Entry> next;
+    next.reserve(entries_.size() + 1);
+    for (auto& e : entries_) {
+      if (e.hi <= lo || e.lo >= hi) {
+        next.push_back(std::move(e));
+        continue;
+      }
+      if (e.lo < lo) next.push_back(Entry{e.lo, lo, e.value});
+      if (e.hi > hi) next.push_back(Entry{hi, e.hi, e.value});
+    }
+    entries_ = std::move(next);
+  }
+
+  void clear() { entries_.clear(); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// True iff every point of [lo, hi) is covered by some interval.
+  bool covers(std::uint64_t lo, std::uint64_t hi) const {
+    std::uint64_t at = lo;
+    for (const auto& e : entries_) {
+      if (e.hi <= at) continue;
+      if (e.lo > at) return false;
+      at = e.hi;
+      if (at >= hi) return true;
+    }
+    return at >= hi;
+  }
+
+ private:
+  void coalesce() {
+    if (entries_.empty()) return;
+    std::vector<Entry> next;
+    next.reserve(entries_.size());
+    next.push_back(std::move(entries_.front()));
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      Entry& prev = next.back();
+      Entry& cur = entries_[i];
+      CHS_DCHECK(prev.hi <= cur.lo);
+      if (prev.hi == cur.lo && prev.value == cur.value) {
+        prev.hi = cur.hi;
+      } else {
+        next.push_back(std::move(cur));
+      }
+    }
+    entries_ = std::move(next);
+  }
+
+  std::vector<Entry> entries_;  // sorted by lo, disjoint
+};
+
+}  // namespace chs::util

@@ -1,0 +1,21 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace chs::util {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  CHS_CHECK_MSG(bound > 0, "next_below(0)");
+  // Lemire's nearly-divisionless method.
+  while (true) {
+    const std::uint64_t x = next_u64();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+    const std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo >= bound || lo >= (-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+}  // namespace chs::util

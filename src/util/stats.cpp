@@ -1,0 +1,75 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chs::util {
+
+Summary summarize(std::vector<double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() >= 2) {
+    double ss = 0.0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  const std::size_t mid = xs.size() / 2;
+  s.median = xs.size() % 2 == 1 ? xs[mid] : 0.5 * (xs[mid - 1] + xs[mid]);
+  return s;
+}
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+PowerFit fit_power(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  PowerFit fit;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  std::vector<double> lx, ly;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (xs[i] > 0.0 && ys[i] > 0.0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  if (lx.size() < 2) return fit;
+  const double m = static_cast<double>(lx.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    sx += lx[i];
+    sy += ly[i];
+    sxx += lx[i] * lx[i];
+    sxy += lx[i] * ly[i];
+  }
+  const double denom = m * sxx - sx * sx;
+  if (denom == 0.0) return fit;  // all x equal: no slope information
+  fit.exponent = (m * sxy - sx * sy) / denom;
+  fit.coefficient = std::exp((sy - fit.exponent * sx) / m);
+  // R² in log space.
+  const double ybar = sy / m;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    const double pred = std::log(fit.coefficient) + fit.exponent * lx[i];
+    ss_res += (ly[i] - pred) * (ly[i] - pred);
+    ss_tot += (ly[i] - ybar) * (ly[i] - ybar);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace chs::util

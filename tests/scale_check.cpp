@@ -1,0 +1,22 @@
+#include <chrono>
+#include <cstdio>
+#include "core/network.hpp"
+#include "graph/generators.hpp"
+int main() {
+  using namespace chs;
+  for (auto [n_hosts, n_guests] : std::vector<std::pair<std::size_t, std::uint64_t>>{
+           {16, 64}, {64, 256}, {128, 1024}, {256, 4096}}) {
+    util::Rng rng(9);
+    auto ids = graph::sample_ids(n_hosts, n_guests, rng);
+    auto g = graph::make_random_tree(ids, rng);
+    core::Params p; p.n_guests = n_guests;
+    auto eng = core::make_engine(std::move(g), p, 5);
+    auto t0 = std::chrono::steady_clock::now();
+    auto res = core::run_to_convergence(*eng, 200000);
+    auto dt = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::printf("n=%zu N=%llu conv=%d rounds=%llu degexp=%.2f resets=%llu wall=%.1fs\n",
+                n_hosts, (unsigned long long)n_guests, res.converged,
+                (unsigned long long)res.rounds, res.degree_expansion,
+                (unsigned long long)res.total_resets, dt);
+  }
+}

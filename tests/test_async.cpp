@@ -1,0 +1,92 @@
+// Bounded-asynchrony model (§7: "investigate ... a more realistic
+// asynchronous communication model"): messages are delayed uniformly in
+// [1, d] rounds. With budgets stretched by the same factor
+// (Params::delay_slack = d), the protocol must still stabilize, and the
+// invariants must still hold every round.
+#include <gtest/gtest.h>
+
+#include "core/invariants.hpp"
+#include "graph/generators.hpp"
+
+namespace chs {
+namespace {
+
+using core::Params;
+using core::Phase;
+using core::StabEngine;
+
+class AsyncDelay : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(AsyncDelay, ScaffoldedBuildConverges) {
+  const std::uint32_t d = GetParam();
+  util::Rng rng(3);
+  auto ids = graph::sample_ids(24, 128, rng);
+  Params p;
+  p.n_guests = 128;
+  p.delay_slack = d;
+  auto eng = core::make_engine(core::scaffold_graph(ids, 128), p, 5);
+  eng->set_max_message_delay(d);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  const auto res = core::run_to_convergence(*eng, 50000);
+  EXPECT_TRUE(res.converged) << "delay=" << d << " rounds=" << res.rounds;
+  EXPECT_EQ(res.total_resets, 0u) << "delay=" << d;
+}
+
+TEST_P(AsyncDelay, FullStabilizationConverges) {
+  const std::uint32_t d = GetParam();
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    util::Rng rng(seed * 19);
+    auto ids = graph::sample_ids(16, 64, rng);
+    Params p;
+    p.n_guests = 64;
+    p.delay_slack = d;
+    auto eng = core::make_engine(graph::make_random_tree(ids, rng), p, seed);
+    eng->set_max_message_delay(d);
+    const auto res = core::run_to_convergence(*eng, 600000);
+    EXPECT_TRUE(res.converged)
+        << "delay=" << d << " seed=" << seed << " rounds=" << res.rounds;
+  }
+}
+
+TEST_P(AsyncDelay, InvariantsHoldUnderDelay) {
+  const std::uint32_t d = GetParam();
+  util::Rng rng(7);
+  auto ids = graph::sample_ids(12, 64, rng);
+  Params p;
+  p.n_guests = 64;
+  p.delay_slack = d;
+  auto eng = core::make_engine(graph::make_star(ids), p, 3);
+  eng->set_max_message_delay(d);
+  std::string violation;
+  for (std::uint64_t r = 0; r < 60000 && !core::is_converged(*eng); ++r) {
+    eng->step_round();
+    violation = core::check_invariants(*eng);
+    if (!violation.empty()) break;
+  }
+  EXPECT_EQ(violation, "") << "delay=" << d;
+  EXPECT_TRUE(core::is_converged(*eng)) << "delay=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, AsyncDelay, ::testing::Values(2u, 3u),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& i) {
+                           return "d" + std::to_string(i.param);
+                         });
+
+TEST(AsyncDelay, DelayOneIsSynchronous) {
+  // d = 1 must be byte-identical to the synchronous engine (same seeds).
+  util::Rng rng(5);
+  auto ids = graph::sample_ids(12, 64, rng);
+  Params p;
+  p.n_guests = 64;
+  auto a = core::make_engine(graph::make_line(ids), p, 9);
+  auto b = core::make_engine(graph::make_line(ids), p, 9);
+  b->set_max_message_delay(1);
+  for (int r = 0; r < 400; ++r) {
+    a->step_round();
+    b->step_round();
+  }
+  EXPECT_TRUE(a->graph().same_topology(b->graph()));
+}
+
+}  // namespace
+}  // namespace chs

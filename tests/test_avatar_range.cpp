@@ -1,0 +1,165 @@
+// Responsible ranges and the pairwise zip winner rule. The key property test
+// (ZipWinnerEqualsUnionPredecessor) validates the local merge decision the
+// whole cluster-merge design rests on (DESIGN.md D3).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "avatar/range.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace chs::avatar {
+namespace {
+
+TEST(Range, HostOfPredecessorRule) {
+  const std::vector<NodeId> ids{3, 7, 10};
+  EXPECT_EQ(host_of(0, ids), 3u);  // min covers [0, ..)
+  EXPECT_EQ(host_of(2, ids), 3u);
+  EXPECT_EQ(host_of(3, ids), 3u);
+  EXPECT_EQ(host_of(6, ids), 3u);
+  EXPECT_EQ(host_of(7, ids), 7u);
+  EXPECT_EQ(host_of(9, ids), 7u);
+  EXPECT_EQ(host_of(10, ids), 10u);
+  EXPECT_EQ(host_of(99, ids), 10u);
+}
+
+TEST(Range, RangeOfTilesGuestSpace) {
+  const std::vector<NodeId> ids{3, 7, 10};
+  const std::uint64_t n = 16;
+  EXPECT_EQ(range_of(3, ids, n), (Range{0, 7}));
+  EXPECT_EQ(range_of(7, ids, n), (Range{7, 10}));
+  EXPECT_EQ(range_of(10, ids, n), (Range{10, 16}));
+}
+
+TEST(Range, SingletonCoversEverything) {
+  const std::vector<NodeId> ids{9};
+  EXPECT_EQ(range_of(9, ids, 100), (Range{0, 100}));
+  EXPECT_EQ(host_of(0, ids), 9u);
+  EXPECT_EQ(host_of(99, ids), 9u);
+}
+
+TEST(Range, CanonicalRangesPartition) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t n = 1 << 10;
+    std::vector<NodeId> ids;
+    const std::size_t count = 1 + rng.next_below(40);
+    while (ids.size() < count) {
+      const NodeId c = rng.next_below(n);
+      if (!std::count(ids.begin(), ids.end(), c)) ids.push_back(c);
+    }
+    std::sort(ids.begin(), ids.end());
+    const auto ranges = canonical_ranges(ids, n);
+    ASSERT_EQ(ranges.size(), ids.size());
+    EXPECT_EQ(ranges.front().lo, 0u);
+    EXPECT_EQ(ranges.back().hi, n);
+    for (std::size_t i = 0; i + 1 < ranges.size(); ++i) {
+      EXPECT_EQ(ranges[i].hi, ranges[i + 1].lo);
+      EXPECT_TRUE(ranges[i + 1].contains(ids[i + 1]));
+    }
+    // host_of agrees with range containment.
+    for (int probes = 0; probes < 50; ++probes) {
+      const GuestId g = rng.next_below(n);
+      const NodeId h = host_of(g, ids);
+      const auto idx = std::lower_bound(ids.begin(), ids.end(), h) - ids.begin();
+      EXPECT_TRUE(ranges[idx].contains(g)) << "g=" << g;
+    }
+  }
+}
+
+TEST(Range, ZipWinnerEqualsUnionPredecessor) {
+  // For random disjoint member sets A and B: for every guest g, the winner of
+  // (host_A(g), host_B(g)) under the pairwise rule must equal host_{A∪B}(g).
+  util::Rng rng(42);
+  const std::uint64_t n = 256;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<NodeId> a, b;
+    std::vector<char> used(n, 0);
+    const auto draw = [&](std::vector<NodeId>& out, std::size_t count) {
+      while (out.size() < count) {
+        const NodeId c = rng.next_below(n);
+        if (!used[c]) {
+          used[c] = 1;
+          out.push_back(c);
+        }
+      }
+      std::sort(out.begin(), out.end());
+    };
+    draw(a, 1 + rng.next_below(12));
+    draw(b, 1 + rng.next_below(12));
+    std::vector<NodeId> u;
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(u));
+    for (GuestId g = 0; g < n; ++g) {
+      const NodeId ha = host_of(g, a);
+      const NodeId hb = host_of(g, b);
+      EXPECT_EQ(zip_winner(g, ha, hb), host_of(g, u))
+          << "g=" << g << " ha=" << ha << " hb=" << hb;
+    }
+  }
+}
+
+TEST(Range, ZipUniformOverMatchesPointwise) {
+  // If zip_uniform_over says an interval is uniform, the winner must indeed
+  // be constant across it.
+  util::Rng rng(7);
+  const std::uint64_t n = 128;
+  for (int trial = 0; trial < 200; ++trial) {
+    const NodeId a = rng.next_below(n);
+    NodeId b = rng.next_below(n);
+    if (a == b) continue;
+    GuestId lo = rng.next_below(n), hi = rng.next_below(n + 1);
+    if (lo > hi) std::swap(lo, hi);
+    if (lo == hi) continue;
+    const topology::CbtInterval iv{lo, hi};
+    if (!zip_uniform_over(iv, a, b)) continue;
+    const NodeId w = zip_winner(lo, a, b);
+    for (GuestId g = lo; g < hi; ++g) {
+      ASSERT_EQ(zip_winner(g, a, b), w)
+          << "interval [" << lo << "," << hi << ") a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Range, BalanceSingletonAndDense) {
+  // One host owns everything: imbalance n (max range N over mean N/1 = 1x).
+  const std::vector<NodeId> one{5};
+  const auto b1 = range_balance(one, 256);
+  EXPECT_EQ(b1.max_range, 256u);
+  EXPECT_DOUBLE_EQ(b1.imbalance, 1.0);
+  EXPECT_EQ(b1.widest_host, 5u);
+  // Dense ids: every range is exactly 1.
+  std::vector<NodeId> dense(64);
+  for (std::uint64_t i = 0; i < 64; ++i) dense[i] = i;
+  const auto b2 = range_balance(dense, 64);
+  EXPECT_EQ(b2.max_range, 1u);
+  EXPECT_DOUBLE_EQ(b2.imbalance, 1.0);
+}
+
+TEST(Range, BalanceDetectsSkew) {
+  // Hosts piled at the top of the id space: host 0 owns almost everything.
+  const std::vector<NodeId> skewed{0, 250, 251, 252};
+  const auto b = range_balance(skewed, 256);
+  EXPECT_EQ(b.max_range, 250u);
+  EXPECT_EQ(b.widest_host, 0u);
+  EXPECT_NEAR(b.imbalance, 250.0 / 64.0, 1e-9);
+}
+
+TEST(Range, BalanceOfRandomIdsIsLogarithmic) {
+  // The classic balance bound: for uniform random ids the largest range is
+  // O(log n) times the mean whp. Checked across seeds with slack factor 3.
+  const std::uint64_t n_guests = 1 << 16;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed);
+    auto ids = graph::sample_ids(256, n_guests, rng);
+    std::sort(ids.begin(), ids.end());
+    const auto b = range_balance(ids, n_guests);
+    EXPECT_LE(b.imbalance, 3.0 * std::log(256.0)) << "seed " << seed;
+    EXPECT_GE(b.imbalance, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace chs::avatar

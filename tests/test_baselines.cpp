@@ -1,0 +1,173 @@
+// Baselines: TCF must converge fast but with Θ(n) peak degree; the linear
+// baseline must converge to line+fingers with time that grows with the
+// initial diameter; the ideal-neighborhood pattern (§4.1's strawman) must
+// reach the same Avatar(target) graph but without the scaffolding
+// algorithm's degree discipline — the contrasts experiment E6 quantifies.
+#include <gtest/gtest.h>
+
+#include "avatar/embedding.hpp"
+#include "baselines/ideal.hpp"
+#include "baselines/linear.hpp"
+#include "baselines/tcf.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+namespace chs::baselines {
+namespace {
+
+std::vector<NodeId> iota_ids(std::size_t n) {
+  std::vector<NodeId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+  return ids;
+}
+
+TEST(Tcf, ConvergesFromLine) {
+  const auto res = run_tcf(graph::make_line(iota_ids(16)),
+                           topology::chord_target(), 16, 200, 1);
+  EXPECT_TRUE(res.converged) << res.rounds;
+}
+
+TEST(Tcf, ConvergesFromRandomTree) {
+  util::Rng rng(3);
+  const auto res = run_tcf(graph::make_random_tree(iota_ids(32), rng),
+                           topology::chord_target(), 32, 400, 1);
+  EXPECT_TRUE(res.converged) << res.rounds;
+}
+
+TEST(Tcf, PeakDegreeIsLinear) {
+  const std::size_t n = 32;
+  const auto res = run_tcf(graph::make_ring(iota_ids(n)),
+                           topology::chord_target(), n, 400, 1);
+  ASSERT_TRUE(res.converged);
+  // Clique formation forces degree n-1 at every node.
+  EXPECT_EQ(res.peak_max_degree, n - 1);
+}
+
+TEST(Tcf, RoundsGrowWithLogDiameter) {
+  // Squaring the graph halves the diameter every round; a line of n nodes
+  // completes in O(log n) rounds (plus pruning).
+  const auto res = run_tcf(graph::make_line(iota_ids(64)),
+                           topology::chord_target(), 64, 400, 1);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LE(res.rounds, 20u);
+}
+
+TEST(Tcf, SparseHostIds) {
+  util::Rng rng(9);
+  auto ids = graph::sample_ids(12, 256, rng);
+  const auto res = run_tcf(graph::make_star(ids), topology::chord_target(),
+                           256, 200, 1);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Linear, IdealTopologyShape) {
+  const auto g = linear_chord_ideal({0, 1, 2, 3, 4, 5, 6, 7});
+  // Line edges plus jumps of 2 and 4.
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(3, 7));
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(Linear, ConvergesFromSortedLine) {
+  const auto res = run_linear(graph::make_line(iota_ids(16)), 2000, 1);
+  EXPECT_TRUE(res.converged) << res.rounds;
+}
+
+TEST(Linear, ConvergesFromStar) {
+  const auto res = run_linear(graph::make_star(iota_ids(16)), 5000, 1);
+  EXPECT_TRUE(res.converged) << res.rounds;
+}
+
+TEST(Linear, ConvergesFromRandomTree) {
+  util::Rng rng(5);
+  const auto res = run_linear(graph::make_random_tree(iota_ids(24), rng), 8000, 1);
+  EXPECT_TRUE(res.converged) << res.rounds;
+}
+
+TEST(Linear, LineStabilizationGrowsWithN) {
+  // The line itself needs Ω(n) rounds from a star: ids must travel along
+  // the emerging list one position per round.
+  const auto small = run_linear(graph::make_star(iota_ids(8)), 5000, 1);
+  const auto large = run_linear(graph::make_star(iota_ids(32)), 20000, 1);
+  ASSERT_TRUE(small.converged);
+  ASSERT_TRUE(large.converged);
+  EXPECT_GT(large.rounds, small.rounds);
+}
+
+TEST(Ideal, SilentWhenAlreadyIdeal) {
+  // Fixed-point property: starting from the exact Avatar(chord) host graph,
+  // no node desires any change and the topology never moves.
+  const std::uint64_t n = 32;
+  const auto ids = iota_ids(n);
+  auto ideal = avatar::ideal_host_graph(topology::chord_target(), ids, n);
+  IdealEngine eng(ideal, IdealProtocol(topology::chord_target(), n), 1);
+  for (int r = 0; r < 20; ++r) eng.step_round();
+  EXPECT_TRUE(eng.graph().same_topology(ideal));
+  EXPECT_EQ(eng.metrics().edge_adds() + eng.metrics().edge_dels(), 0u);
+}
+
+TEST(Ideal, ConvergesFromRing) {
+  const std::uint64_t n = 32;
+  const auto res = run_ideal(graph::make_ring(iota_ids(n)),
+                             topology::chord_target(), n, 5000, 1);
+  EXPECT_TRUE(res.converged) << res.rounds;
+}
+
+TEST(Ideal, ConvergesFromRandomTree) {
+  util::Rng rng(7);
+  const std::uint64_t n = 32;
+  const auto res = run_ideal(graph::make_random_tree(iota_ids(n), rng),
+                             topology::chord_target(), n, 10000, 2);
+  EXPECT_TRUE(res.converged) << res.rounds;
+}
+
+TEST(Ideal, ConvergesFromStarWithSparseIds) {
+  util::Rng rng(11);
+  auto ids = graph::sample_ids(16, 128, rng);
+  const auto res = run_ideal(graph::make_star(ids), topology::chord_target(),
+                             128, 10000, 3);
+  EXPECT_TRUE(res.converged) << res.rounds;
+}
+
+TEST(Ideal, PreservesConnectivityEveryRound) {
+  util::Rng rng(13);
+  const std::uint64_t n = 48;
+  auto ids = iota_ids(n);
+  IdealEngine eng(graph::make_random_tree(ids, rng),
+                  IdealProtocol(topology::chord_target(), n), 4);
+  for (int r = 0; r < 600; ++r) {
+    eng.step_round();
+    ASSERT_TRUE(graph::is_connected(eng.graph())) << "round " << r;
+  }
+}
+
+TEST(Ideal, WorksForRingPreservingTargets) {
+  // Targets that keep every ring edge give each node a desired successor
+  // and predecessor, so the forward-and-drop hand-off makes strict ring
+  // progress and undesired edges die at their final position.
+  const std::uint64_t n = 32;
+  for (const auto& t : {topology::bichord_target(),
+                        topology::skiplist_target(),
+                        topology::smallworld_target(5)}) {
+    const auto res = run_ideal(graph::make_ring(iota_ids(n)), t, n, 8000, 1);
+    EXPECT_TRUE(res.converged) << t.name << " rounds=" << res.rounds;
+  }
+}
+
+TEST(Ideal, NaivePatternStallsOnHypercube) {
+  // §4.1's warning demonstrated: hypercube prunes the odd ring edges, so
+  // nodes compute phantom desires over impoverished 2-hop knowledge (the
+  // responsible-range of a known node looks longer than it is) and a stable
+  // population of undesired edges migrates forever. The scaffolding
+  // algorithm (test_pattern) builds this same target without trouble.
+  const std::uint64_t n = 32;
+  const auto res = run_ideal(graph::make_ring(iota_ids(n)),
+                             topology::hypercube_target(), n, 3000, 1);
+  EXPECT_FALSE(res.converged);
+}
+
+}  // namespace
+}  // namespace chs::baselines

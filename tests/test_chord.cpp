@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/chord.hpp"
+#include "topology/hypercube.hpp"
+
+namespace chs::topology {
+namespace {
+
+TEST(Chord, FingerArithmetic) {
+  Chord c(16);
+  EXPECT_EQ(c.num_fingers(), 3u);  // Definition 1: k < log N - 1
+  EXPECT_EQ(c.finger(0, 0), 1u);
+  EXPECT_EQ(c.finger(0, 1), 2u);
+  EXPECT_EQ(c.finger(0, 2), 4u);
+  EXPECT_EQ(c.finger(15, 0), 0u);  // ring wrap
+  EXPECT_EQ(c.finger(14, 2), 2u);
+}
+
+TEST(Chord, IsFingerEdgeSymmetric) {
+  Chord c(16);
+  EXPECT_TRUE(c.is_finger_edge(3, 4));
+  EXPECT_TRUE(c.is_finger_edge(4, 3));
+  EXPECT_TRUE(c.is_finger_edge(3, 7));
+  EXPECT_FALSE(c.is_finger_edge(3, 6));
+  EXPECT_FALSE(c.is_finger_edge(3, 3));
+  EXPECT_TRUE(c.is_finger_edge(15, 0));
+}
+
+TEST(Chord, EdgeCountMatchesFormula) {
+  // Each of N nodes contributes num_fingers directed edges; spans 2^k with
+  // 2^k != N - 2^k are all distinct undirected, so for N = 2^m and k <= m-2
+  // there is no double counting: N * (m-1) undirected edges.
+  for (std::uint64_t m : {3u, 4u, 6u, 8u}) {
+    const std::uint64_t n = 1ULL << m;
+    Chord c(n);
+    EXPECT_EQ(c.edges().size(), n * (m - 1)) << "N=" << n;
+  }
+}
+
+TEST(Chord, EdgesAreExactlyDefinitionOne) {
+  const std::uint64_t n = 32;
+  Chord c(n);
+  std::set<std::pair<GuestId, GuestId>> expected;
+  for (GuestId i = 0; i < n; ++i) {
+    for (std::uint32_t k = 0; k < c.num_fingers(); ++k) {
+      const GuestId j = (i + (1ULL << k)) % n;
+      expected.insert({std::min(i, j), std::max(i, j)});
+    }
+  }
+  const auto got = c.edges();
+  const std::set<std::pair<GuestId, GuestId>> got_set(got.begin(), got.end());
+  EXPECT_EQ(got_set, expected);
+}
+
+TEST(Chord, RingIsSubgraph) {
+  Chord c(64);
+  for (GuestId i = 0; i < 64; ++i) {
+    EXPECT_TRUE(c.is_finger_edge(i, (i + 1) % 64));
+  }
+}
+
+TEST(Hypercube, DimensionAndEdges) {
+  Hypercube h(16);
+  EXPECT_EQ(h.dimension(), 4u);
+  EXPECT_EQ(h.edges().size(), 16u * 4 / 2);
+  EXPECT_TRUE(h.is_edge(0, 1));
+  EXPECT_TRUE(h.is_edge(0, 8));
+  EXPECT_FALSE(h.is_edge(0, 3));
+  EXPECT_FALSE(h.is_edge(1, 2));  // differ in two bits
+}
+
+TEST(Hypercube, EdgesAreXorPowers) {
+  Hypercube h(32);
+  for (const auto& [a, b] : h.edges()) {
+    EXPECT_TRUE(util::is_pow2(a ^ b));
+    EXPECT_LT(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace chs::topology

@@ -1,0 +1,145 @@
+// Churn: hosts leaving and rejoining (modeled as edge teardown plus state
+// wipe — the engine's vertex set is fixed, so a "new" node is a returning
+// one with amnesia, which is the harder case for self-stabilization).
+#include <gtest/gtest.h>
+
+#include "core/churn.hpp"
+#include "core/network.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+
+namespace chs {
+namespace {
+
+using core::Params;
+using core::Phase;
+using core::StabEngine;
+using graph::NodeId;
+using stabilizer::HostState;
+
+constexpr std::uint64_t kGuests = 128;
+
+std::unique_ptr<StabEngine> converged(std::uint64_t seed, std::size_t hosts) {
+  util::Rng rng(seed);
+  auto ids = graph::sample_ids(hosts, kGuests, rng);
+  Params p;
+  p.n_guests = kGuests;
+  auto eng = core::make_engine(core::scaffold_graph(ids, kGuests), p, seed);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  CHS_CHECK(core::run_to_convergence(*eng, 100000).converged);
+  return eng;
+}
+
+void churn(StabEngine& eng, NodeId victim, NodeId anchor) {
+  core::churn_host(eng, victim, anchor);
+}
+
+TEST(Churn, SingleLeaveRejoinRecovers) {
+  auto eng = converged(4, 20);
+  const auto& ids = eng->graph().ids();
+  churn(*eng, ids[7], ids[2]);
+  ASSERT_TRUE(graph::is_connected(eng->graph()));
+  const auto res = core::run_to_convergence(*eng, 400000);
+  EXPECT_TRUE(res.converged) << res.rounds;
+}
+
+TEST(Churn, RootChurnRecovers) {
+  // Take down the cluster root itself (host of the guest-root position).
+  auto eng = converged(5, 20);
+  const auto& ids = eng->graph().ids();
+  const NodeId root = eng->state(ids[0]).cluster;
+  churn(*eng, root, root == ids[0] ? ids[1] : ids[0]);
+  const auto res = core::run_to_convergence(*eng, 400000);
+  EXPECT_TRUE(res.converged) << res.rounds;
+}
+
+TEST(Churn, MinAndMaxHostChurnRecovers) {
+  // The ring-wrap hosts (min and max ids) hold the special wrap fingers.
+  auto eng = converged(6, 20);
+  const auto& ids = eng->graph().ids();
+  churn(*eng, ids.front(), ids[ids.size() / 2]);
+  auto res = core::run_to_convergence(*eng, 400000);
+  ASSERT_TRUE(res.converged);
+  churn(*eng, ids.back(), ids[ids.size() / 3]);
+  res = core::run_to_convergence(*eng, 400000);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Churn, BurstChurnRecovers) {
+  // A quarter of the hosts churn in the same round (network stays
+  // connected: each rejoins through a survivor).
+  auto eng = converged(7, 24);
+  const auto ids = eng->graph().ids();
+  for (std::size_t i = 0; i < ids.size(); i += 4) {
+    churn(*eng, ids[i], ids[(i + 1) % ids.size()]);
+  }
+  ASSERT_TRUE(graph::is_connected(eng->graph()));
+  const auto res = core::run_to_convergence(*eng, 400000);
+  EXPECT_TRUE(res.converged) << res.rounds;
+}
+
+TEST(Churn, RepeatedChurnEpisodes) {
+  auto eng = converged(8, 16);
+  util::Rng rng(55);
+  const auto ids = eng->graph().ids();
+  for (int episode = 0; episode < 3; ++episode) {
+    const NodeId victim = ids[rng.next_below(ids.size())];
+    NodeId anchor = victim;
+    while (anchor == victim) anchor = ids[rng.next_below(ids.size())];
+    churn(*eng, victim, anchor);
+    const auto res = core::run_to_convergence(*eng, 400000);
+    ASSERT_TRUE(res.converged) << "episode " << episode;
+  }
+}
+
+TEST(ChurnSchedule, SingleEventEpisodesAllRecover) {
+  auto eng = converged(9, 20);
+  core::ChurnSchedule sched;
+  sched.episodes = 4;
+  sched.burst = 1;
+  sched.seed = 3;
+  const auto report = core::run_churn_schedule(*eng, sched);
+  EXPECT_TRUE(report.all_recovered);
+  ASSERT_EQ(report.episodes.size(), 4u);
+  for (const auto& ep : report.episodes) {
+    EXPECT_TRUE(ep.recovered) << "victim " << ep.victim;
+    EXPECT_NE(ep.victim, ep.anchor);
+    EXPECT_GT(ep.recovery_rounds, 0u);
+  }
+  EXPECT_GE(report.total_rounds, report.max_recovery_rounds);
+}
+
+TEST(ChurnSchedule, BurstEpisodesRecover) {
+  auto eng = converged(10, 24);
+  core::ChurnSchedule sched;
+  sched.episodes = 2;
+  sched.burst = 4;  // four simultaneous crash-rejoins per episode
+  sched.seed = 5;
+  const auto report = core::run_churn_schedule(*eng, sched);
+  EXPECT_TRUE(report.all_recovered);
+  EXPECT_EQ(report.episodes.size(), 8u);  // burst * episodes entries
+}
+
+TEST(ChurnSchedule, AnchorsNeverPointIntoTheVictimSet) {
+  auto eng = converged(11, 24);
+  core::ChurnSchedule sched;
+  sched.episodes = 3;
+  sched.burst = 5;
+  sched.seed = 7;
+  const auto report = core::run_churn_schedule(*eng, sched);
+  ASSERT_TRUE(report.all_recovered);
+  // Within each burst (groups of 5), no anchor is another victim.
+  for (std::size_t base = 0; base < report.episodes.size(); base += 5) {
+    std::set<NodeId> victims;
+    for (std::size_t i = base; i < base + 5; ++i) {
+      victims.insert(report.episodes[i].victim);
+    }
+    EXPECT_EQ(victims.size(), 5u);
+    for (std::size_t i = base; i < base + 5; ++i) {
+      EXPECT_EQ(victims.count(report.episodes[i].anchor), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chs

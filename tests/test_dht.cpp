@@ -1,0 +1,235 @@
+// The replicated key-value store over the stabilized overlay: placement
+// determinism, put/get roundtrips as real in-band messages, the replication
+// invariant, and failover when hosts go down.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "avatar/range.hpp"
+#include "dht/kvstore.hpp"
+#include "graph/generators.hpp"
+
+namespace chs::dht {
+namespace {
+
+constexpr std::uint64_t kGuests = 256;
+constexpr std::size_t kHosts = 48;
+
+// One converged stabilizer run shared by every test in this file (building
+// it is the expensive part; the KvCluster snapshot is cheap).
+const core::StabEngine& converged_engine() {
+  static const auto eng = [] {
+    util::Rng rng(404);
+    auto ids = graph::sample_ids(kHosts, kGuests, rng);
+    core::Params p;
+    p.n_guests = kGuests;
+    auto e = core::make_engine(core::scaffold_graph(ids, kGuests), p, 6);
+    core::install_legal_cbt(*e, core::Phase::kChord);
+    const auto res = core::run_to_convergence(*e, 100000);
+    CHS_CHECK_MSG(res.converged, "fixture engine failed to converge");
+    return e;
+  }();
+  return *eng;
+}
+
+TEST(Placement, KeyToGuestDeterministicAndInRange) {
+  for (std::uint64_t key : {0ULL, 1ULL, 42ULL, ~0ULL}) {
+    const auto g1 = key_to_guest(key, kGuests);
+    const auto g2 = key_to_guest(key, kGuests);
+    EXPECT_EQ(g1, g2);
+    EXPECT_LT(g1, kGuests);
+  }
+}
+
+TEST(Placement, KeyToGuestSpreadsAcrossRing) {
+  // 1000 sequential keys must not pile into a few buckets.
+  std::map<std::uint64_t, int> quarter_counts;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    ++quarter_counts[key_to_guest(key, kGuests) / (kGuests / 4)];
+  }
+  ASSERT_EQ(quarter_counts.size(), 4u);
+  for (const auto& [q, c] : quarter_counts) {
+    EXPECT_GT(c, 150) << "quarter " << q;  // fair-ish: expect ~250 each
+  }
+}
+
+TEST(Placement, ReplicaPositionsAreSpacedAndDistinct) {
+  const std::uint32_t r = 4;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    std::set<GuestId> positions;
+    for (std::uint32_t j = 0; j < r; ++j) {
+      const GuestId g = replica_guest(key, j, r, kGuests);
+      EXPECT_LT(g, kGuests);
+      positions.insert(g);
+    }
+    EXPECT_EQ(positions.size(), r) << "key " << key;
+    // Consecutive positions are exactly N/r apart on the ring.
+    EXPECT_EQ((replica_guest(key, 1, r, kGuests) + kGuests -
+               replica_guest(key, 0, r, kGuests)) %
+                  kGuests,
+              kGuests / r);
+  }
+}
+
+TEST(KvStore, PutGetRoundtrip) {
+  KvCluster kv(converged_engine(), /*n_replicas=*/1, /*seed=*/1);
+  for (std::uint64_t key = 0; key < 50; ++key) {
+    EXPECT_EQ(kv.put(key, "value-" + std::to_string(key)), 1u) << key;
+  }
+  for (std::uint64_t key = 0; key < 50; ++key) {
+    const auto got = kv.get(key);
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_EQ(*got, "value-" + std::to_string(key));
+  }
+}
+
+TEST(KvStore, GetMissingKeyIsNullopt) {
+  KvCluster kv(converged_engine(), 2, 2);
+  EXPECT_FALSE(kv.get(999).has_value());
+}
+
+TEST(KvStore, OverwriteReplacesValue) {
+  KvCluster kv(converged_engine(), 3, 3);
+  ASSERT_EQ(kv.put(7, "first"), 3u);
+  ASSERT_EQ(kv.put(7, "second"), 3u);
+  EXPECT_EQ(kv.get(7).value_or(""), "second");
+}
+
+TEST(KvStore, ReplicationInvariantHoldsAtResponsibleHosts) {
+  const std::uint32_t r = 3;
+  KvCluster kv(converged_engine(), r, 4);
+  std::vector<graph::NodeId> sorted = kv.engine().graph().ids();
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint64_t key = 100; key < 120; ++key) {
+    ASSERT_GT(kv.put(key, "x"), 0u);
+    // Expected holders: the hosts responsible for the replica positions.
+    std::set<graph::NodeId> expected;
+    for (std::uint32_t j = 0; j < r; ++j) {
+      expected.insert(avatar::host_of(replica_guest(key, j, r, kGuests), sorted));
+    }
+    const auto got = kv.holders(key);
+    EXPECT_EQ(std::set<graph::NodeId>(got.begin(), got.end()), expected)
+        << "key " << key;
+  }
+}
+
+TEST(KvStore, HopsAreLogarithmic) {
+  KvCluster kv(converged_engine(), 1, 5);
+  for (std::uint64_t key = 0; key < 40; ++key) kv.put(key, "v");
+  for (std::uint64_t key = 0; key < 40; ++key) kv.get(key);
+  // There-and-back on a Chord overlay: a generous constant times log2 N.
+  EXPECT_LE(kv.stats().max_hops, 4 * (util::ceil_log2(kGuests) + 2));
+  EXPECT_EQ(kv.stats().get_hits, 40u);
+}
+
+TEST(Failover, GetSurvivesPrimaryFailure) {
+  const std::uint32_t r = 3;
+  KvCluster kv(converged_engine(), r, 6);
+  ASSERT_EQ(kv.put(55, "precious"), r);
+  const auto holders = kv.holders(55);
+  ASSERT_EQ(holders.size(), r);
+  // Kill the primary (holder of replica 0).
+  std::vector<graph::NodeId> sorted = kv.engine().graph().ids();
+  std::sort(sorted.begin(), sorted.end());
+  const graph::NodeId primary =
+      avatar::host_of(replica_guest(55, 0, r, kGuests), sorted);
+  kv.fail_host(primary);
+  const auto got = kv.get(55);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "precious");
+  EXPECT_GE(kv.stats().get_retries, 1u);
+}
+
+TEST(Failover, UnreplicatedDataDiesWithItsHost) {
+  KvCluster kv(converged_engine(), 1, 7);
+  ASSERT_EQ(kv.put(77, "fragile"), 1u);
+  const auto holders = kv.holders(77);
+  ASSERT_EQ(holders.size(), 1u);
+  kv.fail_host(holders[0]);
+  EXPECT_FALSE(kv.get(77).has_value());
+}
+
+TEST(Failover, WarmRestartRestoresAccess) {
+  KvCluster kv(converged_engine(), 1, 8);
+  ASSERT_EQ(kv.put(88, "persistent"), 1u);
+  const auto holders = kv.holders(88);
+  ASSERT_EQ(holders.size(), 1u);
+  kv.fail_host(holders[0]);
+  EXPECT_FALSE(kv.get(88).has_value());
+  kv.recover_host(holders[0]);  // warm restart: the store survived
+  EXPECT_EQ(kv.get(88).value_or(""), "persistent");
+}
+
+TEST(Failover, RoutesAroundDownIntermediateHosts) {
+  const std::uint32_t r = 2;
+  KvCluster kv(converged_engine(), r, 9);
+  for (std::uint64_t key = 200; key < 230; ++key) {
+    ASSERT_GT(kv.put(key, "v" + std::to_string(key)), 0u);
+  }
+  // Fail two hosts that hold none of our keys: routes through them must
+  // detour via other fingers; every key must stay readable.
+  std::set<graph::NodeId> holding;
+  for (std::uint64_t key = 200; key < 230; ++key) {
+    for (auto h : kv.holders(key)) holding.insert(h);
+  }
+  int failed = 0;
+  for (graph::NodeId h : kv.engine().graph().ids()) {
+    if (holding.count(h) == 0 && failed < 2) {
+      kv.fail_host(h);
+      ++failed;
+    }
+  }
+  ASSERT_EQ(failed, 2);
+  int ok = 0;
+  for (std::uint64_t key = 200; key < 230; ++key) {
+    if (kv.get(key).value_or("") == "v" + std::to_string(key)) ++ok;
+  }
+  EXPECT_EQ(ok, 30);
+}
+
+TEST(Failover, MassFailureDegradesGracefully) {
+  const std::uint32_t r = 3;
+  KvCluster kv(converged_engine(), r, 10);
+  for (std::uint64_t key = 0; key < 30; ++key) {
+    ASSERT_GT(kv.put(key, "v"), 0u);
+  }
+  // Fail a third of the hosts; with three spaced replicas most keys must
+  // remain readable (the e7 robustness bench quantifies the exact curve).
+  const auto& ids = kv.engine().graph().ids();
+  util::Rng rng(11);
+  std::vector<graph::NodeId> pool(ids.begin(), ids.end());
+  for (std::size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng.next_below(i)]);
+  }
+  for (std::size_t i = 0; i < pool.size() / 3; ++i) kv.fail_host(pool[i]);
+  int ok = 0;
+  for (std::uint64_t key = 0; key < 30; ++key) {
+    if (kv.get(key).has_value()) ++ok;
+  }
+  EXPECT_GE(ok, 20);
+}
+
+TEST(Asynchrony, PutGetRoundtripUnderBoundedDelay) {
+  // §7 future work: the data plane under uniform [1, d] message delays.
+  // Client budgets stretch by d; correctness is unchanged.
+  KvCluster kv(converged_engine(), 2, 12, /*max_message_delay=*/3);
+  for (std::uint64_t key = 300; key < 330; ++key) {
+    ASSERT_EQ(kv.put(key, "a" + std::to_string(key)), 2u) << key;
+  }
+  for (std::uint64_t key = 300; key < 330; ++key) {
+    EXPECT_EQ(kv.get(key).value_or(""), "a" + std::to_string(key));
+  }
+}
+
+TEST(Asynchrony, FailoverStillWorksUnderDelay) {
+  KvCluster kv(converged_engine(), 3, 13, /*max_message_delay=*/2);
+  ASSERT_EQ(kv.put(400, "slow-but-safe"), 3u);
+  const auto holders = kv.holders(400);
+  ASSERT_EQ(holders.size(), 3u);
+  kv.fail_host(holders[0]);
+  EXPECT_EQ(kv.get(400).value_or(""), "slow-but-safe");
+}
+
+}  // namespace
+}  // namespace chs::dht

@@ -1,0 +1,80 @@
+// The experiment kit the benches are built from: table formatting (stdout
+// capture), summary statistics, and the sweep-point driver's metrics
+// (initial/final/peak degrees and determinism across calls).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace chs::core {
+namespace {
+
+TEST(TableTest, FmtFixedPrecisionAndIntegers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.14159, 0), "3");
+  EXPECT_EQ(Table::fmt(0.5, 3), "0.500");
+  EXPECT_EQ(Table::fmt(std::uint64_t{0}), "0");
+  EXPECT_EQ(Table::fmt(std::uint64_t{18446744073709551615ULL}),
+            "18446744073709551615");
+}
+
+TEST(TableTest, PrintAlignsColumnsAndCsvRoundTrips) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  ::testing::internal::CaptureStdout();
+  t.print();
+  t.print_csv("unit");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  // Aligned table: header row, rule, two rows.
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  // CSV block: marker line then exact comma rows.
+  EXPECT_NE(out.find("# csv unit\nname,value\nalpha,1\nb,22222\n"),
+            std::string::npos);
+}
+
+TEST(TableTest, RowAritiesAreEnforced) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "");
+}
+
+TEST(StatsOf, EmptyAndBasics) {
+  const auto e = stats_of({});
+  EXPECT_EQ(e.mean, 0.0);
+  const auto s = stats_of({4.0, 1.0, 7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+}
+
+TEST(SweepPointTest, ConvergesAndReportsDegrees) {
+  SweepPoint pt{graph::Family::kStar, 16, 64, 3};
+  const auto out = run_sweep_point(pt, Params{}, 400000);
+  EXPECT_TRUE(out.result.converged);
+  // Star: the hub starts with n-1 = 15 edges.
+  EXPECT_EQ(out.initial_max_degree, 15u);
+  EXPECT_GE(out.peak_max_degree, out.final_max_degree);
+  EXPECT_GE(out.peak_max_degree, out.initial_max_degree);
+  EXPECT_GT(out.result.rounds, 0u);
+}
+
+TEST(SweepPointTest, SameSeedSameOutcome) {
+  SweepPoint pt{graph::Family::kRandomTree, 12, 64, 9};
+  const auto a = run_sweep_point(pt, Params{}, 400000);
+  const auto b = run_sweep_point(pt, Params{}, 400000);
+  EXPECT_EQ(a.result.rounds, b.result.rounds);
+  EXPECT_EQ(a.result.messages, b.result.messages);
+  EXPECT_EQ(a.peak_max_degree, b.peak_max_degree);
+}
+
+TEST(SweepPointTest, DifferentSeedsUsuallyDiffer) {
+  SweepPoint a{graph::Family::kRandomTree, 12, 64, 1};
+  SweepPoint b{graph::Family::kRandomTree, 12, 64, 2};
+  const auto ra = run_sweep_point(a, Params{}, 400000);
+  const auto rb = run_sweep_point(b, Params{}, 400000);
+  ASSERT_TRUE(ra.result.converged && rb.result.converged);
+  EXPECT_NE(ra.result.messages, rb.result.messages);
+}
+
+}  // namespace
+}  // namespace chs::core

@@ -1,0 +1,177 @@
+// Fault-injection properties (parameterized): for every corruption mode,
+// starting from a fully converged network, the system must (a) detect —
+// some host resets to phase CBT — within the paper's O(log N) latency, and
+// (b) re-converge to the exact legal Avatar(Chord), while (c) never
+// disconnecting the network through its own actions.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/network.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "util/bitops.hpp"
+
+namespace chs {
+namespace {
+
+using core::Params;
+using core::Phase;
+using core::StabEngine;
+using graph::NodeId;
+using stabilizer::HostState;
+
+constexpr std::uint64_t kGuests = 128;
+constexpr std::size_t kHosts = 24;
+
+std::unique_ptr<StabEngine> converged(std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto ids = graph::sample_ids(kHosts, kGuests, rng);
+  Params p;
+  p.n_guests = kGuests;
+  auto eng = core::make_engine(core::scaffold_graph(ids, kGuests), p, seed);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  const auto res = core::run_to_convergence(*eng, 100000);
+  CHS_CHECK(res.converged);
+  return eng;
+}
+
+struct Mode {
+  std::string name;
+  void (*apply)(StabEngine&, util::Rng&);
+};
+
+const Mode kModes[] = {
+    {"truncate_range",
+     [](StabEngine& e, util::Rng& rng) {
+       // Pick a host with a range of at least two guests (n < N guarantees
+       // one exists) so the truncation is a real corruption.
+       const auto& ids = e.graph().ids();
+       for (std::size_t tries = 0; tries < 8 * ids.size(); ++tries) {
+         auto& st = e.state_mut(ids[rng.next_below(ids.size())]);
+         if (st.hi - st.lo >= 2) {
+           st.hi -= 1;
+           return;
+         }
+       }
+       CHS_CHECK_MSG(false, "no host with range >= 2");
+     }},
+    {"swap_cluster",
+     [](StabEngine& e, util::Rng& rng) {
+       const auto& ids = e.graph().ids();
+       auto& st = e.state_mut(ids[rng.next_below(ids.size())]);
+       st.cluster = st.id;
+     }},
+    {"rollback_wave",
+     [](StabEngine& e, util::Rng& rng) {
+       const auto& ids = e.graph().ids();
+       auto& st = e.state_mut(ids[rng.next_below(ids.size())]);
+       st.wave_k = -1;
+     }},
+    {"forge_phase",
+     [](StabEngine& e, util::Rng& rng) {
+       const auto& ids = e.graph().ids();
+       auto& st = e.state_mut(ids[rng.next_below(ids.size())]);
+       st.phase = Phase::kChord;
+       st.done_pruned = false;
+     }},
+    {"clear_boundary_map",
+     [](StabEngine& e, util::Rng& rng) {
+       const auto& ids = e.graph().ids();
+       for (std::size_t tries = 0; tries < ids.size(); ++tries) {
+         auto& st = e.state_mut(ids[rng.next_below(ids.size())]);
+         if (!st.boundary_host.empty()) {
+           st.boundary_host.clear();
+           return;
+         }
+       }
+     }},
+    {"inject_edges",
+     [](StabEngine& e, util::Rng& rng) {
+       const auto& ids = e.graph().ids();
+       int added = 0;
+       for (int tries = 0; tries < 256 && added < 3; ++tries) {
+         const NodeId a = ids[rng.next_below(ids.size())];
+         const NodeId b = ids[rng.next_below(ids.size())];
+         if (a != b && e.inject_edge(a, b)) ++added;
+       }
+       CHS_CHECK(added > 0);
+     }},
+    {"delete_finger_edge",
+     [](StabEngine& e, util::Rng& rng) {
+       const auto& ids = e.graph().ids();
+       const NodeId v = ids[rng.next_below(ids.size())];
+       const auto& nbrs = e.graph().neighbors(v);
+       if (!nbrs.empty()) {
+         e.inject_edge_removal(v, nbrs[rng.next_below(nbrs.size())]);
+       }
+     }},
+    {"scramble_everything_on_one_host",
+     [](StabEngine& e, util::Rng& rng) {
+       const auto& ids = e.graph().ids();
+       auto& st = e.state_mut(ids[rng.next_below(ids.size())]);
+       st.lo = 0;
+       st.hi = kGuests;
+       st.cluster = st.id;
+       st.phase = Phase::kCbt;
+       st.boundary_host.clear();
+       st.parent_host.clear();
+       st.succ = stabilizer::kNone;
+       st.pred = stabilizer::kNone;
+       e.protocol().recompute_fragments(st);
+     }},
+};
+
+class FaultRecovery : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FaultRecovery, DetectsAndReconverges) {
+  const Mode& mode = kModes[GetParam()];
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    auto eng = converged(seed);
+    util::Rng rng(seed * 100 + GetParam());
+    mode.apply(*eng, rng);
+    eng->republish();
+    ASSERT_TRUE(graph::is_connected(eng->graph())) << mode.name;
+
+    // (a) detection: some reset within the latency bound window.
+    const std::uint64_t budget = 6 * util::pif_wave_round_bound(kGuests);
+    std::uint64_t detect = ~std::uint64_t{0};
+    for (std::uint64_t r = 0; r < budget; ++r) {
+      eng->step_round();
+      ASSERT_TRUE(graph::is_connected(eng->graph()))
+          << mode.name << " disconnected at round " << r;
+      if (core::total_resets(*eng) > 0) {
+        detect = r;
+        break;
+      }
+    }
+    EXPECT_NE(detect, ~std::uint64_t{0})
+        << mode.name << ": corruption never detected";
+
+    // (b) full recovery to the exact legal topology.
+    const auto res = core::run_to_convergence(*eng, 400000);
+    EXPECT_TRUE(res.converged) << mode.name << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, FaultRecovery,
+    ::testing::Range<std::size_t>(0, std::size(kModes)),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return kModes[info.param].name;
+    });
+
+TEST(FaultRecovery, RepeatedFaultsKeepRecovering) {
+  auto eng = converged(9);
+  util::Rng rng(123);
+  for (int episode = 0; episode < 4; ++episode) {
+    const Mode& mode = kModes[rng.next_below(std::size(kModes))];
+    mode.apply(*eng, rng);
+    eng->republish();
+    const auto res = core::run_to_convergence(*eng, 400000);
+    ASSERT_TRUE(res.converged) << "episode " << episode << " " << mode.name;
+  }
+}
+
+}  // namespace
+}  // namespace chs

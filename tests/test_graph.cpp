@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/graph.hpp"
+
+namespace chs::graph {
+namespace {
+
+TEST(Graph, EmptyAndSingleton) {
+  Graph e;
+  EXPECT_EQ(e.size(), 0u);
+  EXPECT_EQ(e.num_edges(), 0u);
+  Graph s({7});
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(8));
+}
+
+TEST(Graph, AddRemoveEdges) {
+  Graph g({1, 2, 3});
+  EXPECT_TRUE(g.add_edge(1, 2));
+  EXPECT_FALSE(g.add_edge(2, 1));  // duplicate, either orientation
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.remove_edge(1, 2));
+  EXPECT_FALSE(g.remove_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, NoSelfLoops) {
+  Graph g({1, 2});
+  EXPECT_FALSE(g.add_edge(1, 1));
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(Graph, NeighborsSortedAndDegrees) {
+  Graph g({1, 2, 3, 4});
+  g.add_edge(3, 1);
+  g.add_edge(3, 4);
+  g.add_edge(3, 2);
+  const auto& n = g.neighbors(3);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n[0], 1u);
+  EXPECT_EQ(n[1], 2u);
+  EXPECT_EQ(n[2], 4u);
+  EXPECT_EQ(g.degree(3), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, EdgeListCanonical) {
+  Graph g({5, 1, 9});
+  g.add_edge(9, 1);
+  g.add_edge(5, 9);
+  const auto el = g.edge_list();
+  ASSERT_EQ(el.size(), 2u);
+  EXPECT_EQ(el[0], (std::pair<NodeId, NodeId>{1, 9}));
+  EXPECT_EQ(el[1], (std::pair<NodeId, NodeId>{5, 9}));
+}
+
+TEST(Graph, SameTopology) {
+  Graph a({1, 2, 3}), b({1, 2, 3}), c({1, 2, 4});
+  a.add_edge(1, 2);
+  b.add_edge(2, 1);
+  EXPECT_TRUE(a.same_topology(b));
+  b.add_edge(2, 3);
+  EXPECT_FALSE(a.same_topology(b));
+  EXPECT_FALSE(a.same_topology(c));
+}
+
+TEST(Analysis, Connectivity) {
+  Graph g({0, 1, 2, 3});
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(num_components(g), 4u);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(num_components(g), 2u);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Analysis, BfsAndDiameter) {
+  // Path 0-1-2-3.
+  Graph g({0, 1, 2, 3});
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[g.index_of(3)], 3u);
+  EXPECT_EQ(eccentricity(g, 1), 2u);
+  EXPECT_EQ(diameter(g), 3u);
+}
+
+TEST(Analysis, DegreeStats) {
+  Graph g({0, 1, 2});
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  const auto s = degree_stats(g);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 2u);
+  EXPECT_NEAR(s.mean, 4.0 / 3.0, 1e-12);
+}
+
+TEST(Analysis, ReachablePairFraction) {
+  Graph g({0, 1, 2, 3});
+  g.add_edge(0, 1);
+  // Two components of size 2 and 2 isolated nodes? 0-1 connected, 2, 3 alone.
+  EXPECT_NEAR(reachable_pair_fraction(g), 2.0 / 12.0, 1e-12);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_NEAR(reachable_pair_fraction(g), 1.0, 1e-12);
+}
+
+TEST(Analysis, RemoveNodes) {
+  Graph g({0, 1, 2, 3});
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const Graph h = remove_nodes(g, {1});
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_FALSE(h.contains(1));
+  EXPECT_EQ(h.num_edges(), 1u);
+  EXPECT_TRUE(h.has_edge(2, 3));
+}
+
+}  // namespace
+}  // namespace chs::graph

@@ -1,0 +1,151 @@
+// The Fig. 1 reference model: the literal guest-granular Algorithm 1 must
+// (a) build exactly Chord(N) over the Cbt scaffold, (b) respect the paper's
+// per-wave round bound and degree discipline, and (c) agree wave-by-wave
+// with the host-level production implementation.
+#include <gtest/gtest.h>
+
+#include "avatar/range.hpp"
+#include "core/network.hpp"
+#include "graph/generators.hpp"
+#include "stabilizer/guest_model.hpp"
+#include "topology/chord.hpp"
+#include "topology/target.hpp"
+#include "util/bitops.hpp"
+
+namespace chs::stabilizer {
+namespace {
+
+class GuestModelSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GuestModelSizes, BuildsExactlyChordOverCbt) {
+  const std::uint64_t n = GetParam();
+  GuestAlgorithm1 model(n);
+  model.run_all();
+  GuestAlgorithm1::EdgeSet expected;
+  for (const auto& [a, b] :
+       topology::target_guest_edges(topology::chord_target(), n)) {
+    expected.insert({a, b});
+  }
+  EXPECT_EQ(model.edges(), expected);
+}
+
+TEST_P(GuestModelSizes, EveryWaveRespectsThePifRoundBound) {
+  const std::uint64_t n = GetParam();
+  GuestAlgorithm1 model(n);
+  const std::uint64_t total = model.run_all();
+  ASSERT_EQ(model.records().size(), model.num_waves());
+  for (const auto& rec : model.records()) {
+    EXPECT_LE(rec.rounds, util::pif_wave_round_bound(n)) << "wave " << rec.k;
+  }
+  // Lemma 3's total: log N waves of <= 2(log N + 1) rounds each.
+  EXPECT_LE(total, static_cast<std::uint64_t>(model.num_waves()) *
+                       util::pif_wave_round_bound(n));
+}
+
+TEST_P(GuestModelSizes, PerWaveDegreeGrowthIsMetered) {
+  // The degree-expansion argument (Lemma 4) rests on edge additions being
+  // coordinated with PIF waves: a guest's degree grows by at most 2 per
+  // wave (it gains its k-finger and becomes the k-finger of one other).
+  const std::uint64_t n = GetParam();
+  GuestAlgorithm1 model(n);
+  model.run_all();
+  for (const auto& rec : model.records()) {
+    EXPECT_LE(rec.max_degree_delta, 2u) << "wave " << rec.k;
+  }
+}
+
+TEST_P(GuestModelSizes, WaveEdgeCountsMatchDefinition1) {
+  // Wave 0 adds the N ring edges (minus those already in the Cbt); wave
+  // k >= 1 adds at most N new span-2^k edges. The *sum* over all waves plus
+  // the N-1 tree edges equals the final size exactly.
+  const std::uint64_t n = GetParam();
+  GuestAlgorithm1 model(n);
+  model.run_all();
+  std::uint64_t added = 0;
+  for (const auto& rec : model.records()) {
+    EXPECT_LE(rec.edges_added, n) << "wave " << rec.k;
+    added += rec.edges_added;
+  }
+  EXPECT_EQ(added + (n - 1), model.edges().size());
+}
+
+TEST_P(GuestModelSizes, LastWaveEndsAtFinalWave) {
+  const std::uint64_t n = GetParam();
+  GuestAlgorithm1 model(n);
+  model.run_all();
+  if (model.num_waves() == 0) return;
+  for (topology::GuestId a = 0; a < n; ++a) {
+    EXPECT_EQ(model.last_wave(a),
+              static_cast<std::int32_t>(model.num_waves()) - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GuestModelSizes,
+                         ::testing::Values<std::uint64_t>(4, 8, 16, 32, 64,
+                                                          100, 128, 513,
+                                                          1024));
+
+TEST(GuestModel, WavesMustRunInOrder) {
+  GuestAlgorithm1 model(64);
+  EXPECT_DEATH(model.run_wave(1), "order");
+}
+
+TEST(GuestModel, StartsAsTheCbtScaffold) {
+  const std::uint64_t n = 64;
+  GuestAlgorithm1 model(n);
+  EXPECT_EQ(model.edges().size(), n - 1);
+  for (auto [p, c] : topology::Cbt(n).edges()) {
+    EXPECT_TRUE(model.edges().count(std::minmax(p, c)));
+  }
+}
+
+// ---- cross-validation against the host-level implementation ----
+
+class CrossValidation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrossValidation, HostProjectionMatchesInstalledMilestones) {
+  // Project the model's guest edges through host_of after each wave k and
+  // compare with the engine topology install_chord_built_upto(k) builds —
+  // the host-level codification of "scaffolded Chord configuration with the
+  // first k fingers present" (Definition 2).
+  const std::uint64_t n = 256;
+  const std::size_t host_counts[] = {5, 23, 64};
+  const std::size_t n_hosts = host_counts[GetParam()];
+  util::Rng rng(GetParam() * 101 + 7);
+  auto ids = graph::sample_ids(n_hosts, n, rng);
+  std::vector<graph::NodeId> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+
+  core::Params p;
+  p.n_guests = n;
+  GuestAlgorithm1 model(n);
+  for (std::uint32_t k = 0; k < model.num_waves(); ++k) {
+    model.run_wave(k);
+    auto eng = core::make_engine(core::scaffold_graph(ids, n), p, 3);
+    core::install_chord_built_upto(*eng, static_cast<std::int32_t>(k));
+    // Model projection: guest edges spanning two hosts, plus the ring edges
+    // the merge machinery maintains between host neighbors (present in
+    // scaffold_graph from the start).
+    std::set<std::pair<graph::NodeId, graph::NodeId>> projected;
+    for (const auto& [a, b] : model.edges()) {
+      const auto ha = avatar::host_of(a, sorted);
+      const auto hb = avatar::host_of(b, sorted);
+      if (ha != hb) projected.insert(std::minmax(ha, hb));
+    }
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      projected.insert(
+          std::minmax(sorted[i], sorted[(i + 1) % sorted.size()]));
+    }
+    std::set<std::pair<graph::NodeId, graph::NodeId>> installed;
+    for (const auto& [u, v] : eng->graph().edge_list()) {
+      installed.insert(std::minmax(u, v));
+    }
+    EXPECT_EQ(projected, installed) << "hosts=" << n_hosts << " wave=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HostCounts, CrossValidation,
+                         ::testing::Range<std::size_t>(0, 3));
+
+}  // namespace
+}  // namespace chs::stabilizer

@@ -1,0 +1,124 @@
+// Round-by-round invariant property tests: randomized executions in which
+// the global invariants of core/invariants.hpp must hold after *every*
+// round — not just at convergence. This is the strongest safety net in the
+// suite: it catches transient corruption (dangling structural references,
+// protocol-caused disconnection, stale map geometry) that end-state checks
+// miss.
+#include <gtest/gtest.h>
+
+#include "core/invariants.hpp"
+#include "graph/generators.hpp"
+
+namespace chs {
+namespace {
+
+using core::Params;
+using core::Phase;
+using core::StabEngine;
+using graph::NodeId;
+
+struct Scenario {
+  graph::Family family;
+  std::size_t n_hosts;
+  std::uint64_t n_guests;
+  std::uint64_t seed;
+};
+
+class InvariantSweep : public ::testing::TestWithParam<graph::Family> {};
+
+TEST_P(InvariantSweep, HoldEveryRoundDuringStabilization) {
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    util::Rng rng(seed * 991);
+    auto ids = graph::sample_ids(16, 64, rng);
+    auto g = graph::make_family(GetParam(), ids, rng);
+    Params p;
+    p.n_guests = 64;
+    auto eng = core::make_engine(std::move(g), p, seed);
+    // Run until convergence (or budget), checking after every round.
+    std::string violation;
+    std::uint64_t r = 0;
+    for (; r < 30000 && !core::is_converged(*eng); ++r) {
+      eng->step_round();
+      violation = core::check_invariants(*eng);
+      if (!violation.empty()) break;
+    }
+    EXPECT_EQ(violation, "") << graph::family_name(GetParam()) << " seed "
+                             << seed << " round " << r;
+    EXPECT_TRUE(core::is_converged(*eng))
+        << graph::family_name(GetParam()) << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, InvariantSweep,
+    ::testing::Values(graph::Family::kLine, graph::Family::kStar,
+                      graph::Family::kRandomTree, graph::Family::kLollipop),
+    [](const ::testing::TestParamInfo<graph::Family>& info) {
+      return graph::family_name(info.param);
+    });
+
+TEST(Invariants, HoldDuringScaffoldedBuild) {
+  util::Rng rng(5);
+  auto ids = graph::sample_ids(32, 256, rng);
+  Params p;
+  p.n_guests = 256;
+  auto eng = core::make_engine(core::scaffold_graph(ids, 256), p, 7);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  const std::string v = core::run_with_invariants(*eng, 400);
+  EXPECT_EQ(v, "");
+  EXPECT_TRUE(core::is_converged(*eng));
+}
+
+TEST(Invariants, HoldDuringRecoveryFromMidRunCorruption) {
+  // Corrupt a host *while* stabilization is still in progress — the
+  // invariants must survive detection and re-stabilization.
+  util::Rng rng(9);
+  auto ids = graph::sample_ids(12, 64, rng);
+  Params p;
+  p.n_guests = 64;
+  auto eng = core::make_engine(graph::make_line(ids), p, 5);
+  // Let it get partway (some merges done, none complete).
+  EXPECT_EQ(core::run_with_invariants(*eng, 300), "");
+  // Corrupt two hosts mid-flight.
+  util::Rng pick(3);
+  for (int i = 0; i < 2; ++i) {
+    auto& st = eng->state_mut(ids[pick.next_below(ids.size())]);
+    st.cluster = st.id;
+    st.lo = 0;
+    st.hi = 64;
+    st.boundary_host.clear();
+    st.parent_host.clear();
+    st.succ = stabilizer::kNone;
+    st.pred = stabilizer::kNone;
+    eng->protocol().recompute_fragments(st);
+  }
+  eng->republish();
+  std::string violation;
+  std::uint64_t r = 0;
+  for (; r < 30000 && !core::is_converged(*eng); ++r) {
+    eng->step_round();
+    violation = core::check_invariants(*eng);
+    if (!violation.empty()) break;
+  }
+  EXPECT_EQ(violation, "") << "round " << r;
+  EXPECT_TRUE(core::is_converged(*eng));
+}
+
+TEST(Invariants, SilenceAfterConvergence) {
+  // I6: no state churn after DONE — the topology hash stays fixed and the
+  // engine goes quiescent.
+  util::Rng rng(13);
+  auto ids = graph::sample_ids(12, 64, rng);
+  Params p;
+  p.n_guests = 64;
+  auto eng = core::make_engine(core::scaffold_graph(ids, 64), p, 2);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  ASSERT_TRUE(core::run_to_convergence(*eng, 10000).converged);
+  const auto edges_at_convergence = eng->graph().edge_list();
+  for (int r = 0; r < 300; ++r) eng->step_round();
+  EXPECT_EQ(eng->graph().edge_list(), edges_at_convergence);
+  EXPECT_GE(eng->quiescent_streak(), 10u);
+}
+
+}  // namespace
+}  // namespace chs

@@ -1,0 +1,76 @@
+// The full-stabilization matrix: every named target crossed with every
+// initial-configuration family must converge to the exact Avatar(target)
+// through the same scaffolding machinery. This is the broadest integration
+// sweep in the suite; per-combination details live in the focused tests.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "graph/generators.hpp"
+
+namespace chs {
+namespace {
+
+struct MatrixCase {
+  const char* target_name;
+  topology::TargetSpec target;
+  graph::Family family;
+};
+
+std::vector<MatrixCase> matrix_cases() {
+  const std::vector<std::pair<const char*, topology::TargetSpec>> targets = {
+      {"chord", topology::chord_target()},
+      {"bichord", topology::bichord_target()},
+      {"hypercube", topology::hypercube_target()},
+      {"skiplist", topology::skiplist_target()},
+      {"smallworld", topology::smallworld_target(9)},
+  };
+  const std::vector<graph::Family> families = {
+      graph::Family::kLine,
+      graph::Family::kStar,
+      graph::Family::kRandomTree,
+      graph::Family::kConnectedGnp,
+  };
+  std::vector<MatrixCase> out;
+  for (const auto& [name, t] : targets) {
+    for (graph::Family f : families) {
+      out.push_back({name, t, f});
+    }
+  }
+  return out;
+}
+
+class StabilizationMatrix : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StabilizationMatrix, ConvergesExactlyAndStaysSilent) {
+  const MatrixCase mc = matrix_cases()[GetParam()];
+  const std::uint64_t n_guests = 64;
+  util::Rng rng(GetParam() * 13 + 7);
+  auto ids = graph::sample_ids(16, n_guests, rng);
+  core::Params p;
+  p.n_guests = n_guests;
+  p.target = mc.target;
+  auto eng = core::make_engine(graph::make_family(mc.family, ids, rng), p, 2);
+  const auto res = core::run_to_convergence(*eng, 400000);
+  ASSERT_TRUE(res.converged)
+      << mc.target_name << " from " << graph::family_name(mc.family)
+      << " rounds=" << res.rounds;
+  // Silence (§4.2: "our stabilizing Chord network is silent"): after
+  // convergence no messages flow and no edges move. A couple of rounds of
+  // slack covers the tail of the final DONE wave draining.
+  const std::size_t edges = eng->graph().num_edges();
+  for (int r = 0; r < 30; ++r) eng->step_round();
+  EXPECT_GE(eng->quiescent_streak(), 20u) << mc.target_name;
+  EXPECT_EQ(eng->graph().num_edges(), edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, StabilizationMatrix,
+    ::testing::Range<std::size_t>(0, 20),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      const MatrixCase mc = matrix_cases()[info.param];
+      return std::string(mc.target_name) + "_" +
+             graph::family_name(mc.family);
+    });
+
+}  // namespace
+}  // namespace chs

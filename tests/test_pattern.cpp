@@ -1,0 +1,113 @@
+// The network-scaffolding pattern (§6) instantiated for targets other than
+// the paper's Chord: BiChord (full finger table), Hypercube (pruned span
+// edges), and a custom user-defined target. The same engine, scaffold,
+// waves, detector and pruning must produce each legal topology.
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "graph/generators.hpp"
+#include "topology/hypercube.hpp"
+
+namespace chs {
+namespace {
+
+using core::Params;
+using core::Phase;
+using core::StabEngine;
+
+struct TargetCase {
+  const char* name;
+  topology::TargetSpec spec;
+};
+
+class PatternTargets : public ::testing::TestWithParam<std::size_t> {};
+
+std::vector<TargetCase> cases() {
+  std::vector<TargetCase> out;
+  out.push_back({"chord", topology::chord_target()});
+  out.push_back({"bichord", topology::bichord_target()});
+  out.push_back({"hypercube", topology::hypercube_target()});
+  out.push_back({"skiplist", topology::skiplist_target()});
+  out.push_back({"smallworld", topology::smallworld_target(/*salt=*/17)});
+  out.push_back({"sparse_ring",
+                 topology::TargetSpec{
+                     .name = "sparse-ring",
+                     .num_waves = [](std::uint64_t n) {
+                       return util::chord_num_fingers(n);
+                     },
+                     .keep = [](topology::GuestId i, std::uint32_t k,
+                                std::uint64_t) {
+                       return k == 0 || i % 4 == 0;
+                     },
+                     .any_kept_in = {}}});
+  return out;
+}
+
+TEST_P(PatternTargets, ScaffoldedBuildProducesLegalTarget) {
+  const TargetCase tc = cases()[GetParam()];
+  const std::uint64_t n_guests = 64;
+  util::Rng rng(9);
+  auto ids = graph::sample_ids(16, n_guests, rng);
+  Params p;
+  p.n_guests = n_guests;
+  p.target = tc.spec;
+  auto eng = core::make_engine(core::scaffold_graph(ids, n_guests), p, 2);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  const auto res = core::run_to_convergence(*eng, 100000);
+  EXPECT_TRUE(res.converged) << tc.name << " rounds=" << res.rounds;
+  EXPECT_EQ(res.total_resets, 0u) << tc.name;
+}
+
+TEST_P(PatternTargets, FullStabilizationProducesLegalTarget) {
+  const TargetCase tc = cases()[GetParam()];
+  const std::uint64_t n_guests = 64;
+  util::Rng rng(10);
+  auto ids = graph::sample_ids(16, n_guests, rng);
+  Params p;
+  p.n_guests = n_guests;
+  p.target = tc.spec;
+  auto eng = core::make_engine(graph::make_random_tree(ids, rng), p, 2);
+  const auto res = core::run_to_convergence(*eng, 400000);
+  EXPECT_TRUE(res.converged) << tc.name << " rounds=" << res.rounds;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, PatternTargets,
+                         ::testing::Range<std::size_t>(0, 6),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return cases()[info.param].name;
+                         });
+
+TEST(Pattern, HypercubeFinalGraphContainsHypercubeEdges) {
+  // Dense host set so guest edges map 1:1 to host edges.
+  const std::uint64_t n = 32;
+  std::vector<graph::NodeId> ids(n);
+  for (std::uint64_t i = 0; i < n; ++i) ids[i] = i;
+  Params p;
+  p.n_guests = n;
+  p.target = topology::hypercube_target();
+  auto eng = core::make_engine(core::scaffold_graph(ids, n), p, 2);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  ASSERT_TRUE(core::run_to_convergence(*eng, 100000).converged);
+  for (const auto& [a, b] : topology::Hypercube(n).edges()) {
+    EXPECT_TRUE(eng->graph().has_edge(a, b)) << a << "-" << b;
+  }
+  // And a pruned span edge is gone: (6, 8) is span-2 from source 6, whose
+  // bit 1 is set, and it is neither a Cbt tree edge nor a ring edge.
+  EXPECT_FALSE(eng->graph().has_edge(6, 8));
+}
+
+TEST(Pattern, BichordHasTopSpanEdges) {
+  const std::uint64_t n = 32;
+  std::vector<graph::NodeId> ids(n);
+  for (std::uint64_t i = 0; i < n; ++i) ids[i] = i;
+  Params p;
+  p.n_guests = n;
+  p.target = topology::bichord_target();
+  auto eng = core::make_engine(core::scaffold_graph(ids, n), p, 2);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  ASSERT_TRUE(core::run_to_convergence(*eng, 100000).converged);
+  EXPECT_TRUE(eng->graph().has_edge(0, 16));  // span N/2 present
+}
+
+}  // namespace
+}  // namespace chs

@@ -1,0 +1,194 @@
+// Cross-module randomized properties: facts that tie the geometry
+// (avatar/topology), the facade (core), and the data plane (routing)
+// together over randomized node sets, targets, and seeds. Each property is
+// one the protocol's correctness argument leans on somewhere else.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "avatar/embedding.hpp"
+#include "avatar/range.hpp"
+#include "core/network.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "routing/lookup.hpp"
+#include "util/bitops.hpp"
+
+namespace chs {
+namespace {
+
+using graph::NodeId;
+using topology::GuestId;
+
+class RandomizedProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  util::Rng rng_{GetParam() * 7919 + 13};
+
+  std::uint64_t random_n_guests() {
+    const std::uint64_t choices[] = {16, 32, 64, 100, 256, 513, 1024};
+    return choices[rng_.next_below(std::size(choices))];
+  }
+
+  std::vector<NodeId> random_hosts(std::uint64_t n_guests) {
+    const std::size_t n_hosts =
+        2 + rng_.next_below(std::min<std::uint64_t>(n_guests - 1, 96));
+    return graph::sample_ids(n_hosts, n_guests, rng_);
+  }
+
+  topology::TargetSpec random_target() {
+    switch (rng_.next_below(5)) {
+      case 0: return topology::chord_target();
+      case 1: return topology::bichord_target();
+      case 2: return topology::skiplist_target();
+      case 3: return topology::smallworld_target(rng_.next_u64());
+      default: {
+        // An arbitrary deterministic keep predicate: stress the generic
+        // machinery beyond the named targets.
+        const std::uint64_t salt = rng_.next_u64();
+        return topology::TargetSpec{
+            .name = "random-keep",
+            .num_waves = [](std::uint64_t n) {
+              return util::chord_num_fingers(n);
+            },
+            .keep =
+                [salt](GuestId i, std::uint32_t k, std::uint64_t) {
+                  if (k == 0) return true;
+                  std::uint64_t z = i * 0x9e3779b97f4a7c15ULL + salt + k;
+                  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+                  return (z & 3) != 0;  // keep ~75%
+                },
+            .any_kept_in = {}};
+      }
+    }
+  }
+};
+
+TEST_P(RandomizedProperties, HostOfMatchesLinearScanReference) {
+  const std::uint64_t n = random_n_guests();
+  auto ids = random_hosts(n);
+  std::sort(ids.begin(), ids.end());
+  for (int trial = 0; trial < 200; ++trial) {
+    const GuestId g = rng_.next_below(n);
+    // Reference: predecessor of g (max id <= g), else min id.
+    NodeId ref = ids.front();
+    bool found = false;
+    for (NodeId id : ids) {
+      if (id <= g) {
+        ref = found ? std::max(ref, id) : id;
+        found = true;
+      }
+    }
+    EXPECT_EQ(avatar::host_of(g, ids), ref) << "g=" << g;
+  }
+}
+
+TEST_P(RandomizedProperties, IdealHostGraphIsDilationOneEmbedding) {
+  const std::uint64_t n = random_n_guests();
+  const auto target = random_target();
+  auto ids = random_hosts(n);
+  std::sort(ids.begin(), ids.end());
+  const auto host_g = avatar::ideal_host_graph(target, ids, n);
+  for (const auto& [a, b] : topology::target_guest_edges(target, n)) {
+    const NodeId ha = avatar::host_of(a, ids);
+    const NodeId hb = avatar::host_of(b, ids);
+    if (ha == hb) continue;  // same host: dilation 0
+    EXPECT_TRUE(host_g.has_edge(ha, hb))
+        << "guest edge " << a << "-" << b << " hosts " << ha << "-" << hb;
+  }
+}
+
+TEST_P(RandomizedProperties, IdealHostGraphHasNoUnjustifiedEdges) {
+  // The converse of dilation-1: every host edge is realized by at least one
+  // guest edge whose endpoints those hosts own.
+  const std::uint64_t n = random_n_guests();
+  const auto target = random_target();
+  auto ids = random_hosts(n);
+  std::sort(ids.begin(), ids.end());
+  const auto host_g = avatar::ideal_host_graph(target, ids, n);
+  std::set<std::pair<NodeId, NodeId>> justified;
+  for (const auto& [a, b] : topology::target_guest_edges(target, n)) {
+    const NodeId ha = avatar::host_of(a, ids);
+    const NodeId hb = avatar::host_of(b, ids);
+    if (ha != hb) justified.insert(std::minmax(ha, hb));
+  }
+  for (const auto& [u, v] : host_g.edge_list()) {
+    EXPECT_TRUE(justified.count(std::minmax(u, v)))
+        << "host edge " << u << "-" << v << " has no guest edge behind it";
+  }
+}
+
+TEST_P(RandomizedProperties, TargetGuestEdgesStayInsideSpanClosure) {
+  const std::uint64_t n = random_n_guests();
+  const auto target = random_target();
+  const std::uint32_t waves = target.num_waves(n);
+  ASSERT_LE(waves, util::ceil_log2(n));
+  std::set<std::pair<GuestId, GuestId>> allowed;
+  for (auto [a, b] : topology::Cbt(n).edges()) {
+    allowed.insert(std::minmax(a, b));
+  }
+  for (GuestId i = 0; i < n; ++i) {
+    for (std::uint32_t k = 0; k < waves; ++k) {
+      const GuestId j = (i + (std::uint64_t{1} << k)) % n;
+      if (i != j) allowed.insert(std::minmax(i, j));
+    }
+  }
+  for (const auto& e : topology::target_guest_edges(target, n)) {
+    EXPECT_TRUE(allowed.count(e)) << e.first << "-" << e.second;
+  }
+}
+
+TEST_P(RandomizedProperties, ScaffoldGraphIsConnectedWithLogDegree) {
+  const std::uint64_t n = random_n_guests();
+  const auto ids = random_hosts(n);
+  const auto g = core::scaffold_graph(ids, n);
+  EXPECT_TRUE(graph::is_connected(g));
+  // CBT host edges + ring: every host's degree is O(log N) with a small
+  // constant (crossing-edge count of an interval is <= 2 per level).
+  EXPECT_LE(g.max_degree(), 6 * (util::ceil_log2(n) + 1));
+}
+
+TEST_P(RandomizedProperties, GreedyLookupSucceedsWithinLogHops) {
+  const std::uint64_t n = random_n_guests();
+  auto ids = random_hosts(n);
+  std::sort(ids.begin(), ids.end());
+  for (int trial = 0; trial < 50; ++trial) {
+    const GuestId s = rng_.next_below(n);
+    const GuestId t = rng_.next_below(n);
+    const auto res = routing::greedy_lookup(topology::chord_target(), n, s, t,
+                                            ids, nullptr);
+    ASSERT_TRUE(res.success) << s << "->" << t;
+    // Chord greedy halves the remaining clockwise distance every hop.
+    EXPECT_LE(res.guest_hops, 2 * (util::ceil_log2(n) + 1)) << s << "->" << t;
+    EXPECT_LE(res.host_hops, res.guest_hops);
+  }
+}
+
+TEST_P(RandomizedProperties, StabilizationIsSeedDeterministic) {
+  // Same (ids, topology, seed) must reproduce the identical execution; a
+  // different engine seed is allowed to differ (and usually does).
+  const std::uint64_t n = 64;
+  auto ids = random_hosts(n);
+  core::Params p;
+  p.n_guests = n;
+  util::Rng tree_rng(GetParam() + 5);
+  const auto initial = graph::make_random_tree(ids, tree_rng);
+
+  auto run = [&](std::uint64_t engine_seed) {
+    auto g = graph::Graph(ids);
+    for (const auto& [u, v] : initial.edge_list()) g.add_edge(u, v);
+    auto eng = core::make_engine(std::move(g), p, engine_seed);
+    const auto res = core::run_to_convergence(*eng, 400000);
+    return std::make_tuple(res.converged, res.rounds, res.messages,
+                           eng->graph().edge_list());
+  };
+  const auto a = run(17);
+  const auto b = run(17);
+  EXPECT_TRUE(std::get<0>(a));
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedProperties,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace chs

@@ -1,0 +1,140 @@
+// End-to-end integration tests of the full stabilizer: scaffolded Chord
+// construction (Lemma 3), scaffold discovery and phase change, cluster
+// merging from singleton states, and full self-stabilization from arbitrary
+// initial topologies (Theorems 2/5 and 3/7).
+#include <gtest/gtest.h>
+
+#include "core/network.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "util/bitops.hpp"
+
+namespace chs {
+namespace {
+
+using core::make_engine;
+using core::Params;
+using core::Phase;
+using graph::NodeId;
+
+std::vector<NodeId> iota_ids(std::size_t n) {
+  std::vector<NodeId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+  return ids;
+}
+
+Params params_for(std::uint64_t n_guests) {
+  Params p;
+  p.n_guests = n_guests;
+  return p;
+}
+
+// --- Lemma 3: from a legal scaffold with phase CHORD, Algorithm 1 builds
+// Avatar(Chord) in O(log^2 N) rounds. ---
+
+TEST(Integration, ScaffoldedBuildSingleHost) {
+  auto eng = make_engine(graph::Graph({5}), params_for(16), 1);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  const auto res = core::run_to_convergence(*eng, 500);
+  EXPECT_TRUE(res.converged) << "rounds=" << res.rounds;
+  EXPECT_EQ(res.total_resets, 0u);
+}
+
+TEST(Integration, ScaffoldedBuildTwoHosts) {
+  auto eng = make_engine(core::scaffold_graph({3, 11}, 16), params_for(16), 1);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  const auto res = core::run_to_convergence(*eng, 500);
+  EXPECT_TRUE(res.converged) << "rounds=" << res.rounds;
+  EXPECT_EQ(res.total_resets, 0u);
+}
+
+TEST(Integration, ScaffoldedBuildDenseHosts) {
+  // n == N: every guest is a host; host graph equals the guest topology.
+  auto eng = make_engine(core::scaffold_graph(iota_ids(16), 16), params_for(16), 1);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  const auto res = core::run_to_convergence(*eng, 1000);
+  EXPECT_TRUE(res.converged) << "rounds=" << res.rounds;
+  EXPECT_EQ(res.total_resets, 0u);
+}
+
+TEST(Integration, ScaffoldedBuildSparseHosts) {
+  util::Rng rng(7);
+  auto ids = graph::sample_ids(12, 64, rng);
+  auto eng = make_engine(core::scaffold_graph(ids, 64), params_for(64), 1);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  const auto res = core::run_to_convergence(*eng, 2000);
+  EXPECT_TRUE(res.converged) << "rounds=" << res.rounds;
+  EXPECT_EQ(res.total_resets, 0u);
+}
+
+TEST(Integration, ScaffoldedBuildRoundBound) {
+  // Lemma 3 / §4.3: log N waves of <= 2(log N + 1) rounds each, plus the
+  // serialization grace; allow a small constant-factor cushion.
+  const std::uint64_t n_guests = 64;
+  auto eng = make_engine(core::scaffold_graph(iota_ids(32), n_guests),
+                         params_for(n_guests), 1);
+  core::install_legal_cbt(*eng, Phase::kChord);
+  const auto res = core::run_to_convergence(*eng, 5000);
+  ASSERT_TRUE(res.converged);
+  const std::uint64_t lg = util::ceil_log2(n_guests);
+  const std::uint64_t bound = 4 * (lg + 2) * (lg + 2);
+  EXPECT_LE(res.rounds, bound) << "rounds=" << res.rounds;
+  EXPECT_LE(res.degree_expansion, 2.01);
+}
+
+// --- Scaffold discovery: legal Avatar(Cbt) in phase CBT finds out it is
+// complete via a poll and transitions to CHORD on its own. ---
+
+TEST(Integration, CbtPhaseDiscoversCompletionAndBuilds) {
+  auto eng = make_engine(core::scaffold_graph(iota_ids(8), 8), params_for(8), 1);
+  core::install_legal_cbt(*eng, Phase::kCbt);
+  const auto res = core::run_to_convergence(*eng, 2000);
+  EXPECT_TRUE(res.converged) << "rounds=" << res.rounds;
+  EXPECT_EQ(res.total_resets, 0u);
+}
+
+// --- Merging: two singleton clusters merge and build. ---
+
+TEST(Integration, TwoSingletonsConverge) {
+  graph::Graph g({2, 9});
+  g.add_edge(2, 9);
+  auto eng = make_engine(std::move(g), params_for(16), 3);
+  const auto res = core::run_to_convergence(*eng, 3000);
+  EXPECT_TRUE(res.converged) << "rounds=" << res.rounds;
+}
+
+TEST(Integration, FourSingletonsLineConverge) {
+  auto eng = make_engine(graph::make_line({1, 6, 9, 14}), params_for(16), 3);
+  const auto res = core::run_to_convergence(*eng, 5000);
+  EXPECT_TRUE(res.converged) << "rounds=" << res.rounds;
+}
+
+// --- Theorems 2/5 + 3/7: full stabilization from arbitrary connected
+// topologies, with polylog degree expansion. ---
+
+class FamilyConvergence
+    : public ::testing::TestWithParam<graph::Family> {};
+
+TEST_P(FamilyConvergence, ConvergesFromFamily) {
+  const std::uint64_t n_guests = 64;
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    util::Rng rng(seed * 77);
+    auto ids = graph::sample_ids(16, n_guests, rng);
+    auto g = graph::make_family(GetParam(), ids, rng);
+    auto eng = make_engine(std::move(g), params_for(n_guests), seed);
+    const auto res = core::run_to_convergence(*eng, 20000);
+    EXPECT_TRUE(res.converged)
+        << graph::family_name(GetParam()) << " seed=" << seed
+        << " rounds=" << res.rounds;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilyConvergence,
+    ::testing::ValuesIn(graph::all_families()),
+    [](const ::testing::TestParamInfo<graph::Family>& info) {
+      return graph::family_name(info.param);
+    });
+
+}  // namespace
+}  // namespace chs

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "avatar/range.hpp"
+#include "graph/generators.hpp"
+#include "routing/lookup.hpp"
+#include "topology/chord.hpp"
+#include "util/bitops.hpp"
+
+namespace chs::routing {
+namespace {
+
+TEST(Routing, GuestNeighborsMatchTopology) {
+  const auto target = topology::chord_target();
+  const std::uint64_t n = 32;
+  const topology::Chord chord(n);
+  const topology::Cbt cbt(n);
+  for (GuestId g = 0; g < n; ++g) {
+    for (GuestId v : guest_neighbors(target, g, n)) {
+      EXPECT_TRUE(cbt.is_edge(g, v) || chord.is_finger_edge(g, v))
+          << g << " -> " << v;
+    }
+    // Ring neighbors always present.
+    const auto nb = guest_neighbors(target, g, n);
+    EXPECT_TRUE(std::count(nb.begin(), nb.end(), (g + 1) % n));
+    EXPECT_TRUE(std::count(nb.begin(), nb.end(), (g + n - 1) % n));
+  }
+}
+
+TEST(Routing, LookupReachesTarget) {
+  const auto target = topology::chord_target();
+  const std::uint64_t n = 64;
+  for (GuestId s : {0ULL, 5ULL, 33ULL, 63ULL}) {
+    for (GuestId t : {0ULL, 17ULL, 62ULL}) {
+      const auto r = greedy_lookup(target, n, s, t, {});
+      EXPECT_TRUE(r.success) << s << " -> " << t;
+      if (s == t) EXPECT_EQ(r.guest_hops, 0u);
+    }
+  }
+}
+
+TEST(Routing, HopsAreLogarithmic) {
+  const auto target = topology::chord_target();
+  for (std::uint64_t n : {64ULL, 256ULL, 1024ULL}) {
+    util::Rng rng(7);
+    const auto stats = lookup_stats(target, n, {}, 300, rng);
+    EXPECT_EQ(stats.success_rate, 1.0) << "n=" << n;
+    // Definition-1 fingers stop at span N/4; greedy needs <= ~log N + 3.
+    EXPECT_LE(stats.max_guest_hops, 2u * util::ceil_log2(n)) << "n=" << n;
+  }
+}
+
+TEST(Routing, HostHopsNeverExceedGuestHops) {
+  const auto target = topology::chord_target();
+  const std::uint64_t n = 256;
+  util::Rng rng(11);
+  std::vector<NodeId> ids;
+  for (NodeId i = 0; i < n; i += 16) ids.push_back(i + 3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const GuestId s = rng.next_below(n), t = rng.next_below(n);
+    const auto r = greedy_lookup(target, n, s, t, ids);
+    ASSERT_TRUE(r.success);
+    EXPECT_LE(r.host_hops, r.guest_hops);
+  }
+}
+
+TEST(Routing, FailedHostsReduceSuccess) {
+  const auto target = topology::chord_target();
+  const std::uint64_t n = 64;
+  std::vector<bool> alive(n, true);
+  for (std::size_t i = 0; i < n; i += 4) alive[i] = false;  // 25% dead
+  util::Rng rng(13);
+  const auto stats = lookup_stats(target, n, {}, 400, rng, &alive);
+  EXPECT_LT(stats.success_rate, 1.0);
+  EXPECT_GT(stats.success_rate, 0.2);  // plenty of detours exist
+}
+
+TEST(Routing, CbtFunnelsLoadThroughTheRootChordDoesNot) {
+  // The congestion half of the robustness motivation (§1): under uniform
+  // random lookups, the scaffold's root lies on roughly half of all tree
+  // routes while Chord spreads forwarding over the fingers. Measured at
+  // guest granularity (dense ids) so responsible-range skew cannot mask the
+  // structural difference.
+  const std::uint64_t n = 1024;
+  std::vector<NodeId> ids(n);
+  for (std::uint64_t i = 0; i < n; ++i) ids[i] = i;
+  util::Rng r1(7), r2(7);
+  const auto chord =
+      target_congestion(topology::chord_target(), n, ids, 4000, r1);
+  const auto cbt = cbt_congestion(n, ids, 4000, r2);
+  EXPECT_GT(cbt.imbalance, 4.0 * chord.imbalance)
+      << "cbt " << cbt.imbalance << " chord " << chord.imbalance;
+  // The scaffold's hot spot is the top of the tree: the root or one of its
+  // children (each lies on ~half of all routes; sampling picks among them).
+  EXPECT_LE(topology::Cbt(n).depth_of(cbt.hottest), 1u) << cbt.hottest;
+}
+
+TEST(Routing, CongestionMeanLoadTracksPathLength) {
+  // Total forwarding events = samples * interior path length, spread over
+  // hosts. Sanity: chord's per-host mean stays small for log-length paths.
+  const std::uint64_t n = 256;
+  std::vector<NodeId> ids;
+  for (std::uint64_t i = 0; i < n; i += 4) ids.push_back(i);
+  util::Rng rng(5);
+  const std::size_t samples = 1000;
+  const auto c =
+      target_congestion(topology::chord_target(), n, ids, samples, rng);
+  EXPECT_GT(c.mean_load, 0.0);
+  EXPECT_LE(c.mean_load, static_cast<double>(samples) *
+                             (2.0 * (util::ceil_log2(n) + 1)) / 64.0);
+  EXPECT_GE(c.imbalance, 1.0);
+}
+
+TEST(Routing, RobustnessChordBeatsCbt) {
+  // The paper's motivation: the Cbt scaffold alone is fragile (the root is
+  // a cut vertex); Chord keeps most pairs reachable at the same failure
+  // rate.
+  std::vector<NodeId> ids;
+  for (NodeId i = 0; i < 64; ++i) ids.push_back(i);
+  util::Rng rng(17);
+  const auto points = robustness_sweep(ids, 64, {0.1, 0.25}, 5, rng);
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& pt : points) {
+    EXPECT_GT(pt.chord_reachability, pt.cbt_reachability)
+        << "failed=" << pt.failed_fraction;
+  }
+  EXPECT_GT(points[0].chord_reachability, 0.95);
+}
+
+}  // namespace
+}  // namespace chs::routing

@@ -1,0 +1,76 @@
+// The self-contained SVG renderer: structural well-formedness (one circle
+// per host, one line per edge, legend and title present) for both the bare
+// graph and the engine-annotated rendering.
+#include <gtest/gtest.h>
+
+#include "core/svg.hpp"
+#include "graph/generators.hpp"
+
+namespace chs::core {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Svg, BareGraphStructure) {
+  util::Rng rng(1);
+  auto ids = graph::sample_ids(14, 64, rng);
+  auto g = graph::make_random_tree(ids, rng);
+  const std::string svg = to_svg(g, 64);
+  EXPECT_EQ(svg.rfind("<svg ", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(count_occurrences(svg, "<circle "), g.size());
+  EXPECT_EQ(count_occurrences(svg, "<line "), g.num_edges());
+}
+
+TEST(Svg, EngineRenderingHasPhasesLegendAndTitle) {
+  const std::uint64_t n = 64;
+  util::Rng rng(2);
+  auto ids = graph::sample_ids(16, n, rng);
+  Params p;
+  p.n_guests = n;
+  auto eng = make_engine(scaffold_graph(ids, n), p, 3);
+  install_legal_cbt(*eng, Phase::kChord);
+  SvgOptions opts;
+  opts.title = "test snapshot";
+  const std::string svg = to_svg(*eng, opts);
+  EXPECT_NE(svg.find("test snapshot"), std::string::npos);
+  // Legend text for all edge classes and phases.
+  for (const char* label : {"ring", "tree", "finger", "transient", "CBT",
+                            "CHORD", "DONE"}) {
+    EXPECT_NE(svg.find(label), std::string::npos) << label;
+  }
+  // Every edge drawn once (class layering iterates the edge list per class
+  // but emits each edge exactly once), legend adds 4 lines.
+  EXPECT_EQ(count_occurrences(svg, "<line "), eng->graph().num_edges() + 4);
+  // One circle per host plus 3 legend swatches.
+  EXPECT_EQ(count_occurrences(svg, "<circle "), eng->graph().size() + 3);
+}
+
+TEST(Svg, LabelsCanBeDisabled) {
+  util::Rng rng(3);
+  auto ids = graph::sample_ids(8, 32, rng);
+  auto g = graph::make_ring(ids);
+  SvgOptions opts;
+  opts.label_nodes = false;
+  opts.legend = false;
+  opts.title.clear();
+  const std::string svg = to_svg(g, 32, opts);
+  EXPECT_EQ(count_occurrences(svg, "<text "), 0u);
+}
+
+TEST(Svg, DeterministicForSameInput) {
+  util::Rng rng(4);
+  auto ids = graph::sample_ids(10, 64, rng);
+  auto g = graph::make_star(ids);
+  EXPECT_EQ(to_svg(g, 64), to_svg(g, 64));
+}
+
+}  // namespace
+}  // namespace chs::core

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/chord.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/target.hpp"
+
+namespace chs::topology {
+namespace {
+
+using EdgeSet = std::set<std::pair<GuestId, GuestId>>;
+
+EdgeSet to_set(std::vector<std::pair<GuestId, GuestId>> v) {
+  return EdgeSet(v.begin(), v.end());
+}
+
+TEST(Target, ChordTargetEqualsCbtPlusChordEdges) {
+  const std::uint64_t n = 64;
+  const auto got = to_set(target_guest_edges(chord_target(), n));
+  EdgeSet expected;
+  for (auto [a, b] : Cbt(n).edges()) {
+    expected.insert({std::min(a, b), std::max(a, b)});
+  }
+  for (auto [a, b] : Chord(n).edges()) expected.insert({a, b});
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Target, ChordWaveCountFollowsDefinition1) {
+  EXPECT_EQ(chord_target().num_waves(16), 3u);
+  EXPECT_EQ(chord_target().num_waves(1024), 9u);
+}
+
+TEST(Target, BichordAddsTopSpan) {
+  EXPECT_EQ(bichord_target().num_waves(16), 4u);
+  const auto chord_set = to_set(target_guest_edges(chord_target(), 16));
+  const auto bichord_set = to_set(target_guest_edges(bichord_target(), 16));
+  EXPECT_TRUE(std::includes(bichord_set.begin(), bichord_set.end(),
+                            chord_set.begin(), chord_set.end()));
+  EXPECT_TRUE(bichord_set.count({0, 8}));
+  EXPECT_FALSE(chord_set.count({0, 8}));
+}
+
+TEST(Target, HypercubeTargetContainsHypercube) {
+  const std::uint64_t n = 32;
+  const auto got = to_set(target_guest_edges(hypercube_target(), n));
+  for (auto [a, b] : Hypercube(n).edges()) {
+    EXPECT_TRUE(got.count({a, b})) << a << "-" << b;
+  }
+  // And nothing beyond CBT + hypercube edges.
+  EdgeSet allowed;
+  for (auto [a, b] : Cbt(n).edges()) {
+    allowed.insert({std::min(a, b), std::max(a, b)});
+  }
+  for (auto [a, b] : Hypercube(n).edges()) allowed.insert({a, b});
+  for (const auto& e : got) EXPECT_TRUE(allowed.count(e)) << e.first << "-" << e.second;
+}
+
+TEST(Target, HypercubeKeepRule) {
+  const auto t = hypercube_target();
+  EXPECT_TRUE(t.keep(0, 0, 16));   // 0 -> 1, bit 0 clear
+  EXPECT_FALSE(t.keep(1, 0, 16));  // 1 -> 2 not a hypercube edge
+  EXPECT_TRUE(t.keep(4, 0, 16));
+  EXPECT_FALSE(t.keep(4, 2, 16));  // bit 2 of 4 is set
+  EXPECT_TRUE(t.keep(3, 2, 16));
+}
+
+TEST(Target, GuestEdgesAreSortedUnique) {
+  const auto v = target_guest_edges(chord_target(), 128);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_LT(v[i - 1], v[i]);
+  for (const auto& [a, b] : v) EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace chs::topology

@@ -1,0 +1,257 @@
+// Properties of the skiplist and smallworld extension targets (§6):
+// structural invariants of their keep predicates, exactness of the
+// any_kept_in range queries against brute force, degree shape of the final
+// guest graphs, and end-to-end convergence through the scaffolding pattern.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/network.hpp"
+#include "graph/generators.hpp"
+#include "topology/target.hpp"
+#include "util/bitops.hpp"
+
+namespace chs::topology {
+namespace {
+
+using EdgeSet = std::set<std::pair<GuestId, GuestId>>;
+
+EdgeSet to_set(std::vector<std::pair<GuestId, GuestId>> v) {
+  return EdgeSet(v.begin(), v.end());
+}
+
+// ---------------------------------------------------------------- skiplist
+
+class SkiplistSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkiplistSizes, KeepIsDivisibilityRule) {
+  const std::uint64_t n = GetParam();
+  const auto t = skiplist_target();
+  const std::uint32_t waves = t.num_waves(n);
+  ASSERT_LE(waves, util::ceil_log2(n));
+  for (GuestId i = 0; i < n; ++i) {
+    for (std::uint32_t k = 0; k < waves; ++k) {
+      EXPECT_EQ(t.keep(i, k, n), i % (std::uint64_t{1} << k) == 0)
+          << "i=" << i << " k=" << k;
+    }
+  }
+}
+
+TEST_P(SkiplistSizes, AnyKeptInMatchesBruteForce) {
+  const std::uint64_t n = GetParam();
+  const auto t = skiplist_target();
+  const std::uint32_t waves = t.num_waves(n);
+  ASSERT_TRUE(t.any_kept_in);
+  util::Rng rng(n * 31 + 5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.next_below(n + 1);
+    const std::uint64_t b = rng.next_below(n + 1);
+    const std::uint64_t s0 = std::min(a, b), s1 = std::max(a, b);
+    const std::uint32_t k = static_cast<std::uint32_t>(rng.next_below(waves));
+    bool brute = false;
+    for (std::uint64_t i = s0; i < s1 && !brute; ++i) brute = t.keep(i, k, n);
+    EXPECT_EQ(t.any_kept_in(s0, s1, k, n), brute)
+        << "[" << s0 << "," << s1 << ") k=" << k;
+  }
+}
+
+TEST_P(SkiplistSizes, LaneSizesHalveAndHubIsGuestZero) {
+  const std::uint64_t n = GetParam();
+  const auto t = skiplist_target();
+  const std::uint32_t waves = t.num_waves(n);
+  // Lane k (guests keeping their level-k finger) has ceil(n / 2^k) members;
+  // guest 0 is in every lane.
+  for (std::uint32_t k = 0; k < waves; ++k) {
+    std::uint64_t lane = 0;
+    for (GuestId i = 0; i < n; ++i) lane += t.keep(i, k, n) ? 1 : 0;
+    const std::uint64_t step = std::uint64_t{1} << k;
+    EXPECT_EQ(lane, (n + step - 1) / step) << "k=" << k;
+    EXPECT_TRUE(t.keep(0, k, n));
+  }
+}
+
+TEST_P(SkiplistSizes, SpanDegreesAreLogarithmicExceptHub) {
+  const std::uint64_t n = GetParam();
+  const auto t = skiplist_target();
+  const std::uint32_t waves = t.num_waves(n);
+  // Count span-edge endpoints only (CBT tree edges excluded): every guest
+  // has its ring edges plus one outgoing kept finger per level dividing it,
+  // plus incoming fingers. All degrees stay O(log N).
+  std::map<GuestId, std::uint32_t> deg;
+  for (GuestId i = 0; i < n; ++i) {
+    for (std::uint32_t k = 0; k < waves; ++k) {
+      if (!t.keep(i, k, n)) continue;
+      const GuestId j = (i + (std::uint64_t{1} << k)) % n;
+      if (i == j) continue;
+      ++deg[i];
+      ++deg[j];
+    }
+  }
+  for (const auto& [g, d] : deg) {
+    EXPECT_LE(d, 4 * (util::ceil_log2(n) + 1)) << "guest " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SkiplistSizes,
+                         ::testing::Values<std::uint64_t>(8, 32, 64, 100, 256,
+                                                          1000, 1024));
+
+// -------------------------------------------------------------- smallworld
+
+class SmallworldSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmallworldSizes, ExactlyOneLongRangeFingerPerGuest) {
+  const std::uint64_t n = GetParam();
+  const auto t = smallworld_target(/*salt=*/3);
+  const std::uint32_t waves = t.num_waves(n);
+  for (GuestId i = 0; i < n; ++i) {
+    EXPECT_TRUE(t.keep(i, 0, n)) << "ring edge of " << i;
+    std::uint32_t kept = 0;
+    for (std::uint32_t k = 1; k < waves; ++k) kept += t.keep(i, k, n) ? 1 : 0;
+    if (waves > 1) {
+      EXPECT_EQ(kept, 1u) << "guest " << i;
+      EXPECT_EQ(smallworld_level(i, n, 3) >= 1, true);
+      EXPECT_LT(smallworld_level(i, n, 3), waves);
+      EXPECT_TRUE(t.keep(i, smallworld_level(i, n, 3), n));
+    }
+  }
+}
+
+TEST_P(SmallworldSizes, AnyKeptInMatchesBruteForce) {
+  const std::uint64_t n = GetParam();
+  const auto t = smallworld_target(/*salt=*/3);
+  const std::uint32_t waves = t.num_waves(n);
+  ASSERT_TRUE(t.any_kept_in);
+  util::Rng rng(n * 13 + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = rng.next_below(n + 1);
+    const std::uint64_t b = rng.next_below(n + 1);
+    const std::uint64_t s0 = std::min(a, b), s1 = std::max(a, b);
+    const std::uint32_t k = static_cast<std::uint32_t>(rng.next_below(waves));
+    bool brute = false;
+    for (std::uint64_t i = s0; i < s1 && !brute; ++i) brute = t.keep(i, k, n);
+    EXPECT_EQ(t.any_kept_in(s0, s1, k, n), brute)
+        << "[" << s0 << "," << s1 << ") k=" << k;
+  }
+}
+
+TEST_P(SmallworldSizes, SaltChangesWiringButNotShape) {
+  const std::uint64_t n = GetParam();
+  if (n < 64) return;  // tiny N: collision chance too high to assert "differs"
+  std::uint64_t differing = 0;
+  for (GuestId i = 0; i < n; ++i) {
+    if (smallworld_level(i, n, 1) != smallworld_level(i, n, 2)) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+  // Shape: level histogram is roughly uniform over [1, waves) — every level
+  // is hit at least once for n >= 64.
+  const std::uint32_t waves = util::ceil_log2(n);
+  std::map<std::uint32_t, std::uint64_t> hist;
+  for (GuestId i = 0; i < n; ++i) ++hist[smallworld_level(i, n, 1)];
+  EXPECT_EQ(hist.size(), static_cast<std::size_t>(waves - 1));
+}
+
+TEST_P(SmallworldSizes, GuestEdgeCountIsLinear) {
+  const std::uint64_t n = GetParam();
+  const auto t = smallworld_target(/*salt=*/3);
+  const auto edges = target_guest_edges(t, n);
+  // CBT tree (n-1) + ring (n) + at most one long-range edge per guest.
+  EXPECT_LE(edges.size(), (n - 1) + n + n);
+  EXPECT_GE(edges.size(), (n - 1) + n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SmallworldSizes,
+                         ::testing::Values<std::uint64_t>(8, 32, 64, 100, 256,
+                                                          1000, 1024));
+
+// ------------------------------------------------- end-to-end convergence
+
+struct E2ECase {
+  const char* name;
+  TargetSpec spec;
+};
+
+class ExtensionE2E : public ::testing::TestWithParam<std::size_t> {};
+
+std::vector<E2ECase> e2e_cases() {
+  return {
+      {"skiplist", skiplist_target()},
+      {"smallworld", smallworld_target(/*salt=*/11)},
+  };
+}
+
+TEST_P(ExtensionE2E, SparseHostsScaffoldedBuildIsExact) {
+  const auto tc = e2e_cases()[GetParam()];
+  const std::uint64_t n_guests = 256;
+  util::Rng rng(4);
+  auto ids = graph::sample_ids(32, n_guests, rng);  // long responsible ranges
+  core::Params p;
+  p.n_guests = n_guests;
+  p.target = tc.spec;
+  auto eng = core::make_engine(core::scaffold_graph(ids, n_guests), p, 2);
+  core::install_legal_cbt(*eng, core::Phase::kChord);
+  const auto res = core::run_to_convergence(*eng, 100000);
+  EXPECT_TRUE(res.converged) << tc.name << " rounds=" << res.rounds;
+  EXPECT_EQ(res.total_resets, 0u) << tc.name;
+}
+
+TEST_P(ExtensionE2E, DenseHostsFinalGraphMatchesGuestGraph) {
+  const auto tc = e2e_cases()[GetParam()];
+  const std::uint64_t n = 64;
+  std::vector<graph::NodeId> ids(n);
+  for (std::uint64_t i = 0; i < n; ++i) ids[i] = i;
+  core::Params p;
+  p.n_guests = n;
+  p.target = tc.spec;
+  auto eng = core::make_engine(core::scaffold_graph(ids, n), p, 2);
+  core::install_legal_cbt(*eng, core::Phase::kChord);
+  ASSERT_TRUE(core::run_to_convergence(*eng, 100000).converged) << tc.name;
+  // Dense host set: guest edges map 1:1 onto host edges, so the final host
+  // graph must contain every kept guest edge and no span edge that was
+  // pruned (unless it doubles as a tree or ring edge).
+  const auto kept = to_set(target_guest_edges(tc.spec, n));
+  for (const auto& [a, b] : kept) {
+    EXPECT_TRUE(eng->graph().has_edge(a, b)) << tc.name << " " << a << "-" << b;
+  }
+  const std::uint32_t waves = tc.spec.num_waves(n);
+  for (GuestId i = 0; i < n; ++i) {
+    for (std::uint32_t k = 1; k < waves; ++k) {
+      const GuestId j = (i + (std::uint64_t{1} << k)) % n;
+      const auto e = std::minmax(i, j);
+      if (!kept.count({e.first, e.second}) && i != j) {
+        EXPECT_FALSE(eng->graph().has_edge(i, j))
+            << tc.name << " pruned " << i << "-" << j << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST_P(ExtensionE2E, VeryLongRangesPruneExactly) {
+  // The DONE-time prune asks any_kept_in for whole responsible ranges; with
+  // 6 hosts over 2048 guests the ranges are ~340 guests long — far past the
+  // 256-guest exact-scan fallback — so a wrong range query would either
+  // strand a span edge (extra edge, no convergence) or drop a kept one
+  // (missing edge, no convergence). Exact convergence is the proof.
+  const auto tc = e2e_cases()[GetParam()];
+  const std::uint64_t n_guests = 2048;
+  util::Rng rng(31);
+  auto ids = graph::sample_ids(6, n_guests, rng);
+  core::Params p;
+  p.n_guests = n_guests;
+  p.target = tc.spec;
+  auto eng = core::make_engine(core::scaffold_graph(ids, n_guests), p, 2);
+  core::install_legal_cbt(*eng, core::Phase::kChord);
+  const auto res = core::run_to_convergence(*eng, 400000);
+  EXPECT_TRUE(res.converged) << tc.name << " rounds=" << res.rounds;
+  EXPECT_EQ(res.total_resets, 0u) << tc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, ExtensionE2E,
+                         ::testing::Range<std::size_t>(0, 2),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return e2e_cases()[info.param].name;
+                         });
+
+}  // namespace
+}  // namespace chs::topology

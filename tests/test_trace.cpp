@@ -1,0 +1,145 @@
+// Trace/visualization exports: edge classification against the ideal
+// topology, well-formedness of the DOT output, and timeline recording.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trace.hpp"
+#include "graph/generators.hpp"
+
+namespace chs::core {
+namespace {
+
+std::vector<graph::NodeId> iota_ids(std::size_t n) {
+  std::vector<graph::NodeId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = i;
+  return ids;
+}
+
+TEST(EdgeClassifierTest, ClassifiesIdealChordEdges) {
+  const std::uint64_t n = 32;
+  Params p;
+  p.n_guests = n;
+  const EdgeClassifier c(iota_ids(n), p);
+  // Dense host set: (i, i+1) is the ring, CBT root-child edges are tree,
+  // (i, i+4) is a finger, and a random long edge is transient.
+  EXPECT_EQ(c.classify(3, 4), EdgeClass::kRing);
+  EXPECT_EQ(c.classify(31, 0), EdgeClass::kRing);
+  EXPECT_EQ(c.classify(0, 4), EdgeClass::kFinger);
+  EXPECT_EQ(c.classify(5, 13), EdgeClass::kFinger);  // span 8
+  EXPECT_EQ(c.classify(3, 17), EdgeClass::kTransient);
+}
+
+TEST(EdgeClassifierTest, TreeEdgesComeFromTheCbtScaffold) {
+  const std::uint64_t n = 32;
+  Params p;
+  p.n_guests = n;
+  const EdgeClassifier c(iota_ids(n), p);
+  // Count every classification over the ideal host graph: nothing in it may
+  // be transient, and all three structural classes must occur.
+  const auto ideal =
+      avatar::ideal_host_graph(p.target, iota_ids(n), p.n_guests);
+  const auto cbt = avatar::ideal_cbt_host_graph(iota_ids(n), p.n_guests);
+  int ring = 0, tree = 0, finger = 0;
+  for (const auto& [u, v] : ideal.edge_list()) {
+    switch (c.classify(u, v)) {
+      case EdgeClass::kRing: ++ring; break;
+      case EdgeClass::kTree: ++tree; break;
+      case EdgeClass::kFinger: ++finger; break;
+      case EdgeClass::kTransient:
+        ADD_FAILURE() << "ideal edge classified transient: " << u << "-" << v;
+    }
+  }
+  for (const auto& [u, v] : cbt.edge_list()) {
+    EXPECT_NE(c.classify(u, v), EdgeClass::kTransient) << u << "-" << v;
+  }
+  EXPECT_GT(ring, 0);
+  EXPECT_GT(tree, 0);
+  EXPECT_GT(finger, 0);
+}
+
+TEST(EdgeClassifierTest, EdgeClassNamesAreStable) {
+  EXPECT_STREQ(edge_class_name(EdgeClass::kRing), "ring");
+  EXPECT_STREQ(edge_class_name(EdgeClass::kTree), "tree");
+  EXPECT_STREQ(edge_class_name(EdgeClass::kFinger), "finger");
+  EXPECT_STREQ(edge_class_name(EdgeClass::kTransient), "transient");
+}
+
+TEST(Dot, PlainGraphDotIsWellFormed) {
+  util::Rng rng(1);
+  auto g = graph::make_random_tree(iota_ids(12), rng);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph avatar {"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // One node line per vertex, one edge line per edge.
+  std::size_t edge_lines = 0;
+  std::istringstream in(dot);
+  for (std::string line; std::getline(in, line);) {
+    if (line.find(" -- ") != std::string::npos) ++edge_lines;
+  }
+  EXPECT_EQ(edge_lines, g.num_edges());
+}
+
+TEST(Dot, EngineDotContainsPhasesAndRanges) {
+  const std::uint64_t n = 64;
+  util::Rng rng(2);
+  auto ids = graph::sample_ids(16, n, rng);
+  Params p;
+  p.n_guests = n;
+  auto eng = make_engine(scaffold_graph(ids, n), p, 3);
+  install_legal_cbt(*eng, Phase::kChord);
+  const std::string dot = to_dot(*eng);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+  EXPECT_NE(dot.find("pos="), std::string::npos);
+  // Every host appears with its responsible range rendered.
+  for (graph::NodeId id : eng->graph().ids()) {
+    std::ostringstream node;
+    node << "n" << id << " [label=\"" << id << "\\n[";
+    EXPECT_NE(dot.find(node.str()), std::string::npos) << id;
+  }
+}
+
+TEST(Timeline, RecordsConvergenceShape) {
+  const std::uint64_t n = 64;
+  util::Rng rng(5);
+  auto ids = graph::sample_ids(16, n, rng);
+  Params p;
+  p.n_guests = n;
+  auto eng = make_engine(graph::make_line(ids), p, 7);
+  TimelineRecorder rec(/*stride=*/4);
+  const std::uint64_t executed = rec.run(*eng, 400000);
+  ASSERT_TRUE(is_converged(*eng)) << executed;
+  const auto& samples = rec.samples();
+  ASSERT_GE(samples.size(), 3u);
+  // Rounds strictly increase; the first sample sees singleton clusters, the
+  // last sees everyone DONE with zero CBT-phase hosts.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].round, samples[i - 1].round);
+  }
+  EXPECT_EQ(samples.front().hosts_cbt, ids.size());
+  EXPECT_EQ(samples.front().clusters, ids.size());
+  EXPECT_EQ(samples.back().hosts_done, ids.size());
+  EXPECT_EQ(samples.back().clusters, 0u);
+}
+
+TEST(Timeline, CsvHasHeaderAndOneRowPerSample) {
+  const std::uint64_t n = 64;
+  util::Rng rng(6);
+  auto ids = graph::sample_ids(12, n, rng);
+  Params p;
+  p.n_guests = n;
+  auto eng = make_engine(scaffold_graph(ids, n), p, 2);
+  install_legal_cbt(*eng, Phase::kChord);
+  TimelineRecorder rec(/*stride=*/2);
+  rec.run(*eng, 100000);
+  const std::string csv = rec.to_csv();
+  std::size_t lines = 0;
+  std::istringstream in(csv);
+  for (std::string line; std::getline(in, line);) ++lines;
+  EXPECT_EQ(lines, rec.samples().size() + 1);  // header + rows
+  EXPECT_EQ(csv.rfind("round,edges,max_degree,clusters,", 0), 0u);
+}
+
+}  // namespace
+}  // namespace chs::core

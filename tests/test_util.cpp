@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/bitops.hpp"
+#include "util/interval_map.hpp"
+#include "util/rng.hpp"
+
+namespace chs {
+namespace {
+
+TEST(Bitops, CeilLog2) {
+  EXPECT_EQ(util::ceil_log2(0), 0u);
+  EXPECT_EQ(util::ceil_log2(1), 0u);
+  EXPECT_EQ(util::ceil_log2(2), 1u);
+  EXPECT_EQ(util::ceil_log2(3), 2u);
+  EXPECT_EQ(util::ceil_log2(4), 2u);
+  EXPECT_EQ(util::ceil_log2(5), 3u);
+  EXPECT_EQ(util::ceil_log2(1023), 10u);
+  EXPECT_EQ(util::ceil_log2(1024), 10u);
+  EXPECT_EQ(util::ceil_log2(1025), 11u);
+  EXPECT_EQ(util::ceil_log2(std::uint64_t{1} << 63), 63u);
+}
+
+TEST(Bitops, FloorLog2) {
+  EXPECT_EQ(util::floor_log2(1), 0u);
+  EXPECT_EQ(util::floor_log2(2), 1u);
+  EXPECT_EQ(util::floor_log2(3), 1u);
+  EXPECT_EQ(util::floor_log2(4), 2u);
+  EXPECT_EQ(util::floor_log2(1023), 9u);
+  EXPECT_EQ(util::floor_log2(1024), 10u);
+}
+
+TEST(Bitops, IsPow2NextPow2) {
+  EXPECT_FALSE(util::is_pow2(0));
+  EXPECT_TRUE(util::is_pow2(1));
+  EXPECT_TRUE(util::is_pow2(2));
+  EXPECT_FALSE(util::is_pow2(3));
+  EXPECT_TRUE(util::is_pow2(1024));
+  EXPECT_EQ(util::next_pow2(0), 1u);
+  EXPECT_EQ(util::next_pow2(1), 1u);
+  EXPECT_EQ(util::next_pow2(3), 4u);
+  EXPECT_EQ(util::next_pow2(1024), 1024u);
+  EXPECT_EQ(util::next_pow2(1025), 2048u);
+}
+
+TEST(Bitops, ChordFingerCountMatchesDefinition1) {
+  // Definition 1: 0 <= k < log N - 1 fingers.
+  EXPECT_EQ(util::chord_num_fingers(8), 2u);
+  EXPECT_EQ(util::chord_num_fingers(16), 3u);
+  EXPECT_EQ(util::chord_num_fingers(1024), 9u);
+  EXPECT_EQ(util::chord_num_fingers(2), 0u);
+}
+
+TEST(Bitops, PifWaveBound) {
+  // 2 * (log N + 1).
+  EXPECT_EQ(util::pif_wave_round_bound(16), 10u);
+  EXPECT_EQ(util::pif_wave_round_bound(1024), 22u);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  util::Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next_u64();
+    EXPECT_EQ(x, b.next_u64());
+  }
+  bool differs = false;
+  util::Rng a2(42);
+  for (int i = 0; i < 10; ++i) differs |= (a2.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  util::Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.next_below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  util::Rng root(99);
+  auto s1 = root.split(1);
+  auto s2 = root.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (s1.next_u64() == s2.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  util::Rng r(1);
+  int heads = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) heads += r.next_bool();
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.5, 0.02);
+}
+
+TEST(IntervalMap, AssignAndFind) {
+  util::IntervalMap<int> m;
+  m.assign(10, 20, 1);
+  EXPECT_FALSE(m.find(9).has_value());
+  EXPECT_EQ(m.find(10).value(), 1);
+  EXPECT_EQ(m.find(19).value(), 1);
+  EXPECT_FALSE(m.find(20).has_value());
+}
+
+TEST(IntervalMap, OverwriteSplitsExisting) {
+  util::IntervalMap<int> m;
+  m.assign(0, 100, 1);
+  m.assign(40, 60, 2);
+  EXPECT_EQ(m.find(39).value(), 1);
+  EXPECT_EQ(m.find(40).value(), 2);
+  EXPECT_EQ(m.find(59).value(), 2);
+  EXPECT_EQ(m.find(60).value(), 1);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(IntervalMap, CoalescesEqualAdjacent) {
+  util::IntervalMap<int> m;
+  m.assign(0, 10, 5);
+  m.assign(10, 20, 5);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.covers(0, 20));
+}
+
+TEST(IntervalMap, EraseCutsHoles) {
+  util::IntervalMap<int> m;
+  m.assign(0, 100, 7);
+  m.erase(25, 75);
+  EXPECT_TRUE(m.find(24).has_value());
+  EXPECT_FALSE(m.find(25).has_value());
+  EXPECT_FALSE(m.find(74).has_value());
+  EXPECT_TRUE(m.find(75).has_value());
+  EXPECT_FALSE(m.covers(0, 100));
+  EXPECT_TRUE(m.covers(0, 25));
+}
+
+TEST(IntervalMap, CoversDetectsGaps) {
+  util::IntervalMap<int> m;
+  m.assign(0, 10, 1);
+  m.assign(20, 30, 1);
+  EXPECT_FALSE(m.covers(0, 30));
+  m.assign(10, 20, 2);
+  EXPECT_TRUE(m.covers(0, 30));
+}
+
+TEST(IntervalMap, RandomizedAgainstReferenceMap) {
+  util::IntervalMap<int> m;
+  std::map<std::uint64_t, int> ref;  // point -> value over [0, 200)
+  util::Rng rng(123);
+  for (int step = 0; step < 300; ++step) {
+    std::uint64_t a = rng.next_below(200), b = rng.next_below(200);
+    if (a > b) std::swap(a, b);
+    const int v = static_cast<int>(rng.next_below(5));
+    if (rng.next_bool()) {
+      m.assign(a, b, v);
+      for (auto p = a; p < b; ++p) ref[p] = v;
+    } else {
+      m.erase(a, b);
+      for (auto p = a; p < b; ++p) ref.erase(p);
+    }
+    for (std::uint64_t p = 0; p < 200; p += 7) {
+      const auto got = m.find(p);
+      const auto it = ref.find(p);
+      if (it == ref.end()) {
+        ASSERT_FALSE(got.has_value()) << "point " << p << " step " << step;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "point " << p << " step " << step;
+        ASSERT_EQ(*got, it->second) << "point " << p << " step " << step;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chs

@@ -1,0 +1,287 @@
+// chordsim — command-line driver for the library.
+//
+//   chordsim run    [--n 64] [--N 256] [--family random_tree] [--seed 1]
+//                   [--target chord|bichord|hypercube] [--delay 1]
+//                   [--max-rounds 400000] [--trace]
+//   chordsim route  [--n 64] [--N 256] [--lookups 500] [--seed 1]
+//   chordsim churn  [--n 64] [--N 256] [--episodes 3] [--burst 1] [--seed 1]
+//   chordsim dot    [--n 24] [--N 64] [--family line] [--seed 1]
+//                   [--rounds R] [--svg]  (0 = run to convergence)
+//   chordsim kv     [--n 48] [--N 512] [--keys 64] [--replicas 3]
+//                   [--fail-frac 0.2] [--delay 1] [--seed 1]
+//
+// `run` stabilizes an Avatar(target) network from the chosen initial
+// topology and prints the convergence metrics (optionally a per-round phase
+// trace). `route` additionally snapshots the converged overlay and issues
+// in-band lookups. `churn` repeatedly tears a host out and lets the network
+// re-stabilize. `dot` prints a Graphviz snapshot (nodes colored by phase,
+// edges by ring/tree/finger/transient classification) after R rounds —
+// render with `neato -n2 -Tsvg`.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/churn.hpp"
+#include "core/invariants.hpp"
+#include "core/svg.hpp"
+#include "core/trace.hpp"
+#include "dht/kvstore.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "routing/protocol.hpp"
+#include "util/bitops.hpp"
+
+using namespace chs;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  const char* get(const char* key, const char* def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : it->second.c_str();
+  }
+  std::uint64_t get_u64(const char* key, std::uint64_t def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  bool has(const char* key) const { return kv.count(key) > 0; }
+};
+
+Args parse(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    std::string k = argv[i];
+    if (k.rfind("--", 0) != 0) continue;
+    k = k.substr(2);
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      a.kv[k] = argv[++i];
+    } else {
+      a.kv[k] = "1";
+    }
+  }
+  return a;
+}
+
+graph::Family family_of(const std::string& name) {
+  for (graph::Family f : graph::all_families()) {
+    if (name == graph::family_name(f)) return f;
+  }
+  std::fprintf(stderr, "unknown family '%s'; options:", name.c_str());
+  for (graph::Family f : graph::all_families()) {
+    std::fprintf(stderr, " %s", graph::family_name(f));
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+topology::TargetSpec target_of(const std::string& name) {
+  if (name == "chord") return topology::chord_target();
+  if (name == "bichord") return topology::bichord_target();
+  if (name == "hypercube") return topology::hypercube_target();
+  if (name == "skiplist") return topology::skiplist_target();
+  if (name == "smallworld") return topology::smallworld_target();
+  std::fprintf(stderr,
+               "unknown target '%s' "
+               "(chord|bichord|hypercube|skiplist|smallworld)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<core::StabEngine> build_engine(const Args& a) {
+  const std::uint64_t n_guests = a.get_u64("N", 256);
+  const std::size_t n_hosts =
+      static_cast<std::size_t>(a.get_u64("n", n_guests / 4));
+  const std::uint64_t seed = a.get_u64("seed", 1);
+  const std::uint32_t delay =
+      static_cast<std::uint32_t>(a.get_u64("delay", 1));
+
+  util::Rng rng(seed);
+  auto ids = graph::sample_ids(n_hosts, n_guests, rng);
+  auto g = graph::make_family(family_of(a.get("family", "random_tree")), ids,
+                              rng);
+  core::Params p;
+  p.n_guests = n_guests;
+  p.target = target_of(a.get("target", "chord"));
+  p.delay_slack = delay;
+  auto eng = core::make_engine(std::move(g), p, seed);
+  eng->set_max_message_delay(delay);
+  std::printf("hosts=%zu guests=%llu family=%s target=%s seed=%llu delay=%u\n",
+              n_hosts, static_cast<unsigned long long>(n_guests),
+              a.get("family", "random_tree"), p.target.name.c_str(),
+              static_cast<unsigned long long>(seed), delay);
+  return eng;
+}
+
+int phase_counts(core::StabEngine& eng, int which) {
+  int c = 0;
+  for (auto id : eng.graph().ids()) {
+    c += static_cast<int>(eng.state(id).phase) == which;
+  }
+  return c;
+}
+
+int cmd_run(const Args& a) {
+  auto eng = build_engine(a);
+  const std::uint64_t max_rounds = a.get_u64("max-rounds", 400000);
+  const bool trace = a.has("trace");
+  std::uint64_t r = 0;
+  for (; r < max_rounds && !core::is_converged(*eng); ++r) {
+    eng->step_round();
+    if (trace && r % 50 == 0) {
+      std::printf("round %6llu: cbt=%d chord=%d done=%d edges=%zu "
+                  "maxdeg=%zu resets=%llu\n",
+                  static_cast<unsigned long long>(r), phase_counts(*eng, 0),
+                  phase_counts(*eng, 1), phase_counts(*eng, 2),
+                  eng->graph().num_edges(), eng->graph().max_degree(),
+                  static_cast<unsigned long long>(core::total_resets(*eng)));
+    }
+  }
+  if (!core::is_converged(*eng)) {
+    std::printf("NOT converged after %llu rounds\n",
+                static_cast<unsigned long long>(r));
+    return 1;
+  }
+  std::printf("converged in %llu rounds (log^2 N = %u)\n",
+              static_cast<unsigned long long>(r),
+              util::ceil_log2(eng->protocol().params().n_guests) *
+                  util::ceil_log2(eng->protocol().params().n_guests));
+  std::printf("degree expansion %.2f, peak degree %zu, messages %llu\n",
+              eng->metrics().degree_expansion(eng->graph()),
+              eng->metrics().peak_max_degree(),
+              static_cast<unsigned long long>(eng->metrics().messages()));
+  const std::string inv = core::check_invariants(*eng);
+  std::printf("invariants: %s\n", inv.empty() ? "ok" : inv.c_str());
+  return 0;
+}
+
+int cmd_route(const Args& a) {
+  auto eng = build_engine(a);
+  if (!core::run_to_convergence(*eng, a.get_u64("max-rounds", 400000)).converged) {
+    std::printf("did not converge\n");
+    return 1;
+  }
+  auto lk = routing::make_lookup_engine(*eng, a.get_u64("seed", 1));
+  const auto stats = routing::run_inband_lookups(
+      *lk, a.get_u64("lookups", 500), a.get_u64("seed", 1) + 7, 5000);
+  std::printf("lookups: %zu issued, %zu delivered, mean %.2f hops, max %u "
+              "(log N = %u), drained in %llu rounds\n",
+              stats.issued, stats.delivered, stats.mean_hops, stats.max_hops,
+              util::ceil_log2(eng->protocol().params().n_guests),
+              static_cast<unsigned long long>(stats.rounds));
+  return stats.delivered == stats.issued ? 0 : 1;
+}
+
+int cmd_churn(const Args& a) {
+  auto eng = build_engine(a);
+  if (!core::run_to_convergence(*eng, a.get_u64("max-rounds", 400000)).converged) {
+    std::printf("did not converge\n");
+    return 1;
+  }
+  core::ChurnSchedule sched;
+  sched.episodes = a.get_u64("episodes", 3);
+  sched.burst = a.get_u64("burst", 1);
+  sched.seed = a.get_u64("seed", 1);
+  const auto report = core::run_churn_schedule(*eng, sched);
+  for (std::size_t i = 0; i < report.episodes.size(); ++i) {
+    const auto& ep = report.episodes[i];
+    std::printf("event %zu: host %llu churned (anchor %llu) — %s after %llu "
+                "rounds\n",
+                i + 1, static_cast<unsigned long long>(ep.victim),
+                static_cast<unsigned long long>(ep.anchor),
+                ep.recovered ? "recovered" : "FAILED",
+                static_cast<unsigned long long>(ep.recovery_rounds));
+  }
+  std::printf("churn: %zu events, max recovery %llu rounds, total %llu\n",
+              report.episodes.size(),
+              static_cast<unsigned long long>(report.max_recovery_rounds),
+              static_cast<unsigned long long>(report.total_rounds));
+  return report.all_recovered ? 0 : 1;
+}
+
+int cmd_dot(const Args& a) {
+  auto eng = build_engine(a);
+  const std::uint64_t rounds = a.get_u64("rounds", 0);
+  if (rounds == 0) {
+    if (!core::run_to_convergence(*eng, a.get_u64("max-rounds", 400000))
+             .converged) {
+      std::fprintf(stderr, "did not converge\n");
+      return 1;
+    }
+  } else {
+    for (std::uint64_t r = 0; r < rounds; ++r) eng->step_round();
+  }
+  if (a.has("svg")) {
+    std::fputs(core::to_svg(*eng).c_str(), stdout);
+  } else {
+    std::fputs(core::to_dot(*eng).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_kv(const Args& a) {
+  auto eng = build_engine(a);
+  if (!core::run_to_convergence(*eng, a.get_u64("max-rounds", 400000))
+           .converged) {
+    std::printf("did not converge\n");
+    return 1;
+  }
+  const std::uint32_t replicas =
+      static_cast<std::uint32_t>(a.get_u64("replicas", 3));
+  const std::uint64_t keys = a.get_u64("keys", 64);
+  const double fail_frac = std::strtod(a.get("fail-frac", "0.2"), nullptr);
+  dht::KvCluster kv(*eng, replicas, a.get_u64("seed", 1) + 99,
+                    static_cast<std::uint32_t>(a.get_u64("delay", 1)));
+  for (std::uint64_t key = 0; key < keys; ++key) {
+    kv.put(key, "value-" + std::to_string(key));
+  }
+  util::Rng rng(a.get_u64("seed", 1) * 7);
+  std::vector<graph::NodeId> pool(eng->graph().ids());
+  for (std::size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng.next_below(i)]);
+  }
+  const std::size_t kills = static_cast<std::size_t>(
+      fail_frac * static_cast<double>(pool.size()));
+  for (std::size_t i = 0; i < kills; ++i) kv.fail_host(pool[i]);
+  std::size_t ok = 0, lost = 0, route_fail = 0;
+  for (std::uint64_t key = 0; key < keys; ++key) {
+    if (kv.get(key).value_or("") == "value-" + std::to_string(key)) {
+      ++ok;
+      continue;
+    }
+    bool any_live = false;
+    for (graph::NodeId h : kv.holders(key)) {
+      if (!kv.is_down(h)) any_live = true;
+    }
+    ++(any_live ? route_fail : lost);
+  }
+  const auto& st = kv.stats();
+  std::printf("kv: %zu/%llu reads ok after failing %zu hosts "
+              "(%zu lost, %zu routing failures); puts=%llu acks=%llu "
+              "retries=%llu max_hops=%u\n",
+              ok, static_cast<unsigned long long>(keys), kills, lost,
+              route_fail, static_cast<unsigned long long>(st.puts),
+              static_cast<unsigned long long>(st.put_acks),
+              static_cast<unsigned long long>(st.get_retries), st.max_hops);
+  return route_fail == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: chordsim run|route|churn|dot|kv [--key value ...]\n");
+    return 2;
+  }
+  const Args a = parse(argc, argv, 2);
+  if (!std::strcmp(argv[1], "run")) return cmd_run(a);
+  if (!std::strcmp(argv[1], "route")) return cmd_route(a);
+  if (!std::strcmp(argv[1], "churn")) return cmd_churn(a);
+  if (!std::strcmp(argv[1], "dot")) return cmd_dot(a);
+  if (!std::strcmp(argv[1], "kv")) return cmd_kv(a);
+  std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
+  return 2;
+}
