@@ -3,13 +3,17 @@
 // the experiment sweeps can afford.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "avatar/range.hpp"
+#include "core/network.hpp"
 #include "dht/kvstore.hpp"
 #include "graph/generators.hpp"
 #include "stabilizer/guest_model.hpp"
 #include "topology/cbt.hpp"
 #include "topology/target.hpp"
 #include "util/interval_map.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -145,6 +149,87 @@ void BM_GuestModelRunAll(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GuestModelRunAll)->Arg(8)->Arg(10)->Arg(12);
+
+// --- engine round loop -----------------------------------------------------
+
+// A converged (quiescent) Avatar(Chord) network of 10k hosts over 16384
+// guests. Built once per step mode and reused across iterations: stepping a
+// converged network changes nothing, so every iteration measures the same
+// thing — the fixed per-round cost of the engine itself.
+constexpr std::size_t kQuiescentHosts = 10000;
+constexpr std::uint64_t kQuiescentGuests = 16384;
+
+chs::core::StabEngine& quiescent_engine(chs::sim::StepMode mode) {
+  using chs::core::StabEngine;
+  static std::unique_ptr<StabEngine> cache[2];
+  auto& slot = cache[mode == chs::sim::StepMode::kActiveSet ? 1 : 0];
+  if (!slot) {
+    chs::util::set_log_level(chs::util::LogLevel::kError);
+    chs::util::Rng rng(1);
+    auto ids = chs::graph::sample_ids(kQuiescentHosts, kQuiescentGuests, rng);
+    chs::core::Params p;
+    p.n_guests = kQuiescentGuests;
+    slot = chs::core::make_engine(
+        chs::core::scaffold_graph(ids, kQuiescentGuests), p, 1);
+    chs::core::install_chord_built_upto(
+        *slot, static_cast<std::int32_t>(slot->protocol().num_waves()) - 1, &ids);
+    slot->run_until(
+        [](StabEngine& e) { return e.quiescent_streak() >= 8; }, 5000);
+    // Drain the stale-wakeup tail left over from the active phase so the
+    // steady state is the true converged cost.
+    while (slot->pending_events() != 0) slot->step_round();
+    // Unbounded iteration count ahead: stop the per-round degree trace.
+    slot->metrics().set_trace_recording(false);
+    slot->set_step_mode(mode);
+    slot->step_round();  // absorb the wake_all a mode switch performs
+  }
+  return *slot;
+}
+
+// Time-per-round on a mostly-quiescent 10k-host network. Arg: 0 = classic
+// step-everyone loop, 1 = active-set loop. The stepped_per_round counter is
+// the headline: ~n for mode 0, ~0 for mode 1.
+void BM_EngineQuiescentRound(benchmark::State& state) {
+  const auto mode = state.range(0) == 0 ? chs::sim::StepMode::kAll
+                                        : chs::sim::StepMode::kActiveSet;
+  auto& eng = quiescent_engine(mode);
+  const std::uint64_t stepped0 = eng.metrics().nodes_stepped();
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    eng.step_round();
+    ++rounds;
+  }
+  state.counters["stepped_per_round"] = benchmark::Counter(
+      static_cast<double>(eng.metrics().nodes_stepped() - stepped0) /
+      static_cast<double>(rounds == 0 ? 1 : rounds));
+  state.counters["hosts"] = kQuiescentHosts;
+}
+BENCHMARK(BM_EngineQuiescentRound)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// Full stabilization from a random tree (active phase): the active set
+// still wins while the network is busy, just less dramatically.
+void BM_EngineStabilize(benchmark::State& state) {
+  const auto mode = state.range(0) == 0 ? chs::sim::StepMode::kAll
+                                        : chs::sim::StepMode::kActiveSet;
+  chs::util::set_log_level(chs::util::LogLevel::kError);
+  std::uint64_t rounds = 0, stepped = 0;
+  for (auto _ : state) {
+    chs::util::Rng rng(3);
+    auto ids = chs::graph::sample_ids(64, 256, rng);
+    chs::core::Params p;
+    p.n_guests = 256;
+    auto eng = chs::core::make_engine(chs::graph::make_random_tree(ids, rng), p, 2);
+    eng->set_step_mode(mode);
+    const auto res = chs::core::run_to_convergence(*eng, 400000);
+    rounds += res.rounds;
+    stepped += eng->metrics().nodes_stepped();
+  }
+  state.counters["rounds"] = benchmark::Counter(
+      static_cast<double>(rounds), benchmark::Counter::kAvgIterations);
+  state.counters["nodes_stepped"] = benchmark::Counter(
+      static_cast<double>(stepped), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_EngineStabilize)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_FitPower(benchmark::State& state) {
   std::vector<double> xs, ys;

@@ -20,7 +20,9 @@ void churn_host(StabEngine& eng, graph::NodeId victim, graph::NodeId anchor) {
   st.hi = eng.protocol().params().n_guests;
   eng.protocol().recompute_fragments(st);
   st.nbrs = eng.graph().neighbors(victim);
-  eng.republish();
+  // Only the victim's state changed; a targeted publish is equivalent to
+  // the full republish() sweep and keeps burst churn O(burst), not O(n).
+  eng.republish(victim);
 }
 
 ChurnReport run_churn_schedule(StabEngine& eng, const ChurnSchedule& schedule) {

@@ -19,9 +19,25 @@
 //   void init_node(NodeId, NodeState&, util::Rng&);
 //   void publish(const NodeState&, PublicState&);
 //   void step(NodeCtx<Protocol>&);           // one round for one node
+//
+// Internally the engine is layered (DESIGN.md D5):
+//   * CalendarQueue (scheduler.hpp) — one shared bucket ring each for
+//     delayed deliveries, held self-messages, and wakeups;
+//   * MailboxPool (mailbox.hpp)     — inbox arenas, one clear point/round;
+//   * dirty-snapshot publishing     — Protocol::publish runs only for nodes
+//     whose state may have changed (stepped or externally mutated);
+//     republish() stays as the full-refresh fault-injection fallback;
+//   * active-set round loop         — in StepMode::kActiveSet only nodes
+//     with deliveries, due wakeups, incident topology deltas, or changed
+//     neighbor snapshots are stepped. A protocol opts in by declaring
+//     `static constexpr bool kUsesActiveSet = true` and registering
+//     wakeups (NodeCtx::request_wakeup) for every spontaneous, timer-driven
+//     action; protocols without the trait run in StepMode::kAll, which is
+//     round-for-round identical to the classic step-everyone loop.
 #pragma once
 
 #include <algorithm>
+#include <concepts>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -30,7 +46,9 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/mailbox.hpp"
 #include "sim/metrics.hpp"
+#include "sim/scheduler.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -39,11 +57,22 @@ namespace chs::sim {
 using graph::NodeId;
 using graph::NodeIndex;
 
-template <typename M>
-struct Envelope {
-  NodeId from;
-  M msg;
+/// How step_round selects the nodes to step.
+enum class StepMode : std::uint8_t {
+  kAll,        // classic loop: every node, every round
+  kActiveSet,  // only nodes with a reason to act (requires protocol support)
 };
+
+namespace detail {
+template <typename P>
+constexpr bool protocol_uses_active_set() {
+  if constexpr (requires { P::kUsesActiveSet; }) {
+    return P::kUsesActiveSet;
+  } else {
+    return false;
+  }
+}
+}  // namespace detail
 
 template <typename P>
 class Engine;
@@ -88,6 +117,15 @@ class NodeCtx {
     engine_->queue_hold(self_, round_ + delay, std::move(m));
   }
 
+  /// Ask to be stepped again in `delay` rounds (>= 1) even if no message
+  /// arrives. Active-set protocols must call this for every spontaneous
+  /// (timer- or deadline-driven) action; it is a no-op signal otherwise —
+  /// never an action, never delivers a message.
+  void request_wakeup(std::uint64_t delay) {
+    CHS_CHECK(delay >= 1);
+    engine_->queue_wakeup(self_, round_ + delay);
+  }
+
   /// Connect two of this node's current neighbors by a new logical edge.
   void introduce(NodeId a, NodeId b, const char* site = "?") {
     engine_->queue_introduce(self_, a, b, site);
@@ -99,6 +137,7 @@ class NodeCtx {
   }
 
   /// Debug: who last requested deletion of edge (self, v), if recorded.
+  /// Requires Engine::set_edge_delete_tracing(true).
   const char* last_delete_site(NodeId v) const {
     return engine_->last_delete_site(self_, v);
   }
@@ -126,10 +165,13 @@ class Engine {
     const std::size_t n = graph_.size();
     states_.resize(n);
     publics_.resize(n);
-    inboxes_.resize(n);
-    delayed_.resize(n);
-    holds_.resize(n);
+    mail_.init(n);
+    woken_mark_.assign(n, 0);
+    dirty_mark_.assign(n, 0);
     rngs_.reserve(n);
+    if constexpr (detail::protocol_uses_active_set<P>()) {
+      step_mode_ = StepMode::kActiveSet;
+    }
     for (NodeIndex i = 0; i < n; ++i) {
       rngs_.push_back(root_rng_.split(graph_.id_of(i)));
       protocol_.init_node(graph_.id_of(i), states_[i], rngs_[i]);
@@ -145,18 +187,66 @@ class Engine {
   RunMetrics& metrics() { return metrics_; }
   const RunMetrics& metrics() const { return metrics_; }
 
-  NodeState& state_mut(NodeId id) { return states_[graph_.index_of(id)]; }
+  StepMode step_mode() const { return step_mode_; }
+
+  /// Force a step mode. Switching to kActiveSet re-activates every node so
+  /// protocols (re)establish their wakeup schedules.
+  void set_step_mode(StepMode mode) {
+    step_mode_ = mode;
+    if (mode == StepMode::kActiveSet) wake_all();
+  }
+
   const NodeState& state(NodeId id) const { return states_[graph_.index_of(id)]; }
 
-  /// Refresh public snapshots after external (fault-injection) mutation.
+  /// Mutable state access for fault injection and harness glue. Marks the
+  /// node dirty (its snapshot republishes at the end of the next round) and
+  /// active (it will be stepped), so external mutation is never missed by
+  /// the active-set loop.
+  NodeState& state_mut(NodeId id) {
+    const NodeIndex i = graph_.index_of(id);
+    mark_dirty(i);
+    wake(i);
+    return states_[i];
+  }
+
+  /// Refresh every public snapshot and re-activate every node; the
+  /// full-strength fallback after arbitrary external mutation.
   void republish() {
-    for (NodeIndex i = 0; i < graph_.size(); ++i)
+    for (NodeIndex i = 0; i < graph_.size(); ++i) {
       protocol_.publish(states_[i], publics_[i]);
+    }
+    metrics_.count_snapshots(graph_.size());
+    wake_all();
+  }
+
+  /// Targeted refresh after mutating a single node's state: publish its
+  /// snapshot immediately (visible to neighbor views next round) and
+  /// re-activate it plus its neighbors. Equivalent to republish() when no
+  /// other node's state changed, without the O(n) sweep.
+  void republish(NodeId id) {
+    const NodeIndex i = graph_.index_of(id);
+    protocol_.publish(states_[i], publics_[i]);
+    metrics_.count_snapshots(1);
+    wake(i);
+    for (NodeId nb : graph_.neighbors(id)) wake(graph_.index_of(nb));
   }
 
   /// Direct topology mutation for fault injection; bypasses overlay rules.
-  bool inject_edge(NodeId u, NodeId v) { return graph_.add_edge(u, v); }
-  bool inject_edge_removal(NodeId u, NodeId v) { return graph_.remove_edge(u, v); }
+  /// Both endpoints are re-activated so they observe the delta.
+  bool inject_edge(NodeId u, NodeId v) {
+    if (!graph_.add_edge(u, v)) return false;
+    topo_changed_ = true;
+    wake(graph_.index_of(u));
+    wake(graph_.index_of(v));
+    return true;
+  }
+  bool inject_edge_removal(NodeId u, NodeId v) {
+    if (!graph_.remove_edge(u, v)) return false;
+    topo_changed_ = true;
+    wake(graph_.index_of(u));
+    wake(graph_.index_of(v));
+    return true;
+  }
 
   /// Asynchrony model (§7 future work): each message is delayed uniformly
   /// in [1, d] rounds instead of exactly 1. Channels stay reliable and
@@ -167,70 +257,104 @@ class Engine {
     max_delay_ = d;
   }
 
+  /// Record which protocol site requested each applied edge deletion
+  /// (ctx.last_delete_site). Off by default: the record grows with every
+  /// deletion ever applied, which is unbounded under churn.
+  void set_edge_delete_tracing(bool on) {
+    edge_trace_ = on;
+    if (!on) last_delete_.clear();
+  }
+
   /// Execute one synchronous round.
   void step_round() {
-    const std::size_t n = graph_.size();
     round_actions_ = 0;
-    deliveries_this_round_ = 0;
+    mail_.begin_round();
 
-    // Release held self-messages and delayed deliveries due this round.
-    for (NodeIndex i = 0; i < n; ++i) {
-      auto it = holds_[i].find(round_);
-      if (it != holds_[i].end()) {
-        for (auto& m : it->second) {
-          inboxes_[i].push_back(Envelope<Message>{graph_.id_of(i), std::move(m)});
-          ++deliveries_this_round_;
-        }
-        holds_[i].erase(it);
-      }
-      auto dt = delayed_[i].find(round_);
-      if (dt != delayed_[i].end()) {
-        for (auto& env : dt->second) {
-          inboxes_[i].push_back(std::move(env));
-          ++deliveries_this_round_;
-        }
-        delayed_[i].erase(dt);
-      }
+    // --- release: wakeups, then held self-messages, then delayed sends.
+    // Holds-before-sends reproduces the seed's per-node inbox order.
+    wakeups_.drain_due(round_, [&](NodeIndex i) { wake(i); });
+    holds_.drain_due(round_, [&](HoldEvent&& h) {
+      wake(h.to);
+      mail_.deliver(h.to, Envelope<Message>{graph_.id_of(h.to), std::move(h.msg)});
+    });
+    delayed_.drain_due(round_, [&](SendEvent&& s) {
+      wake(s.to);
+      mail_.deliver(s.to, std::move(s.env));
+    });
+
+    // --- select this round's step set (ascending index order: scheduling
+    // order inside the calendars, and thus determinism, depends on it).
+    stepped_.clear();
+    if (step_mode_ == StepMode::kAll) {
+      for (NodeIndex i = 0; i < graph_.size(); ++i) stepped_.push_back(i);
+      for (NodeIndex i : woken_) woken_mark_[i] = 0;
+      woken_.clear();
+    } else {
+      stepped_.swap(woken_);
+      for (NodeIndex i : stepped_) woken_mark_[i] = 0;
+      std::sort(stepped_.begin(), stepped_.end());
     }
 
-    // Step every node against the start-of-round topology and snapshots.
-    for (NodeIndex i = 0; i < n; ++i) {
+    // --- step against the start-of-round topology and snapshots.
+    for (NodeIndex i : stepped_) {
       NodeCtx<P> ctx;
       ctx.self_ = graph_.id_of(i);
       ctx.round_ = round_;
       ctx.state_ = &states_[i];
       ctx.rng_ = &rngs_[i];
-      ctx.inbox_ = std::span<const Envelope<Message>>(inboxes_[i]);
+      ctx.inbox_ = mail_.inbox(i);
       ctx.neighbors_ = &graph_.neighbors(ctx.self_);
       ctx.engine_ = this;
       protocol_.step(ctx);
-      inboxes_[i].clear();
     }
 
-    // Apply deferred edge mutations (adds win over concurrent deletes of the
-    // same pair only if requested by distinct pairs; we apply deletes first
-    // so an introduce in the same round re-creates deliberately).
+    // --- apply deferred edge mutations (deletes first, so an introduce in
+    // the same round re-creates deliberately).
     for (std::size_t di = 0; di < pending_deletes_.size(); ++di) {
       const auto& [u, v] = pending_deletes_[di];
       if (graph_.remove_edge(u, v)) {
         metrics_.count_edge_del();
-        last_delete_[std::minmax(u, v)] = pending_delete_sites_[di];
+        topo_changed_ = true;
+        wake(graph_.index_of(u));
+        wake(graph_.index_of(v));
+        if (edge_trace_) record_delete_site(u, v, pending_delete_sites_[di]);
       }
     }
     pending_delete_sites_.clear();
     for (const auto& [u, v] : pending_adds_) {
-      if (graph_.add_edge(u, v)) metrics_.count_edge_add();
+      if (graph_.add_edge(u, v)) {
+        metrics_.count_edge_add();
+        topo_changed_ = true;
+        wake(graph_.index_of(u));
+        wake(graph_.index_of(v));
+      }
     }
     pending_deletes_.clear();
     pending_adds_.clear();
 
-    // Publish states for next round's neighbor views.
-    republish();
+    // --- dirty-snapshot publish: only nodes whose state may have changed
+    // (stepped this round, or externally mutated via state_mut).
+    for (NodeIndex i : stepped_) mark_dirty(i);
+    std::sort(dirty_.begin(), dirty_.end());
+    for (NodeIndex i : dirty_) {
+      dirty_mark_[i] = 0;
+      if (step_mode_ == StepMode::kActiveSet) {
+        publish_and_propagate(i);
+      } else {
+        protocol_.publish(states_[i], publics_[i]);
+      }
+    }
+    metrics_.count_snapshots(dirty_.size());
+    dirty_.clear();
 
-    for (auto& box : inboxes_) box.clear();
+    const std::uint64_t deliveries = mail_.delivered_this_round();
+    mail_.end_round();
 
-    metrics_.observe_round(graph_, round_actions_);
-    if (round_actions_ == 0 && deliveries_this_round_ == 0 && !holds_pending()) {
+    metrics_.observe_round(graph_, round_actions_, stepped_.size(),
+                           topo_changed_);
+    metrics_.observe_scheduler(pending_events(), peak_bucket_occupancy());
+    topo_changed_ = false;
+    if (round_actions_ == 0 && deliveries == 0 && !holds_pending()) {
       ++quiescent_streak_;
     } else {
       quiescent_streak_ = 0;
@@ -240,6 +364,20 @@ class Engine {
 
   /// Consecutive fully-silent rounds (no deliveries, holds, or actions).
   std::uint64_t quiescent_streak() const { return quiescent_streak_; }
+
+  /// Nodes stepped in the most recent round (n in StepMode::kAll).
+  std::size_t last_stepped() const { return stepped_.size(); }
+
+  /// Events (deliveries + holds + wakeups) currently scheduled.
+  std::size_t pending_events() const {
+    return delayed_.size() + holds_.size() + wakeups_.size();
+  }
+
+  std::size_t peak_bucket_occupancy() const {
+    return std::max({delayed_.peak_bucket_occupancy(),
+                     holds_.peak_bucket_occupancy(),
+                     wakeups_.peak_bucket_occupancy()});
+  }
 
   /// Run until `done(*this)` holds or max_rounds elapse. Returns the number
   /// of rounds executed and whether the predicate was satisfied.
@@ -256,8 +394,55 @@ class Engine {
  private:
   friend class NodeCtx<P>;
 
+  struct HoldEvent {
+    NodeIndex to;
+    Message msg;
+  };
+  struct SendEvent {
+    NodeIndex to;
+    Envelope<Message> env;
+  };
+
   const PublicState* public_state_ptr(NodeId v) const {
     return &publics_[graph_.index_of(v)];
+  }
+
+  void wake(NodeIndex i) {
+    if (!woken_mark_[i]) {
+      woken_mark_[i] = 1;
+      woken_.push_back(i);
+    }
+  }
+
+  void wake_all() {
+    for (NodeIndex i = 0; i < graph_.size(); ++i) wake(i);
+  }
+
+  void mark_dirty(NodeIndex i) {
+    if (!dirty_mark_[i]) {
+      dirty_mark_[i] = 1;
+      dirty_.push_back(i);
+    }
+  }
+
+  /// Publish node i's snapshot; if it changed, re-activate its neighbors
+  /// (their next check_local / view reads see different data). Protocols
+  /// whose PublicState is not equality-comparable conservatively treat
+  /// every publish as a change.
+  void publish_and_propagate(NodeIndex i) {
+    bool changed = true;
+    if constexpr (std::equality_comparable<PublicState>) {
+      scratch_public_ = publics_[i];
+      protocol_.publish(states_[i], publics_[i]);
+      changed = !(scratch_public_ == publics_[i]);
+    } else {
+      protocol_.publish(states_[i], publics_[i]);
+    }
+    if (changed) {
+      for (NodeId nb : graph_.neighbors(graph_.id_of(i))) {
+        wake(graph_.index_of(nb));
+      }
+    }
   }
 
   void queue_send(NodeId from, NodeId to, Message m) {
@@ -265,15 +450,22 @@ class Engine {
                   "send over non-existent edge");
     const std::uint64_t delay =
         max_delay_ == 1 ? 1 : 1 + root_rng_.next_below(max_delay_);
-    delayed_[graph_.index_of(to)][round_ + delay].push_back(
-        Envelope<Message>{from, std::move(m)});
+    delayed_.schedule(round_ + delay,
+                      SendEvent{graph_.index_of(to),
+                                Envelope<Message>{from, std::move(m)}});
     metrics_.count_message();
     ++round_actions_;
   }
 
   void queue_hold(NodeId self, std::uint64_t due_round, Message m) {
-    holds_[graph_.index_of(self)][due_round].push_back(std::move(m));
+    holds_.schedule(due_round, HoldEvent{graph_.index_of(self), std::move(m)});
     ++round_actions_;
+  }
+
+  void queue_wakeup(NodeId self, std::uint64_t due_round) {
+    // Bookkeeping only: not a protocol action, invisible to metrics and to
+    // quiescence detection.
+    wakeups_.schedule(due_round, graph_.index_of(self));
   }
 
   void queue_introduce(NodeId self, NodeId a, NodeId b, const char* site = "?") {
@@ -302,37 +494,49 @@ class Engine {
     ++round_actions_;
   }
 
+  void record_delete_site(NodeId u, NodeId v, const char* site) {
+    // Bounded: long churn runs otherwise grow this map without limit.
+    if (last_delete_.size() >= kMaxDeleteRecords) last_delete_.clear();
+    last_delete_[std::minmax(u, v)] = site;
+  }
+
   const char* last_delete_site(NodeId a, NodeId b) {
+    if (!edge_trace_) return "(untracked)";
     auto it = last_delete_.find(std::minmax(a, b));
     return it == last_delete_.end() ? "(none)" : it->second;
   }
 
-  bool holds_pending() const {
-    for (const auto& h : holds_)
-      if (!h.empty()) return true;
-    for (const auto& d : delayed_)
-      if (!d.empty()) return true;
-    return false;
-  }
+  bool holds_pending() const { return !holds_.empty() || !delayed_.empty(); }
+
+  static constexpr std::size_t kMaxDeleteRecords = 1u << 20;
 
   graph::Graph graph_;
   P protocol_;
   util::Rng root_rng_;
   std::vector<NodeState> states_;
   std::vector<PublicState> publics_;
-  std::vector<std::vector<Envelope<Message>>> inboxes_;
-  std::vector<std::map<std::uint64_t, std::vector<Envelope<Message>>>> delayed_;
-  std::vector<std::map<std::uint64_t, std::vector<Message>>> holds_;
+  PublicState scratch_public_{};
+  MailboxPool<Message> mail_;
+  CalendarQueue<SendEvent> delayed_;
+  CalendarQueue<HoldEvent> holds_;
+  CalendarQueue<NodeIndex> wakeups_;
   std::vector<util::Rng> rngs_;
   std::vector<std::pair<NodeId, NodeId>> pending_adds_;
   std::vector<std::pair<NodeId, NodeId>> pending_deletes_;
   std::vector<const char*> pending_delete_sites_;
   std::map<std::pair<NodeId, NodeId>, const char*> last_delete_;
   RunMetrics metrics_;
+  StepMode step_mode_ = StepMode::kAll;
+  bool edge_trace_ = false;
+  bool topo_changed_ = false;
+  std::vector<NodeIndex> woken_;   // active set accumulating for next round
+  std::vector<std::uint8_t> woken_mark_;
+  std::vector<NodeIndex> stepped_;  // nodes stepped in the current round
+  std::vector<NodeIndex> dirty_;    // snapshots to publish this round
+  std::vector<std::uint8_t> dirty_mark_;
   std::uint32_t max_delay_ = 1;
   std::uint64_t round_ = 0;
   std::uint64_t round_actions_ = 0;
-  std::uint64_t deliveries_this_round_ = 0;
   std::uint64_t quiescent_streak_ = 0;
 };
 

@@ -6,6 +6,10 @@
 //                     max(initial max degree, final max degree). A value of
 //                     1.0 means the protocol never exceeded the degrees the
 //                     configuration itself required.
+//
+// Engine-layer counters (DESIGN.md D5): nodes stepped and snapshots
+// published per run measure what the active-set loop and dirty publishing
+// actually save; scheduler occupancy tracks calendar-queue pressure.
 #pragma once
 
 #include <cstdint>
@@ -18,16 +22,32 @@ namespace chs::sim {
 class RunMetrics {
  public:
   void observe_initial(const graph::Graph& g);
-  void observe_round(const graph::Graph& g, std::uint64_t actions);
+  void observe_round(const graph::Graph& g, std::uint64_t actions,
+                     std::uint64_t stepped, bool topo_changed);
+  void observe_scheduler(std::size_t pending_events,
+                         std::size_t peak_bucket_occupancy);
 
   void count_message() { ++messages_; }
   void count_edge_add() { ++edge_adds_; }
   void count_edge_del() { ++edge_dels_; }
+  void count_snapshots(std::uint64_t k) { snapshots_published_ += k; }
 
   std::uint64_t messages() const { return messages_; }
   std::uint64_t edge_adds() const { return edge_adds_; }
   std::uint64_t edge_dels() const { return edge_dels_; }
   std::uint64_t rounds() const { return rounds_; }
+
+  /// Cumulative nodes stepped over all rounds (== n * rounds when every
+  /// node steps every round; far less once the active set shrinks).
+  std::uint64_t nodes_stepped() const { return nodes_stepped_; }
+  /// Nodes stepped in the most recent round.
+  std::uint64_t last_nodes_stepped() const { return last_nodes_stepped_; }
+  /// Cumulative Protocol::publish invocations (dirty snapshots only).
+  std::uint64_t snapshots_published() const { return snapshots_published_; }
+  /// High-water mark of events pending in the engine calendars.
+  std::size_t peak_pending_events() const { return peak_pending_events_; }
+  /// Largest single calendar bucket ever observed.
+  std::size_t peak_bucket_occupancy() const { return peak_bucket_occupancy_; }
 
   std::size_t initial_max_degree() const { return initial_max_degree_; }
   std::size_t peak_max_degree() const { return peak_max_degree_; }
@@ -38,13 +58,27 @@ class RunMetrics {
   /// Per-round max degree trace (index 0 = after the first round).
   const std::vector<std::size_t>& max_degree_trace() const { return trace_; }
 
+  /// Disable the per-round trace for unbounded runs (benchmarks): it grows
+  /// by one entry per round forever. Counters and peaks are unaffected.
+  void set_trace_recording(bool on) {
+    trace_recording_ = on;
+    if (!on) trace_.clear();
+  }
+
  private:
   std::uint64_t messages_ = 0;
   std::uint64_t edge_adds_ = 0;
   std::uint64_t edge_dels_ = 0;
   std::uint64_t rounds_ = 0;
+  std::uint64_t nodes_stepped_ = 0;
+  std::uint64_t last_nodes_stepped_ = 0;
+  std::uint64_t snapshots_published_ = 0;
+  std::size_t peak_pending_events_ = 0;
+  std::size_t peak_bucket_occupancy_ = 0;
   std::size_t initial_max_degree_ = 0;
   std::size_t peak_max_degree_ = 0;
+  std::size_t cached_max_degree_ = 0;  // valid while the topology is unchanged
+  bool trace_recording_ = true;
   std::vector<std::size_t> trace_;
 };
 

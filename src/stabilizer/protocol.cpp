@@ -172,6 +172,11 @@ void Protocol::classify_and_clean_edges(Ctx& ctx) {
 }
 
 void Protocol::step(Ctx& ctx) {
+  step_impl(ctx);
+  schedule_wakeups(ctx);
+}
+
+void Protocol::step_impl(Ctx& ctx) {
   HostState& st = ctx.state();
 
   // Phase-wave tolerance windows expire on their own; a genuinely stalled
@@ -208,6 +213,56 @@ void Protocol::step(Ctx& ctx) {
     classify_and_clean_edges(ctx);
   }
   st.nbrs = ctx.neighbors();
+}
+
+// The activation contract behind StepMode::kActiveSet. A node not in the
+// active set must behave as a perfect no-op if it *had* been stepped; the
+// engine already re-activates on deliveries, incident topology deltas, and
+// changed neighbor snapshots, so what remains is everything step_impl does
+// spontaneously as ctx.round() advances:
+//   * per-round countdowns that tick only while stepped (epoch timer on a
+//     cluster root, the chord sequencer's gap timer, the demoted-root epoch
+//     cleanup) — keep ourselves scheduled every round while they run;
+//   * absolute deadlines read by check_local and the tolerance-window
+//     expiry — wake the round after each deadline passes;
+//   * wave GC — wake when the earliest wave's TTL expires.
+void Protocol::schedule_wakeups(Ctx& ctx) const {
+  const HostState& st = ctx.state();
+  const std::uint64_t now = ctx.round();
+  const auto wake_at = [&](std::uint64_t due) {
+    if (due > now) ctx.request_wakeup(due - now);
+  };
+
+  if (st.phase == Phase::kCbt) {
+    if (st.is_root() && st.merge.stage == MergeStage::kNone) {
+      ctx.request_wakeup(1);  // epoch timer ticks every stepped round
+    }
+    if (!st.is_root() && st.epoch.role != EpochRole::kIdle) {
+      ctx.request_wakeup(1);  // demoted-root cleanup runs next round
+    }
+  }
+  if (st.phase == Phase::kChord && st.is_root() && st.chord_gap_timer > 0) {
+    ctx.request_wakeup(1);
+  }
+
+  if (st.merge.stage != MergeStage::kNone) wake_at(st.merge.deadline + 1);
+  if (st.active_wave_k != -1) wake_at(st.active_wave_deadline + 1);
+  if (st.in_phase_wave || st.in_done_wave) wake_at(st.phase_wave_deadline + 1);
+  if (now < st.recent_until) wake_at(st.recent_until);
+  if (st.phase == Phase::kDone && st.done_pruned) {
+    wake_at(st.phase_wave_deadline + 1);  // strict neighbor check arms then
+  }
+
+  if (!st.waves.empty()) {
+    const std::uint64_t budget = params_.wave_budget_rounds() + 4;
+    std::uint64_t due = ~std::uint64_t{0};
+    for (const auto& [id, ws] : st.waves) {
+      const std::uint64_t ttl =
+          id.kind == WaveKind::kPoll ? params_.epoch_rounds() + 4 : budget;
+      due = std::min(due, ws.started_round + ttl + 1);
+    }
+    wake_at(due);
+  }
 }
 
 void Protocol::dispatch(Ctx& ctx, const sim::Envelope<Message>& env) {

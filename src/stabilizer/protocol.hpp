@@ -36,6 +36,11 @@ class Protocol {
   using PublicState = stabilizer::PublicState;
   using Ctx = sim::NodeCtx<Protocol>;
 
+  /// Active-set contract (DESIGN.md D5): every spontaneous (non-message)
+  /// action below is announced to the engine via schedule_wakeups, so the
+  /// engine may skip quiescent nodes without changing a single trace.
+  static constexpr bool kUsesActiveSet = true;
+
   explicit Protocol(Params params);
 
   const Params& params() const { return params_; }
@@ -47,6 +52,11 @@ class Protocol {
   void init_node(NodeId id, HostState& st, util::Rng& rng);
   void publish(const HostState& st, PublicState& pub);
   void step(Ctx& ctx);
+  /// Register a wakeup for every pending timer/deadline in `st`: epoch and
+  /// chord sequencer ticks, merge/wave budgets, tolerance-window expiries,
+  /// and wave GC. Called at the end of every step; white-box tests may call
+  /// it directly.
+  void schedule_wakeups(Ctx& ctx) const;
 
   // --- shared helpers (protocol.cpp) ---
   void recompute_fragments(HostState& st) const;
@@ -128,6 +138,7 @@ class Protocol {
   bool any_kept(std::uint64_t s0, std::uint64_t s1, std::uint32_t k) const;
 
  private:
+  void step_impl(Ctx& ctx);
   void dispatch(Ctx& ctx, const sim::Envelope<Message>& env);
 
   Params params_;

@@ -249,6 +249,10 @@ struct PublicState {
   bool has_neighbor(NodeId v) const {
     return std::binary_search(nbrs.begin(), nbrs.end(), v);
   }
+
+  /// Exact comparison drives the engine's dirty-snapshot propagation: a
+  /// publish that changes nothing re-activates no neighbors.
+  bool operator==(const PublicState&) const = default;
 };
 
 }  // namespace chs::stabilizer

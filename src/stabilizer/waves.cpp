@@ -275,7 +275,6 @@ void Protocol::apply_propagate_action(Ctx& ctx, const WaveMeta& meta) {
 }
 
 void Protocol::apply_range_actions(Ctx& ctx, const WaveMeta& meta) {
-  HostState& st = ctx.state();
   switch (meta.id.kind) {
     case WaveKind::kPoll:
       break;

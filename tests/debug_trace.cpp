@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown scenario\n");
     return 1;
   }
+  eng->set_edge_delete_tracing(true);  // debug harness: keep deletion sites
   const bool flags = argc > 3 && !std::strcmp(argv[3], "flags");
   for (int r = 0; r < rounds; ++r) {
     eng->step_round();

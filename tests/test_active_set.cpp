@@ -1,0 +1,304 @@
+// Active-set and dirty-snapshot layer tests.
+//
+// 1. Determinism regression: for fixed seeds the refactored engine must
+//    reproduce the exact convergence rounds / message totals / reset counts
+//    the pre-refactor (step-everyone, republish-everyone) engine produced.
+//    The golden numbers below were recorded from the seed implementation on
+//    the E1 sweep scenarios, a churn schedule, and the E10 async delays.
+// 2. StepMode::kAll vs kActiveSet equivalence, round by round.
+// 3. Fault-injection paths (inject_edge / inject_edge_removal / state_mut)
+//    must re-activate nodes and refresh snapshots in active-set mode.
+// 4. NodeCtx::request_wakeup drives spontaneous steps.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/churn.hpp"
+#include "core/experiment.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "util/log.hpp"
+
+namespace chs {
+namespace {
+
+using core::Params;
+using core::StabEngine;
+
+struct Golden {
+  graph::Family family;
+  std::uint64_t n_guests;
+  std::uint64_t seed;
+  std::uint64_t rounds;
+  int converged;
+  std::uint64_t messages;
+  std::uint64_t resets;
+  std::uint64_t peak_max_degree;
+};
+
+// Recorded from the seed engine (PR 1); any drift is a semantics change.
+const Golden kGoldens[] = {
+    {graph::Family::kLine, 64u, 1u, 1705u, 1, 2264u, 0u, 11u},
+    {graph::Family::kLine, 64u, 2u, 1229u, 1, 1780u, 0u, 14u},
+    {graph::Family::kLine, 256u, 1u, 1964u, 1, 11471u, 0u, 45u},
+    {graph::Family::kLine, 256u, 2u, 2192u, 1, 11988u, 0u, 51u},
+    {graph::Family::kStar, 64u, 1u, 1735u, 1, 2739u, 0u, 15u},
+    {graph::Family::kStar, 64u, 2u, 1616u, 1, 2148u, 0u, 15u},
+    {graph::Family::kStar, 256u, 1u, 3766u, 1, 18627u, 0u, 63u},
+    {graph::Family::kStar, 256u, 2u, 2656u, 1, 14095u, 0u, 63u},
+    {graph::Family::kRandomTree, 64u, 1u, 2091u, 1, 2718u, 8u, 11u},
+    {graph::Family::kRandomTree, 64u, 2u, 1281u, 1, 1837u, 0u, 12u},
+    {graph::Family::kRandomTree, 256u, 1u, 2237u, 1, 14562u, 4u, 31u},
+    {graph::Family::kRandomTree, 256u, 2u, 2001u, 1, 13986u, 8u, 35u},
+    {graph::Family::kConnectedGnp, 64u, 1u, 1002u, 1, 1914u, 0u, 15u},
+    {graph::Family::kConnectedGnp, 64u, 2u, 1470u, 1, 2017u, 0u, 13u},
+    {graph::Family::kConnectedGnp, 256u, 1u, 2604u, 1, 17244u, 4u, 63u},
+    {graph::Family::kConnectedGnp, 256u, 2u, 3007u, 1, 17435u, 2u, 63u},
+};
+
+TEST(Determinism, SeedEngineGoldensE1Sweep) {
+  util::set_log_level(util::LogLevel::kError);
+  for (const Golden& g : kGoldens) {
+    core::SweepPoint pt{g.family, static_cast<std::size_t>(g.n_guests / 4),
+                        g.n_guests, g.seed};
+    const auto out = core::run_sweep_point(pt, Params{}, 400000);
+    EXPECT_EQ(out.result.rounds, g.rounds)
+        << "family=" << static_cast<int>(g.family) << " N=" << g.n_guests
+        << " seed=" << g.seed;
+    EXPECT_EQ(static_cast<int>(out.result.converged), g.converged);
+    EXPECT_EQ(out.result.messages, g.messages);
+    EXPECT_EQ(out.result.total_resets, g.resets);
+    EXPECT_EQ(out.peak_max_degree, g.peak_max_degree);
+  }
+}
+
+TEST(Determinism, SeedEngineGoldensChurnSchedule) {
+  util::set_log_level(util::LogLevel::kError);
+  util::Rng rng(11);
+  auto ids = graph::sample_ids(16, 64, rng);
+  Params p;
+  p.n_guests = 64;
+  auto eng = core::make_engine(graph::make_random_tree(ids, rng), p, 7);
+  const auto r0 = core::run_to_convergence(*eng, 400000);
+  EXPECT_TRUE(r0.converged);
+  EXPECT_EQ(r0.rounds, 1177u);
+  core::ChurnSchedule sched;
+  sched.episodes = 3;
+  sched.burst = 2;
+  sched.seed = 5;
+  const auto rep = core::run_churn_schedule(*eng, sched);
+  EXPECT_TRUE(rep.all_recovered);
+  EXPECT_EQ(rep.total_rounds, 4005u);
+  EXPECT_EQ(rep.max_recovery_rounds, 1592u);
+  EXPECT_EQ(eng->metrics().messages(), 8348u);
+}
+
+TEST(Determinism, SeedEngineGoldensAsyncDelay) {
+  util::set_log_level(util::LogLevel::kError);
+  struct AsyncGolden {
+    std::uint32_t d;
+    std::uint64_t rounds, messages, resets;
+  };
+  for (const auto& g : {AsyncGolden{2, 3136u, 2339u, 11u},
+                        AsyncGolden{4, 20786u, 5769u, 66u}}) {
+    util::Rng rng(41);
+    auto ids = graph::sample_ids(16, 64, rng);
+    Params p;
+    p.n_guests = 64;
+    p.delay_slack = g.d;
+    auto eng = core::make_engine(graph::make_random_tree(ids, rng), p, 1);
+    eng->set_max_message_delay(g.d);
+    const auto res = core::run_to_convergence(*eng, 2000000);
+    EXPECT_TRUE(res.converged) << "d=" << g.d;
+    EXPECT_EQ(res.rounds, g.rounds) << "d=" << g.d;
+    EXPECT_EQ(res.messages, g.messages) << "d=" << g.d;
+    EXPECT_EQ(res.total_resets, g.resets) << "d=" << g.d;
+  }
+}
+
+// --- kAll vs kActiveSet equivalence --------------------------------------
+
+std::unique_ptr<StabEngine> scenario_engine(sim::StepMode mode) {
+  util::Rng rng(13);
+  auto ids = graph::sample_ids(24, 128, rng);
+  Params p;
+  p.n_guests = 128;
+  auto eng = core::make_engine(graph::make_random_tree(ids, rng), p, 3);
+  eng->set_step_mode(mode);
+  return eng;
+}
+
+TEST(ActiveSet, EquivalentToSteppingAllNodes) {
+  util::set_log_level(util::LogLevel::kError);
+  auto all = scenario_engine(sim::StepMode::kAll);
+  auto act = scenario_engine(sim::StepMode::kActiveSet);
+
+  const auto res_all = core::run_to_convergence(*all, 400000);
+  const auto res_act = core::run_to_convergence(*act, 400000);
+  ASSERT_TRUE(res_all.converged);
+  ASSERT_TRUE(res_act.converged);
+  EXPECT_EQ(res_all.rounds, res_act.rounds);
+  EXPECT_EQ(res_all.messages, res_act.messages);
+  EXPECT_EQ(res_all.total_resets, res_act.total_resets);
+  // Round-by-round, not just in aggregate.
+  EXPECT_EQ(all->metrics().max_degree_trace(), act->metrics().max_degree_trace());
+  EXPECT_EQ(all->metrics().edge_adds(), act->metrics().edge_adds());
+  EXPECT_EQ(all->metrics().edge_dels(), act->metrics().edge_dels());
+  // And the active set must actually be smaller.
+  EXPECT_LT(act->metrics().nodes_stepped(), all->metrics().nodes_stepped());
+
+  // Same equivalence through a seeded churn burst.
+  core::ChurnSchedule sched;
+  sched.episodes = 2;
+  sched.burst = 2;
+  sched.seed = 9;
+  const auto rep_all = core::run_churn_schedule(*all, sched);
+  const auto rep_act = core::run_churn_schedule(*act, sched);
+  EXPECT_TRUE(rep_all.all_recovered);
+  EXPECT_TRUE(rep_act.all_recovered);
+  EXPECT_EQ(rep_all.total_rounds, rep_act.total_rounds);
+  EXPECT_EQ(rep_all.max_recovery_rounds, rep_act.max_recovery_rounds);
+  EXPECT_EQ(all->metrics().messages(), act->metrics().messages());
+  EXPECT_EQ(all->metrics().max_degree_trace(), act->metrics().max_degree_trace());
+}
+
+TEST(ActiveSet, QuiescentNetworkStepsAlmostNothing) {
+  util::set_log_level(util::LogLevel::kError);
+  auto eng = scenario_engine(sim::StepMode::kActiveSet);
+  const auto res = core::run_to_convergence(*eng, 400000);
+  ASSERT_TRUE(res.converged);
+  const std::uint64_t before = eng->metrics().nodes_stepped();
+  const std::size_t n = eng->graph().size();
+  for (int r = 0; r < 1000; ++r) eng->step_round();
+  const std::uint64_t stepped = eng->metrics().nodes_stepped() - before;
+  // Stepping everyone would cost n * 1000; the active set pays a residual
+  // trickle of stale wakeups at most.
+  EXPECT_LT(stepped, n * 1000 / 50);
+  EXPECT_TRUE(core::is_converged(*eng));
+  EXPECT_GT(eng->quiescent_streak(), 900u);
+}
+
+// --- fault-injection re-activation ---------------------------------------
+
+TEST(ActiveSet, InjectedEdgeIsDetectedAndRepaired) {
+  util::set_log_level(util::LogLevel::kError);
+  // In phase DONE an extra neighbor is "a neighbor it would not have in the
+  // correct configuration" — detection requires the endpoints to be stepped,
+  // which only happens if injection re-activates them.
+  std::vector<std::uint64_t> recovery;
+  for (auto mode : {sim::StepMode::kAll, sim::StepMode::kActiveSet}) {
+    auto eng = scenario_engine(mode);
+    ASSERT_TRUE(core::run_to_convergence(*eng, 400000).converged);
+    for (int r = 0; r < 50; ++r) eng->step_round();  // deep quiescence
+    const auto& ids = eng->graph().ids();
+    graph::NodeId u = ids.front(), v = u;
+    for (std::size_t i = ids.size(); i-- > 1;) {
+      if (!eng->graph().has_edge(u, ids[i])) {
+        v = ids[i];
+        break;
+      }
+    }
+    ASSERT_NE(v, u);
+    ASSERT_TRUE(eng->inject_edge(u, v));
+    const std::uint64_t resets_before = core::total_resets(*eng);
+    const auto res = core::run_to_convergence(*eng, 400000);
+    EXPECT_TRUE(res.converged);
+    EXPECT_GT(core::total_resets(*eng), resets_before);
+    recovery.push_back(res.rounds);
+  }
+  EXPECT_EQ(recovery[0], recovery[1]);  // both modes repair identically
+}
+
+TEST(ActiveSet, RemovedEdgeIsDetectedAndRepaired) {
+  util::set_log_level(util::LogLevel::kError);
+  std::vector<std::uint64_t> recovery;
+  for (auto mode : {sim::StepMode::kAll, sim::StepMode::kActiveSet}) {
+    auto eng = scenario_engine(mode);
+    ASSERT_TRUE(core::run_to_convergence(*eng, 400000).converged);
+    for (int r = 0; r < 50; ++r) eng->step_round();
+    const auto edges = eng->graph().edge_list();
+    ASSERT_FALSE(edges.empty());
+    const auto [u, v] = edges[edges.size() / 2];
+    ASSERT_TRUE(eng->inject_edge_removal(u, v));
+    const auto res = core::run_to_convergence(*eng, 400000);
+    EXPECT_TRUE(res.converged);
+    recovery.push_back(res.rounds);
+  }
+  EXPECT_EQ(recovery[0], recovery[1]);
+}
+
+// --- toy protocols: dirty publishing and request_wakeup ------------------
+
+struct Counters {
+  static constexpr bool kUsesActiveSet = true;
+  struct Message {
+    int x;
+  };
+  struct NodeState {
+    int value = 0;
+    int last_seen = -1;
+    std::uint64_t steps = 0;
+  };
+  struct PublicState {
+    int value = 0;
+    bool operator==(const PublicState&) const = default;
+  };
+  void init_node(sim::NodeId, NodeState&, util::Rng&) {}
+  void publish(const NodeState& st, PublicState& pub) { pub.value = st.value; }
+  void step(sim::NodeCtx<Counters>& ctx) {
+    auto& st = ctx.state();
+    ++st.steps;
+    for (sim::NodeId v : ctx.neighbors()) {
+      if (const auto* view = ctx.view(v)) st.last_seen = view->value;
+    }
+  }
+};
+
+TEST(ActiveSet, StateMutPublishesDirtySnapshotToNeighbors) {
+  graph::Graph g({0, 1});
+  g.add_edge(0, 1);
+  sim::Engine<Counters> eng(std::move(g), Counters{}, 1);
+  ASSERT_EQ(eng.step_mode(), sim::StepMode::kActiveSet);
+  for (int r = 0; r < 5; ++r) eng.step_round();  // settle into quiescence
+  const std::uint64_t steps_before = eng.state(1).steps;
+
+  eng.state_mut(0).value = 42;  // no explicit republish
+  eng.step_round();  // node 0 steps; its snapshot publishes at round end
+  eng.step_round();  // node 1 re-activated by the changed snapshot
+  EXPECT_EQ(eng.state(1).last_seen, 42);
+  EXPECT_GT(eng.state(1).steps, steps_before);
+}
+
+struct Beeper {
+  static constexpr bool kUsesActiveSet = true;
+  struct Message {
+    int x;
+  };
+  struct NodeState {
+    std::vector<std::uint64_t> stepped_rounds;
+  };
+  struct PublicState {
+    bool operator==(const PublicState&) const = default;
+  };
+  void init_node(sim::NodeId, NodeState&, util::Rng&) {}
+  void publish(const NodeState&, PublicState&) {}
+  void step(sim::NodeCtx<Beeper>& ctx) {
+    ctx.state().stepped_rounds.push_back(ctx.round());
+    if (ctx.self() == 0) ctx.request_wakeup(3);  // self-clocked every 3 rounds
+  }
+};
+
+TEST(ActiveSet, RequestWakeupDrivesSpontaneousSteps) {
+  graph::Graph g({0, 1});
+  g.add_edge(0, 1);
+  sim::Engine<Beeper> eng(std::move(g), Beeper{}, 1);
+  for (int r = 0; r < 10; ++r) eng.step_round();
+  // Node 0: initial activation at round 0, then every 3rd round.
+  EXPECT_EQ(eng.state(0).stepped_rounds,
+            (std::vector<std::uint64_t>{0, 3, 6, 9}));
+  // Node 1 never re-arms: stepped once at round 0, silent after.
+  EXPECT_EQ(eng.state(1).stepped_rounds, (std::vector<std::uint64_t>{0}));
+}
+
+}  // namespace
+}  // namespace chs
