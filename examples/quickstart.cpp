@@ -10,6 +10,11 @@
 //      protocol: detect faults, build the Cbt scaffold by cluster merging,
 //      then grow Chord fingers over it with PIF waves,
 //   4. query the result: legality, degrees, routing.
+//
+// Two engine knobs matter at scale (both preserve traces bit for bit —
+// DESIGN.md D6): eng->set_worker_threads(k) shards the busy-phase round
+// work across k threads, and eng->set_idle_fast_forward(true) jumps
+// provably empty gap rounds in one step_round() call.
 #include <cstdio>
 #include <cstdlib>
 

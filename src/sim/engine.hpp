@@ -20,7 +20,7 @@
 //   void publish(const NodeState&, PublicState&);
 //   void step(NodeCtx<Protocol>&);           // one round for one node
 //
-// Internally the engine is layered (DESIGN.md D5):
+// Internally the engine is layered (DESIGN.md D5, D6):
 //   * CalendarQueue (scheduler.hpp) — one shared bucket ring each for
 //     delayed deliveries, held self-messages, and wakeups;
 //   * MailboxPool (mailbox.hpp)     — inbox arenas, one clear point/round;
@@ -33,7 +33,17 @@
 //     `static constexpr bool kUsesActiveSet = true` and registering
 //     wakeups (NodeCtx::request_wakeup) for every spontaneous, timer-driven
 //     action; protocols without the trait run in StepMode::kAll, which is
-//     round-for-round identical to the classic step-everyone loop.
+//     round-for-round identical to the classic step-everyone loop;
+//   * deterministic parallel rounds — set_worker_threads(k) shards the
+//     stepped set and the dirty-publish set across a persistent WorkerPool.
+//     Protocol actions are recorded into per-shard ActionBuffers and merged
+//     in ascending node-index order, so the applied action order — and
+//     therefore every trace — is bit-for-bit identical to the sequential
+//     engine at any thread count (DESIGN.md D6);
+//   * idle fast-forward (opt-in)    — set_idle_fast_forward(true) lets a
+//     round in which nothing is active and nothing is due jump straight to
+//     the next scheduled calendar event, making fully idle gap rounds O(1)
+//     in aggregate while preserving round numbering, metrics, and traces.
 #pragma once
 
 #include <algorithm>
@@ -49,6 +59,7 @@
 #include "sim/mailbox.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/worker_pool.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -77,6 +88,58 @@ constexpr bool protocol_uses_active_set() {
 template <typename P>
 class Engine;
 
+/// Per-shard record of the protocol actions emitted while stepping
+/// (DESIGN.md D6). NodeCtx appends here instead of mutating the engine, so
+/// steps are data-parallel; the engine merges buffers in shard order (=
+/// ascending node-index order) after the step phase, which reproduces the
+/// sequential engine's application order exactly. Kinds are stored in
+/// separate arenas: the only orders that matter downstream are per-calendar
+/// and per-mutation-list, each of which sees one kind.
+template <typename M>
+struct ActionBuffer {
+  struct Send {
+    NodeIndex from, to;
+    M msg;
+  };
+  struct Hold {
+    NodeIndex self;
+    std::uint64_t due;
+    M msg;
+  };
+  struct Wakeup {
+    NodeIndex self;
+    std::uint64_t due;
+  };
+  struct EdgeAdd {
+    NodeId a, b;
+  };
+  struct EdgeDel {
+    NodeId a, b;
+    const char* site;  // deletions carry provenance for edge-delete tracing
+  };
+
+  std::vector<Send> sends;
+  std::vector<Hold> holds;
+  std::vector<Wakeup> wakeups;
+  std::vector<EdgeAdd> introduces;
+  std::vector<EdgeDel> disconnects;
+
+  /// Protocol actions recorded (wakeups excluded — they are bookkeeping,
+  /// invisible to metrics and quiescence detection).
+  std::uint64_t actions() const {
+    return sends.size() + holds.size() + introduces.size() +
+           disconnects.size();
+  }
+
+  void clear() {  // keeps capacities: the arenas are reused every round
+    sends.clear();
+    holds.clear();
+    wakeups.clear();
+    introduces.clear();
+    disconnects.clear();
+  }
+};
+
 /// Per-node, per-round view handed to Protocol::step.
 template <typename P>
 class NodeCtx {
@@ -102,19 +165,34 @@ class NodeCtx {
   }
 
   /// Previous-round public state of neighbor v; null if v is not a neighbor.
+  /// The last lookup is memoized: protocols typically probe the same
+  /// neighbor from several checks within one step, and the repeat costs two
+  /// binary searches without the cache.
   const PublicState* view(NodeId v) const {
-    if (!is_neighbor(v)) return nullptr;
-    return engine_->public_state_ptr(v);
+    if (v == view_cache_id_) return view_cache_;
+    const PublicState* p =
+        is_neighbor(v) ? engine_->public_state_ptr(v) : nullptr;
+    view_cache_id_ = v;
+    view_cache_ = p;
+    return p;
   }
 
-  /// Send a message over an existing edge; delivered next round.
-  void send(NodeId to, Message m) { engine_->queue_send(self_, to, std::move(m)); }
+  /// Send a message over an existing edge; delivered after the engine's
+  /// message delay (1 round by default). The edge-existence check is a
+  /// debug-build assertion (CHS_DCHECK): protocols address only neighbors
+  /// they just read via neighbors()/view(), so the release-build binary
+  /// search per send was pure overhead.
+  void send(NodeId to, Message m) {
+    CHS_DCHECK(engine_->graph_.has_edge(self_, to) || to == self_);
+    acts_->sends.push_back({self_idx_, engine_->graph_.index_of(to),
+                            std::move(m)});
+  }
 
   /// Deliver a message to self after `delay` rounds (>= 1). Used to pace
   /// multi-guest-level wave processing inside one host (DESIGN.md D2).
   void hold(Message m, std::uint64_t delay) {
     CHS_CHECK(delay >= 1);
-    engine_->queue_hold(self_, round_ + delay, std::move(m));
+    acts_->holds.push_back({self_idx_, round_ + delay, std::move(m)});
   }
 
   /// Ask to be stepped again in `delay` rounds (>= 1) even if no message
@@ -123,17 +201,34 @@ class NodeCtx {
   /// never an action, never delivers a message.
   void request_wakeup(std::uint64_t delay) {
     CHS_CHECK(delay >= 1);
-    engine_->queue_wakeup(self_, round_ + delay);
+    acts_->wakeups.push_back({self_idx_, round_ + delay});
   }
 
   /// Connect two of this node's current neighbors by a new logical edge.
+  /// Validated here, against the start-of-round topology the step is
+  /// reading anyway; the request itself is applied between rounds.
   void introduce(NodeId a, NodeId b, const char* site = "?") {
-    engine_->queue_introduce(self_, a, b, site);
+    CHS_CHECK_MSG(a != b, "introduce(a, a)");
+    const bool a_ok = a == self_ || engine_->graph_.has_edge(self_, a);
+    const bool b_ok = b == self_ || engine_->graph_.has_edge(self_, b);
+    if (!(a_ok && b_ok)) {
+      std::fprintf(stderr,
+                   "introduce of non-neighbors: self=%llu a=%llu(%d) "
+                   "b=%llu(%d) round=%llu site=%s\n",
+                   static_cast<unsigned long long>(self_),
+                   static_cast<unsigned long long>(a), int(a_ok),
+                   static_cast<unsigned long long>(b), int(b_ok),
+                   static_cast<unsigned long long>(round_), site);
+      CHS_CHECK_MSG(false, "introduce of non-neighbors");
+    }
+    acts_->introduces.push_back({a, b});
   }
 
-  /// Delete the edge between self and v.
+  /// Delete the edge between self and v. The edge may already have been
+  /// deleted by the other endpoint in an earlier round; the request is then
+  /// a no-op at apply time.
   void disconnect(NodeId v, const char* site = "?") {
-    engine_->queue_disconnect(self_, v, site);
+    acts_->disconnects.push_back({self_, v, site});
   }
 
   /// Debug: who last requested deletion of edge (self, v), if recorded.
@@ -145,12 +240,16 @@ class NodeCtx {
  private:
   friend class Engine<P>;
   NodeId self_ = 0;
+  NodeIndex self_idx_ = 0;
   std::uint64_t round_ = 0;
   NodeState* state_ = nullptr;
   util::Rng* rng_ = nullptr;
   std::span<const Envelope<Message>> inbox_;
   const std::vector<NodeId>* neighbors_ = nullptr;
   Engine<P>* engine_ = nullptr;
+  ActionBuffer<Message>* acts_ = nullptr;
+  mutable NodeId view_cache_id_ = ~NodeId{0};
+  mutable const PublicState* view_cache_ = nullptr;
 };
 
 template <typename P>
@@ -169,12 +268,21 @@ class Engine {
     woken_mark_.assign(n, 0);
     dirty_mark_.assign(n, 0);
     rngs_.reserve(n);
+    delay_rngs_.reserve(n);
+    slots_.resize(1);
     if constexpr (detail::protocol_uses_active_set<P>()) {
       step_mode_ = StepMode::kActiveSet;
     }
     for (NodeIndex i = 0; i < n; ++i) {
       rngs_.push_back(root_rng_.split(graph_.id_of(i)));
       protocol_.init_node(graph_.id_of(i), states_[i], rngs_[i]);
+    }
+    // Per-sender message-delay streams (DESIGN.md D6): splitting by a salted
+    // id keeps them independent of the per-node protocol streams above and
+    // of each other, and — unlike the old draw from the shared root RNG in
+    // global send order — independent of every other node's send count.
+    for (NodeIndex i = 0; i < n; ++i) {
+      delay_rngs_.push_back(root_rng_.split(graph_.id_of(i) ^ kDelayStreamSalt));
     }
     republish();
     metrics_.observe_initial(graph_);
@@ -195,6 +303,30 @@ class Engine {
     step_mode_ = mode;
     if (mode == StepMode::kActiveSet) wake_all();
   }
+
+  /// Deterministic parallel rounds (DESIGN.md D6): step and publish with k
+  /// workers (k - 1 pool threads plus the calling thread). Traces are
+  /// bit-for-bit identical at every k; the knob trades wall clock only.
+  /// Protocol::step must not mutate protocol members or any state other
+  /// than its own NodeCtx (the engine contract already demands this for
+  /// order-independence; parallelism additionally outlaws hidden caches).
+  void set_worker_threads(std::size_t k) {
+    CHS_CHECK(k >= 1);
+    worker_threads_ = k;
+    pool_.resize(k - 1);
+    if (slots_.size() < k) slots_.resize(k);
+  }
+  std::size_t worker_threads() const { return worker_threads_; }
+
+  /// Idle fast-forward: when nothing is active and nothing is due, jump
+  /// round_ straight to the next scheduled calendar event instead of
+  /// iterating empty rounds. Round numbering, metrics, and traces are
+  /// preserved exactly; what changes is that one step_round() call may
+  /// advance round() by more than one. Off by default because harnesses
+  /// that call step_round() a fixed number of times rely on one call
+  /// advancing exactly one round.
+  void set_idle_fast_forward(bool on) { idle_fast_forward_ = on; }
+  bool idle_fast_forward() const { return idle_fast_forward_; }
 
   const NodeState& state(NodeId id) const { return states_[graph_.index_of(id)]; }
 
@@ -251,7 +383,8 @@ class Engine {
   /// Asynchrony model (§7 future work): each message is delayed uniformly
   /// in [1, d] rounds instead of exactly 1. Channels stay reliable and
   /// FIFO-per-round; protocol budgets should be scaled via
-  /// Params::delay_slack to match.
+  /// Params::delay_slack to match. Delays are drawn from the per-sender
+  /// streams at apply time, so traces do not depend on worker count.
   void set_max_message_delay(std::uint32_t d) {
     CHS_CHECK(d >= 1);
     max_delay_ = d;
@@ -265,9 +398,14 @@ class Engine {
     if (!on) last_delete_.clear();
   }
 
-  /// Execute one synchronous round.
+  /// Execute one synchronous round (or, with idle fast-forward enabled,
+  /// one active round preceded by any number of provably empty ones).
   void step_round() {
     round_actions_ = 0;
+    if (idle_fast_forward_ && step_mode_ == StepMode::kActiveSet &&
+        woken_.empty()) {
+      fast_forward_idle_gap();
+    }
     mail_.begin_round();
 
     // --- release: wakeups, then held self-messages, then delayed sends.
@@ -295,17 +433,28 @@ class Engine {
       std::sort(stepped_.begin(), stepped_.end());
     }
 
-    // --- step against the start-of-round topology and snapshots.
-    for (NodeIndex i : stepped_) {
-      NodeCtx<P> ctx;
-      ctx.self_ = graph_.id_of(i);
-      ctx.round_ = round_;
-      ctx.state_ = &states_[i];
-      ctx.rng_ = &rngs_[i];
-      ctx.inbox_ = mail_.inbox(i);
-      ctx.neighbors_ = &graph_.neighbors(ctx.self_);
-      ctx.engine_ = this;
-      protocol_.step(ctx);
+    // --- step against the start-of-round topology and snapshots, sharded
+    // across the worker pool. Each shard is a contiguous slice of stepped_
+    // and fills its own ActionBuffer; nothing engine-owned mutates until
+    // the deterministic merge below. The single-shard case runs inline —
+    // no dispatch, no std::function — so the quiescent round stays as
+    // cheap as PR 1 left it.
+    if (!stepped_.empty()) {
+      const std::size_t shards = shard_count(stepped_.size());
+      if (shards == 1) {
+        ActionBuffer<Message>& buf = slots_[0].acts;
+        for (NodeIndex i : stepped_) step_node(i, buf);
+        apply_actions(buf);
+      } else {
+        pool_.run(shards, [&](std::size_t s) {
+          const auto [b, e] = shard_range(stepped_.size(), shards, s);
+          ActionBuffer<Message>& buf = slots_[s].acts;
+          for (std::size_t k = b; k < e; ++k) step_node(stepped_[k], buf);
+        });
+        // Merge in shard order == ascending node-index order == the exact
+        // order the sequential engine applied actions in.
+        for (std::size_t s = 0; s < shards; ++s) apply_actions(slots_[s].acts);
+      }
     }
 
     // --- apply deferred edge mutations (deletes first, so an introduce in
@@ -333,19 +482,40 @@ class Engine {
     pending_adds_.clear();
 
     // --- dirty-snapshot publish: only nodes whose state may have changed
-    // (stepped this round, or externally mutated via state_mut).
+    // (stepped this round, or externally mutated via state_mut). Sharded
+    // like the step phase; per-shard wake lists are merged in shard order,
+    // which again equals the sequential engine's order.
     for (NodeIndex i : stepped_) mark_dirty(i);
     std::sort(dirty_.begin(), dirty_.end());
-    for (NodeIndex i : dirty_) {
-      dirty_mark_[i] = 0;
-      if (step_mode_ == StepMode::kActiveSet) {
-        publish_and_propagate(i);
+    if (!dirty_.empty()) {
+      const std::size_t shards = shard_count(dirty_.size());
+      const auto publish_range = [&](std::size_t b, std::size_t e,
+                                     WorkerSlot& slot) {
+        for (std::size_t k = b; k < e; ++k) {
+          const NodeIndex i = dirty_[k];
+          dirty_mark_[i] = 0;
+          if (step_mode_ == StepMode::kActiveSet) {
+            publish_and_collect(i, slot);
+          } else {
+            protocol_.publish(states_[i], publics_[i]);
+          }
+        }
+      };
+      if (shards == 1) {
+        publish_range(0, dirty_.size(), slots_[0]);
       } else {
-        protocol_.publish(states_[i], publics_[i]);
+        pool_.run(shards, [&](std::size_t s) {
+          const auto [b, e] = shard_range(dirty_.size(), shards, s);
+          publish_range(b, e, slots_[s]);
+        });
       }
+      for (std::size_t s = 0; s < shards; ++s) {
+        for (NodeIndex i : slots_[s].wake) wake(i);
+        slots_[s].wake.clear();
+      }
+      metrics_.count_snapshots(dirty_.size());
+      dirty_.clear();
     }
-    metrics_.count_snapshots(dirty_.size());
-    dirty_.clear();
 
     const std::uint64_t deliveries = mail_.delivered_this_round();
     mail_.end_round();
@@ -402,6 +572,19 @@ class Engine {
     NodeIndex to;
     Envelope<Message> env;
   };
+  /// Per-shard scratch for the parallel phases: the action buffer filled
+  /// while stepping, the wake list collected while publishing, and the
+  /// snapshot-comparison scratch.
+  struct WorkerSlot {
+    ActionBuffer<Message> acts;
+    std::vector<NodeIndex> wake;
+    PublicState scratch{};
+  };
+
+  // Salt for the per-sender delay streams; any constant far outside the
+  // node-id space works (ids are < n_guests), it only has to keep the
+  // streams disjoint from root_rng_.split(id).
+  static constexpr std::uint64_t kDelayStreamSalt = 0xd31a'57f3'0b5e'9c11ULL;
 
   const PublicState* public_state_ptr(NodeId v) const {
     return &publics_[graph_.index_of(v)];
@@ -425,73 +608,126 @@ class Engine {
     }
   }
 
-  /// Publish node i's snapshot; if it changed, re-activate its neighbors
-  /// (their next check_local / view reads see different data). Protocols
-  /// whose PublicState is not equality-comparable conservatively treat
-  /// every publish as a change.
-  void publish_and_propagate(NodeIndex i) {
+  /// Number of shards for a parallel phase over `items` units. One shard
+  /// (inline, no dispatch) unless the pool is populated and the phase is
+  /// large enough to amortize a dispatch; never more than the worker count,
+  /// so slots_ is indexable by shard.
+  std::size_t shard_count(std::size_t items) const {
+    if (worker_threads_ <= 1) return 1;
+    const std::size_t by_grain = items / kParallelGrain;
+    return std::max<std::size_t>(1, std::min(worker_threads_, by_grain));
+  }
+  // A shard of 16 protocol steps already dwarfs one pool dispatch; smaller
+  // phases run inline (identical results — only the schedule differs).
+  static constexpr std::size_t kParallelGrain = 16;
+
+  /// Contiguous block partition of [0, n) into `shards` ranges.
+  static std::pair<std::size_t, std::size_t> shard_range(std::size_t n,
+                                                         std::size_t shards,
+                                                         std::size_t s) {
+    const std::size_t base = n / shards;
+    const std::size_t rem = n % shards;
+    const std::size_t b = s * base + std::min(s, rem);
+    return {b, b + base + (s < rem ? 1 : 0)};
+  }
+
+  void step_node(NodeIndex i, ActionBuffer<Message>& buf) {
+    NodeCtx<P> ctx;
+    ctx.self_ = graph_.id_of(i);
+    ctx.self_idx_ = i;
+    ctx.round_ = round_;
+    ctx.state_ = &states_[i];
+    ctx.rng_ = &rngs_[i];
+    ctx.inbox_ = mail_.inbox(i);
+    ctx.neighbors_ = &graph_.neighbors(ctx.self_);
+    ctx.engine_ = this;
+    ctx.acts_ = &buf;
+    protocol_.step(ctx);
+  }
+
+  /// Serially apply one shard's buffered actions (the merge step). Within a
+  /// buffer, entries of each kind are already in (node, call) order; shards
+  /// cover ascending node ranges, so applying buffers in shard order feeds
+  /// each calendar and mutation list in exactly the sequential order.
+  void apply_actions(ActionBuffer<Message>& buf) {
+    for (auto& s : buf.sends) {
+      const std::uint64_t delay =
+          max_delay_ == 1 ? 1 : 1 + delay_rngs_[s.from].next_below(max_delay_);
+      delayed_.schedule(round_ + delay,
+                        SendEvent{s.to, Envelope<Message>{graph_.id_of(s.from),
+                                                          std::move(s.msg)}});
+      metrics_.count_message();
+    }
+    for (auto& h : buf.holds) {
+      holds_.schedule(h.due, HoldEvent{h.self, std::move(h.msg)});
+    }
+    for (const auto& w : buf.wakeups) {
+      // Bookkeeping only: not a protocol action, invisible to metrics and
+      // to quiescence detection.
+      wakeups_.schedule(w.due, w.self);
+    }
+    for (const auto& d : buf.disconnects) {
+      pending_deletes_.emplace_back(d.a, d.b);
+      pending_delete_sites_.push_back(d.site);
+    }
+    for (const auto& a : buf.introduces) {
+      pending_adds_.emplace_back(a.a, a.b);
+    }
+    round_actions_ += buf.actions();
+    buf.clear();
+  }
+
+  /// Publish node i's snapshot; if it changed, collect its neighbors into
+  /// the shard's wake list (their next check_local / view reads see
+  /// different data). Protocols whose PublicState is not
+  /// equality-comparable conservatively treat every publish as a change.
+  void publish_and_collect(NodeIndex i, WorkerSlot& slot) {
     bool changed = true;
     if constexpr (std::equality_comparable<PublicState>) {
-      scratch_public_ = publics_[i];
+      slot.scratch = publics_[i];
       protocol_.publish(states_[i], publics_[i]);
-      changed = !(scratch_public_ == publics_[i]);
+      changed = !(slot.scratch == publics_[i]);
     } else {
       protocol_.publish(states_[i], publics_[i]);
     }
     if (changed) {
       for (NodeId nb : graph_.neighbors(graph_.id_of(i))) {
-        wake(graph_.index_of(nb));
+        slot.wake.push_back(graph_.index_of(nb));
       }
     }
   }
 
-  void queue_send(NodeId from, NodeId to, Message m) {
-    CHS_CHECK_MSG(graph_.has_edge(from, to) || from == to,
-                  "send over non-existent edge");
-    const std::uint64_t delay =
-        max_delay_ == 1 ? 1 : 1 + root_rng_.next_below(max_delay_);
-    delayed_.schedule(round_ + delay,
-                      SendEvent{graph_.index_of(to),
-                                Envelope<Message>{from, std::move(m)}});
-    metrics_.count_message();
-    ++round_actions_;
-  }
-
-  void queue_hold(NodeId self, std::uint64_t due_round, Message m) {
-    holds_.schedule(due_round, HoldEvent{graph_.index_of(self), std::move(m)});
-    ++round_actions_;
-  }
-
-  void queue_wakeup(NodeId self, std::uint64_t due_round) {
-    // Bookkeeping only: not a protocol action, invisible to metrics and to
-    // quiescence detection.
-    wakeups_.schedule(due_round, graph_.index_of(self));
-  }
-
-  void queue_introduce(NodeId self, NodeId a, NodeId b, const char* site = "?") {
-    CHS_CHECK_MSG(a != b, "introduce(a, a)");
-    const bool a_ok = a == self || graph_.has_edge(self, a);
-    const bool b_ok = b == self || graph_.has_edge(self, b);
-    if (!(a_ok && b_ok)) {
-      std::fprintf(stderr,
-                   "introduce of non-neighbors: self=%llu a=%llu(%d) "
-                   "b=%llu(%d) round=%llu site=%s\n",
-                   static_cast<unsigned long long>(self),
-                   static_cast<unsigned long long>(a), int(a_ok),
-                   static_cast<unsigned long long>(b), int(b_ok),
-                   static_cast<unsigned long long>(round_), site);
-      CHS_CHECK_MSG(false, "introduce of non-neighbors");
+  /// Opt-in idle fast-forward: with no active nodes and no event due before
+  /// round X, rounds round_ .. X-1 are provably empty — account for them in
+  /// the metrics (identical entries to executing them) and jump. The
+  /// subsequent code in step_round then runs the first non-empty round.
+  void fast_forward_idle_gap() {
+    std::uint64_t next = ~std::uint64_t{0};
+    bool any = false;
+    if (const auto d = delayed_.next_due_round()) {
+      next = std::min(next, *d);
+      any = true;
     }
-    pending_adds_.emplace_back(a, b);
-    ++round_actions_;
-  }
-
-  void queue_disconnect(NodeId self, NodeId v, const char* site = "?") {
-    // The edge may have been deleted by the other endpoint in an earlier
-    // round; tolerate (the request is then a no-op).
-    pending_deletes_.emplace_back(self, v);
-    pending_delete_sites_.push_back(site);
-    ++round_actions_;
+    if (const auto d = holds_.next_due_round()) {
+      next = std::min(next, *d);
+      any = true;
+    }
+    if (const auto d = wakeups_.next_due_round()) {
+      next = std::min(next, *d);
+      any = true;
+    }
+    if (!any || next <= round_) return;  // nothing ever due, or due now
+    const std::uint64_t skip = next - round_;
+    metrics_.observe_idle_rounds(skip);
+    // Each skipped round had zero actions and deliveries; the quiescence
+    // streak grows through the gap unless deliverable events (holds or
+    // delayed sends) were pending all along — exactly the per-round rule.
+    if (holds_pending()) {
+      quiescent_streak_ = 0;
+    } else {
+      quiescent_streak_ += skip;
+    }
+    round_ = next;
   }
 
   void record_delete_site(NodeId u, NodeId v, const char* site) {
@@ -515,20 +751,24 @@ class Engine {
   util::Rng root_rng_;
   std::vector<NodeState> states_;
   std::vector<PublicState> publics_;
-  PublicState scratch_public_{};
   MailboxPool<Message> mail_;
   CalendarQueue<SendEvent> delayed_;
   CalendarQueue<HoldEvent> holds_;
   CalendarQueue<NodeIndex> wakeups_;
   std::vector<util::Rng> rngs_;
+  std::vector<util::Rng> delay_rngs_;  // per-sender message-delay streams
   std::vector<std::pair<NodeId, NodeId>> pending_adds_;
   std::vector<std::pair<NodeId, NodeId>> pending_deletes_;
   std::vector<const char*> pending_delete_sites_;
   std::map<std::pair<NodeId, NodeId>, const char*> last_delete_;
   RunMetrics metrics_;
+  WorkerPool pool_;
+  std::vector<WorkerSlot> slots_;
+  std::size_t worker_threads_ = 1;
   StepMode step_mode_ = StepMode::kAll;
   bool edge_trace_ = false;
   bool topo_changed_ = false;
+  bool idle_fast_forward_ = false;
   std::vector<NodeIndex> woken_;   // active set accumulating for next round
   std::vector<std::uint8_t> woken_mark_;
   std::vector<NodeIndex> stepped_;  // nodes stepped in the current round

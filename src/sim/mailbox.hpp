@@ -6,6 +6,11 @@
 // point per round (the seed engine cleared each inbox twice: once per-node
 // after stepping and again in a second full sweep). Only the boxes actually
 // touched this round are cleared, so a quiescent network pays nothing.
+//
+// Threading contract (DESIGN.md D6): deliver/begin_round/end_round run only
+// in the engine's serial release phase; during the parallel step phase the
+// pool is frozen and workers read inbox() spans concurrently, which is why
+// no box may be appended to while any step is in flight.
 #pragma once
 
 #include <cstdint>

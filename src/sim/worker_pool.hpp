@@ -1,0 +1,140 @@
+// Persistent worker pool for the deterministic parallel round executor
+// (DESIGN.md D6).
+//
+// The engine's parallel phases (stepping the active set, publishing dirty
+// snapshots) are expressed as a fixed number of *shards*: independent units
+// of work whose outputs land in per-shard buffers and are merged serially in
+// shard order afterwards. Shard s is statically owned by participant
+// s % (threads + 1) — the calling thread is always participant 0 — so no
+// shared claim counter exists and determinism comes entirely from the merge
+// order, never from thread scheduling.
+//
+// Threads are spawned once (Engine::set_worker_threads) and parked on a
+// condition variable between dispatches; a dispatch is one broadcast plus
+// one completion wait, so even short busy phases amortize. With no
+// background threads (the default) run() never touches the mutex: the shard
+// loop runs inline, byte-identical to a plain sequential loop.
+//
+// run() returns only after every worker that owns a shard has finished it,
+// so a dispatch can never overlap a later one; a worker that wakes late for
+// a dispatch in which it owned nothing simply observes the next generation.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace chs::sim {
+
+class WorkerPool {
+ public:
+  using ShardFn = std::function<void(std::size_t shard)>;
+
+  WorkerPool() = default;
+  ~WorkerPool() { resize(0); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Number of background threads. Total parallelism is threads() + 1: the
+  /// caller of run() always participates.
+  std::size_t threads() const { return workers_.size(); }
+
+  /// Grow or shrink the pool to `n` background threads. Joins surplus
+  /// threads on shrink; a cold configuration call, never overlapping run().
+  void resize(std::size_t n) {
+    if (n == workers_.size()) return;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      stop_ = true;
+      cv_job_.notify_all();
+    }
+    for (auto& t : workers_) t.join();
+    workers_.clear();
+    stop_ = false;
+    for (std::size_t i = 1; i <= n; ++i) {
+      // New threads must treat the current generation as already seen:
+      // generation_ survives resizes, and a stale-looking generation with
+      // no live job would otherwise read a dangling dispatch.
+      workers_.emplace_back([this, i, gen = generation_] { worker_main(i, gen); });
+    }
+  }
+
+  /// Execute fn(s) for every shard s in [0, shards); blocks until all have
+  /// completed. Participant p (0 = caller, 1..threads() = pool threads) runs
+  /// shards p, p + P, p + 2P, ... where P = threads() + 1.
+  void run(std::size_t shards, const ShardFn& fn) {
+    if (shards == 0) return;
+    if (workers_.empty() || shards == 1) {
+      for (std::size_t s = 0; s < shards; ++s) fn(s);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      job_ = &fn;
+      shards_ = shards;
+      completed_ = 0;
+      ++generation_;
+      cv_job_.notify_all();
+    }
+    const std::size_t mine = run_owned(fn, 0, shards);
+    std::unique_lock<std::mutex> lk(mu_);
+    completed_ += mine;
+    cv_done_.wait(lk, [&] { return completed_ == shards_; });
+    job_ = nullptr;
+  }
+
+ private:
+  std::size_t run_owned(const ShardFn& fn, std::size_t participant,
+                        std::size_t shards) const {
+    const std::size_t stride = workers_.size() + 1;
+    std::size_t done = 0;
+    for (std::size_t s = participant; s < shards; s += stride) {
+      fn(s);
+      ++done;
+    }
+    return done;
+  }
+
+  void worker_main(std::size_t participant, std::uint64_t seen) {
+    for (;;) {
+      const ShardFn* job;
+      std::size_t shards;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_job_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+        shards = shards_;
+      }
+      // job_ can only be null for a dispatch this thread missed entirely,
+      // which in turn is only possible if it owned no shard in it (run()
+      // blocks on shard owners) — but never dereference a dead dispatch.
+      if (job == nullptr) continue;
+      const std::size_t done = run_owned(*job, participant, shards);
+      if (done != 0) {
+        std::unique_lock<std::mutex> lk(mu_);
+        completed_ += done;
+        if (completed_ == shards_) cv_done_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  const ShardFn* job_ = nullptr;  // valid for the current generation
+  std::size_t shards_ = 0;        // guarded by mu_
+  std::size_t completed_ = 0;     // guarded by mu_
+  std::uint64_t generation_ = 0;  // bumped per dispatch; guarded by mu_
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace chs::sim

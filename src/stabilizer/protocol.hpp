@@ -41,6 +41,12 @@ class Protocol {
   /// engine may skip quiescent nodes without changing a single trace.
   static constexpr bool kUsesActiveSet = true;
 
+  /// Parallel-rounds contract (DESIGN.md D6): step() confines writes to
+  /// ctx.state()/ctx.rng() and the ctx action calls — params_, cbt_, and
+  /// num_waves_ are immutable after construction, so one Protocol instance
+  /// is safely shared by all worker threads. Per-host caches belong in
+  /// HostState (e.g. frags/out_edge_to_entry), never in Protocol members.
+
   explicit Protocol(Params params);
 
   const Params& params() const { return params_; }

@@ -99,8 +99,12 @@ TEST(Determinism, SeedEngineGoldensAsyncDelay) {
     std::uint32_t d;
     std::uint64_t rounds, messages, resets;
   };
-  for (const auto& g : {AsyncGolden{2, 3136u, 2339u, 11u},
-                        AsyncGolden{4, 20786u, 5769u, 66u}}) {
+  // Re-recorded in PR 2: message delays moved from the shared root RNG
+  // (drawn in global send order) to per-sender streams so traces cannot
+  // depend on worker count (DESIGN.md D6). d = 1 draws no delay RNG at all,
+  // so the goldens above are untouched; only these d > 1 traces changed.
+  for (const auto& g : {AsyncGolden{2, 2286u, 1956u, 3u},
+                        AsyncGolden{4, 5517u, 2081u, 10u}}) {
     util::Rng rng(41);
     auto ids = graph::sample_ids(16, 64, rng);
     Params p;

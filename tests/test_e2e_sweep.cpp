@@ -40,6 +40,11 @@ TEST_P(EndToEndSweep, StabilizesWithPolylogShape) {
   p.n_guests = n_guests;
   auto eng =
       core::make_engine(graph::make_family(sc.family, ids, rng), p, sc.seed);
+  // Cycle the worker count across cases: traces are thread-count invariant
+  // (test_parallel_engine.cpp pins that exactly), so the sweep doubles as
+  // broad coverage of the parallel round executor.
+  static constexpr std::size_t kWorkerCycle[] = {1, 2, 8};
+  eng->set_worker_threads(kWorkerCycle[GetParam() % 3]);
   const auto res = core::run_to_convergence(*eng, 400000);
   ASSERT_TRUE(res.converged)
       << graph::family_name(sc.family) << " seed " << sc.seed << " stuck at "
@@ -60,6 +65,31 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(graph::family_name(sc.family)) + "_seed" +
              std::to_string(sc.seed);
     });
+
+TEST(EndToEndSweep, WorkerCountsProduceIdenticalRuns) {
+  // One sweep case, executed at 1, 2, and 8 worker threads: round count,
+  // message count, and the per-round degree trace must match bit for bit
+  // (DESIGN.md D6 — determinism comes from the ActionBuffer merge order,
+  // never from thread scheduling).
+  const SweepCase sc = sweep_cases()[3];  // star, seed 12
+  auto run = [&](std::size_t workers) {
+    const std::uint64_t n_guests = 256;
+    util::Rng rng(sc.seed * 0x9e3779b97f4a7c15ULL + 13);
+    auto ids = graph::sample_ids(64, n_guests, rng);
+    core::Params p;
+    p.n_guests = n_guests;
+    auto eng =
+        core::make_engine(graph::make_family(sc.family, ids, rng), p, sc.seed);
+    eng->set_worker_threads(workers);
+    const auto res = core::run_to_convergence(*eng, 400000);
+    EXPECT_TRUE(res.converged) << "workers=" << workers;
+    return std::tuple{res.rounds, res.messages, res.total_resets,
+                      eng->metrics().max_degree_trace()};
+  };
+  const auto base = run(1);
+  EXPECT_EQ(run(2), base);
+  EXPECT_EQ(run(8), base);
+}
 
 }  // namespace
 }  // namespace chs

@@ -3,6 +3,7 @@
 //   chordsim run    [--n 64] [--N 256] [--family random_tree] [--seed 1]
 //                   [--target chord|bichord|hypercube] [--delay 1]
 //                   [--max-rounds 400000] [--trace]
+//                   [--workers 1] [--fast-forward]
 //   chordsim route  [--n 64] [--N 256] [--lookups 500] [--seed 1]
 //   chordsim churn  [--n 64] [--N 256] [--episodes 3] [--burst 1] [--seed 1]
 //   chordsim dot    [--n 24] [--N 64] [--family line] [--seed 1]
@@ -17,6 +18,7 @@
 // re-stabilize. `dot` prints a Graphviz snapshot (nodes colored by phase,
 // edges by ring/tree/finger/transient classification) after R rounds —
 // render with `neato -n2 -Tsvg`.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -108,10 +110,15 @@ std::unique_ptr<core::StabEngine> build_engine(const Args& a) {
   p.delay_slack = delay;
   auto eng = core::make_engine(std::move(g), p, seed);
   eng->set_max_message_delay(delay);
-  std::printf("hosts=%zu guests=%llu family=%s target=%s seed=%llu delay=%u\n",
+  // Wall-clock knobs only — traces are identical at any value (DESIGN.md D6).
+  const std::size_t workers = std::max<std::size_t>(1, a.get_u64("workers", 1));
+  if (workers > 1) eng->set_worker_threads(workers);
+  if (a.has("fast-forward")) eng->set_idle_fast_forward(true);
+  std::printf("hosts=%zu guests=%llu family=%s target=%s seed=%llu delay=%u"
+              " workers=%zu\n",
               n_hosts, static_cast<unsigned long long>(n_guests),
               a.get("family", "random_tree"), p.target.name.c_str(),
-              static_cast<unsigned long long>(seed), delay);
+              static_cast<unsigned long long>(seed), delay, workers);
   return eng;
 }
 
