@@ -32,8 +32,9 @@ int main() {
       graph::Family::kConnectedGnp};
   const std::uint64_t seeds = big ? 5 : 3;
 
-  core::Table table({"family", "N", "n", "conv", "rounds(mean)", "rounds(max)",
-                     "log^2N", "mean/log^2N", "resets(mean)"});
+  core::Table table({"family", "N", "n", "conv", "rounds(mean)", "rounds(p50)",
+                     "rounds(p90)", "rounds(max)", "log^2N", "mean/log^2N",
+                     "resets(mean)"});
   // Growth-exponent fit across all families: rounds ~ c * (log N)^alpha;
   // the theorems predict alpha <= 2.
   std::vector<double> fit_logn, fit_rounds;
@@ -60,7 +61,8 @@ int main() {
       fit_rounds.push_back(rs.mean);
       table.add_row({graph::family_name(fam), core::Table::fmt(n_guests),
                      core::Table::fmt(n_guests / 4), all_ok ? "yes" : "NO",
-                     core::Table::fmt(rs.mean, 0), core::Table::fmt(rs.max, 0),
+                     core::Table::fmt(rs.mean, 0), core::Table::fmt(rs.p50, 0),
+                     core::Table::fmt(rs.p90, 0), core::Table::fmt(rs.max, 0),
                      core::Table::fmt(lg * lg, 0),
                      core::Table::fmt(rs.mean / (lg * lg), 1),
                      core::Table::fmt(core::stats_of(resets).mean, 1)});

@@ -12,8 +12,10 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <thread>
 
 #include "avatar/range.hpp"
+#include "campaign/runner.hpp"
 #include "core/network.hpp"
 #include "dht/kvstore.hpp"
 #include "graph/generators.hpp"
@@ -304,6 +306,40 @@ void BM_EngineStabilize(benchmark::State& state) {
       static_cast<double>(stepped), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_EngineStabilize)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Campaign fan-out: a fixed 16-job scenario (converged start + a churn
+// burst per job) at jobs=1 vs jobs=hardware threads. The report is
+// byte-identical at both settings (DESIGN.md D7); wall clock tracks
+// physical cores exactly like BM_EngineBusyRound — expect ~none on a
+// 1-vCPU host, near-linear on real multicore.
+void BM_CampaignFanout(benchmark::State& state) {
+  chs::util::set_log_level(chs::util::LogLevel::kError);
+  chs::campaign::Scenario sc;
+  sc.name = "bench-fanout";
+  sc.n_guests = 64;
+  sc.host_counts = {12};
+  sc.families = {chs::graph::Family::kRandomTree};
+  sc.seed_lo = 1;
+  sc.seed_hi = 16;  // 16 jobs
+  sc.max_rounds = 100000;
+  sc.churn_at(0, 2);
+  chs::campaign::RunOptions opts;
+  opts.jobs = state.range(0) != 0
+                  ? std::max(1u, std::thread::hardware_concurrency())
+                  : 1;
+  std::size_t converged = 0;
+  for (auto _ : state) {
+    const auto rep = chs::campaign::run_campaign(sc, opts);
+    converged = rep.converged_jobs;
+    benchmark::DoNotOptimize(rep);
+  }
+  state.counters["jobs"] = static_cast<double>(sc.num_jobs());
+  // Not "threads": that would collide with google-benchmark's built-in
+  // per-run field and emit duplicate JSON keys in BENCH_micro.json.
+  state.counters["job_threads"] = static_cast<double>(opts.jobs);
+  state.counters["converged"] = static_cast<double>(converged);
+}
+BENCHMARK(BM_CampaignFanout)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_FitPower(benchmark::State& state) {
   std::vector<double> xs, ys;

@@ -1,0 +1,181 @@
+#include "campaign/report.hpp"
+
+#include <cstdio>
+
+namespace chs::campaign {
+
+namespace {
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Fixed four-decimal conversion: the only double-typed report fields are
+// means/percentiles of small integer-valued samples and degree expansions,
+// where four decimals are exact enough and the output stays byte-stable.
+std::string fmt_f(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+// JSON string escaping: scenario names come straight from user files (any
+// whitespace-free token is a legal name), so quotes, backslashes, and
+// control characters must not corrupt the document.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_stats_json(std::string& out, const char* key,
+                       const core::Stats& s) {
+  out += '"';
+  out += key;
+  out += "\": {\"mean\": " + fmt_f(s.mean) + ", \"min\": " + fmt_f(s.min) +
+         ", \"max\": " + fmt_f(s.max) + ", \"p50\": " + fmt_f(s.p50) +
+         ", \"p90\": " + fmt_f(s.p90) + ", \"p99\": " + fmt_f(s.p99) + "}";
+}
+
+void add_stats_row(core::Table& t, const char* name, const core::Stats& s) {
+  t.add_row({name, fmt_f(s.mean), fmt_f(s.min), fmt_f(s.max), fmt_f(s.p50),
+             fmt_f(s.p90), fmt_f(s.p99)});
+}
+
+}  // namespace
+
+CampaignReport make_report(const Scenario& sc,
+                           std::vector<JobResult> results) {
+  CampaignReport rep;
+  rep.scenario = sc.name;
+  rep.jobs = results.size();
+  std::vector<double> rounds, messages, dropped, resets, peak, exps, recov;
+  for (const JobResult& r : results) {
+    if (r.converged) ++rep.converged_jobs;
+    rounds.push_back(static_cast<double>(r.rounds));
+    messages.push_back(static_cast<double>(r.messages));
+    dropped.push_back(static_cast<double>(r.messages_dropped));
+    resets.push_back(static_cast<double>(r.resets));
+    peak.push_back(static_cast<double>(r.peak_degree));
+    exps.push_back(r.degree_expansion);
+    for (const EventOutcome& e : r.events) {
+      ++rep.events_total;
+      if (e.recovered) {
+        ++rep.events_recovered;
+        recov.push_back(static_cast<double>(e.recovery_rounds));
+      }
+    }
+  }
+  rep.rounds = core::stats_of(rounds);
+  rep.messages = core::stats_of(messages);
+  rep.messages_dropped = core::stats_of(dropped);
+  rep.resets = core::stats_of(resets);
+  rep.peak_degree = core::stats_of(peak);
+  rep.degree_expansion = core::stats_of(exps);
+  rep.recovery = core::stats_of(recov);
+  rep.results = std::move(results);
+  return rep;
+}
+
+std::string CampaignReport::to_json() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"scenario\": \"" + json_escape(scenario) + "\",\n";
+  out += "  \"jobs\": " + fmt_u64(jobs) + ",\n";
+  out += "  \"converged_jobs\": " + fmt_u64(converged_jobs) + ",\n";
+  out += "  \"events\": {\"total\": " + fmt_u64(events_total) +
+         ", \"recovered\": " + fmt_u64(events_recovered) + "},\n";
+  out += "  \"aggregate\": {\n";
+  const core::Stats* stats[] = {&rounds,      &messages,         &messages_dropped,
+                                &resets,      &peak_degree,      &degree_expansion,
+                                &recovery};
+  const char* keys[] = {"rounds",      "messages",        "messages_dropped",
+                        "resets",      "peak_degree",     "degree_expansion",
+                        "recovery_rounds"};
+  for (std::size_t i = 0; i < 7; ++i) {
+    out += "    ";
+    append_stats_json(out, keys[i], *stats[i]);
+    out += i + 1 < 7 ? ",\n" : "\n";
+  }
+  out += "  },\n";
+  out += "  \"per_job\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JobResult& r = results[i];
+    out += "    {\"job\": " + fmt_u64(r.spec.index) + ", \"family\": \"" +
+           graph::family_name(r.spec.family) + "\", \"hosts\": " +
+           fmt_u64(r.spec.n_hosts) + ", \"seed\": " + fmt_u64(r.spec.seed) +
+           ",\n";
+    out += "     \"setup_converged\": ";
+    out += r.setup_converged ? "true" : "false";
+    out += ", \"setup_rounds\": " + fmt_u64(r.setup_rounds) +
+           ", \"converged\": ";
+    out += r.converged ? "true" : "false";
+    out += ", \"rounds\": " + fmt_u64(r.rounds) + ",\n";
+    out += "     \"messages\": " + fmt_u64(r.messages) +
+           ", \"messages_dropped\": " + fmt_u64(r.messages_dropped) +
+           ", \"resets\": " + fmt_u64(r.resets) + ", \"edge_adds\": " +
+           fmt_u64(r.edge_adds) + ", \"edge_dels\": " + fmt_u64(r.edge_dels) +
+           ",\n";
+    out += "     \"peak_degree\": " + fmt_u64(r.peak_degree) +
+           ", \"degree_expansion\": " + fmt_f(r.degree_expansion) +
+           ", \"events\": [";
+    for (std::size_t j = 0; j < r.events.size(); ++j) {
+      const EventOutcome& e = r.events[j];
+      if (j) out += ", ";
+      out += "{\"kind\": \"";
+      out += event_kind_name(e.kind);
+      out += "\", \"round\": " + fmt_u64(e.round) + ", \"recovered\": ";
+      out += e.recovered ? "true" : "false";
+      out += ", \"recovery_rounds\": " + fmt_u64(e.recovery_rounds) + "}";
+    }
+    out += "]}";
+    out += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+core::Table CampaignReport::to_table() const {
+  core::Table t({"job", "family", "hosts", "seed", "converged", "rounds",
+                 "messages", "dropped", "resets", "peak_deg", "deg_exp"});
+  for (const JobResult& r : results) {
+    t.add_row({fmt_u64(r.spec.index), graph::family_name(r.spec.family),
+               fmt_u64(r.spec.n_hosts), fmt_u64(r.spec.seed),
+               r.converged ? "yes" : "NO", fmt_u64(r.rounds),
+               fmt_u64(r.messages), fmt_u64(r.messages_dropped),
+               fmt_u64(r.resets), fmt_u64(r.peak_degree),
+               fmt_f(r.degree_expansion)});
+  }
+  return t;
+}
+
+core::Table CampaignReport::aggregate_table() const {
+  core::Table t({"metric", "mean", "min", "max", "p50", "p90", "p99"});
+  add_stats_row(t, "rounds", rounds);
+  add_stats_row(t, "messages", messages);
+  add_stats_row(t, "messages_dropped", messages_dropped);
+  add_stats_row(t, "resets", resets);
+  add_stats_row(t, "peak_degree", peak_degree);
+  add_stats_row(t, "degree_expansion", degree_expansion);
+  add_stats_row(t, "recovery_rounds", recovery);
+  return t;
+}
+
+}  // namespace chs::campaign

@@ -1,0 +1,91 @@
+// Campaign results: the per-job record, the aggregate report, and its two
+// serializations (JSON for machines/golden diffs, core::Table CSV for the
+// EXPERIMENTS.md workflow).
+//
+// Determinism contract (DESIGN.md D7): every field is computed from the
+// job results alone, jobs are aggregated in job-index order, and all
+// formatting uses fixed printf conversions — so the emitted bytes are
+// identical for any `--jobs k` and any per-engine worker count. The CI
+// campaign smoke job diffs the JSON against a committed golden to keep
+// this property pinned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+#include "core/experiment.hpp"
+
+namespace chs::campaign {
+
+/// One job of the expanded sweep: a fully-determined simulation.
+struct JobSpec {
+  std::size_t index = 0;
+  graph::Family family = graph::Family::kRandomTree;
+  std::size_t n_hosts = 0;
+  std::uint64_t seed = 0;
+};
+
+/// What happened to one timeline event inside one job.
+struct EventOutcome {
+  EventKind kind = EventKind::kChurn;
+  std::uint64_t round = 0;           // timeline round it was applied at
+  std::uint64_t recovery_rounds = 0; // rounds until convergence next held
+  bool recovered = false;
+};
+
+struct JobResult {
+  JobSpec spec;
+  /// Start phase (StartMode::kConverged): did the network stabilize before
+  /// the timeline began, and in how many rounds? Cold starts report true/0.
+  bool setup_converged = false;
+  std::uint64_t setup_rounds = 0;
+  /// Timeline phase.
+  bool converged = false;        // final state when the job ended
+  std::uint64_t rounds = 0;      // timeline rounds executed
+  std::uint64_t messages = 0;    // sent during the timeline phase
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t resets = 0;      // detector resets during the timeline
+  std::uint64_t edge_adds = 0;
+  std::uint64_t edge_dels = 0;
+  std::size_t peak_degree = 0;   // over the whole run (setup + timeline)
+  double degree_expansion = 0.0;
+  std::vector<EventOutcome> events;
+  /// Per-round max-degree trace of the whole run — the engine's bit-for-bit
+  /// determinism witness (tests compare it across worker counts). Held in
+  /// memory only; never serialized into JSON/CSV.
+  std::vector<std::size_t> degree_trace;
+};
+
+struct CampaignReport {
+  std::string scenario;
+  std::size_t jobs = 0;
+  std::size_t converged_jobs = 0;
+  std::size_t events_total = 0;
+  std::size_t events_recovered = 0;
+  std::vector<JobResult> results;  // job-index order
+
+  // Aggregates across jobs (mean/min/max/p50/p90/p99 each).
+  core::Stats rounds;            // timeline rounds
+  core::Stats messages;
+  core::Stats messages_dropped;
+  core::Stats resets;
+  core::Stats peak_degree;
+  core::Stats degree_expansion;
+  core::Stats recovery;          // per-event recovery latency, all jobs
+
+  /// Deterministic JSON document (trailing newline included).
+  std::string to_json() const;
+
+  /// Per-job table (one row per job).
+  core::Table to_table() const;
+
+  /// Aggregate table (one row per metric).
+  core::Table aggregate_table() const;
+};
+
+/// Aggregate job results (already in job-index order) into a report.
+CampaignReport make_report(const Scenario& sc, std::vector<JobResult> results);
+
+}  // namespace chs::campaign

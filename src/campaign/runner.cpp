@@ -1,0 +1,268 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "core/churn.hpp"
+#include "core/network.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace chs::campaign {
+
+namespace {
+
+using graph::NodeId;
+
+// Salts keeping the adversary's streams disjoint from each other and from
+// the engine's per-node / per-sender streams (which split the *engine* seed;
+// these split the raw job seed, a different generator lineage entirely).
+constexpr std::uint64_t kEventStreamSalt = 0x9d7c'35ab'41e2'66f7ULL;
+constexpr std::uint64_t kLossStreamSalt = 0x517c'c1b7'2722'0a95ULL;
+
+/// Per-job adversary state: the event stream (victim picks, partition
+/// sides) and the loss stream (per-delivery drop draws). Both are owned by
+/// the job thread and only ever touched from the engine's serial phases,
+/// so determinism is independent of every worker-count knob.
+struct Adversary {
+  util::Rng ev_rng;
+  util::Rng loss_rng;
+  /// Sorted "side A" membership per partition window, pre-drawn in window
+  /// order before the timeline starts.
+  std::vector<std::vector<NodeId>> sides;
+
+  Adversary(std::uint64_t seed, const Scenario& sc,
+            const std::vector<NodeId>& ids)
+      : ev_rng(seed ^ kEventStreamSalt), loss_rng(seed ^ kLossStreamSalt) {
+    sides.reserve(sc.partitions.size());
+    for (std::size_t w = 0; w < sc.partitions.size(); ++w) {
+      std::vector<NodeId> pool(ids);
+      for (std::size_t i = pool.size(); i > 1; --i) {
+        std::swap(pool[i - 1], pool[ev_rng.next_below(i)]);
+      }
+      pool.resize(pool.size() / 2);  // both sides non-empty for n >= 2
+      std::sort(pool.begin(), pool.end());
+      sides.push_back(std::move(pool));
+    }
+  }
+
+  bool in_side_a(std::size_t window, NodeId id) const {
+    return std::binary_search(sides[window].begin(), sides[window].end(), id);
+  }
+
+  /// `count` distinct hosts drawn from `ids` (event stream).
+  std::vector<NodeId> pick_distinct(const std::vector<NodeId>& ids,
+                                    std::uint64_t count) {
+    std::set<NodeId> picked;
+    while (picked.size() < count) {
+      picked.insert(ids[ev_rng.next_below(ids.size())]);
+    }
+    return {picked.begin(), picked.end()};
+  }
+};
+
+void apply_event(core::StabEngine& eng, const TimelineEvent& ev,
+                 Adversary& adv) {
+  const auto& ids = eng.graph().ids();
+  switch (ev.kind) {
+    case EventKind::kChurn: {
+      // core::churn_burst redraws the victim set until the survivors stay
+      // connected (edges are state; a victim can hold some host's only
+      // link — e.g. an earlier victim still hanging by its single rejoin
+      // edge mid-recovery) and anchors every victim to a survivor.
+      core::churn_burst(eng, ev.count, adv.ev_rng);
+      break;
+    }
+    case EventKind::kFault: {
+      for (NodeId victim : adv.pick_distinct(ids, ev.count)) {
+        core::wipe_host_state(eng, victim);
+      }
+      break;
+    }
+    case EventKind::kRetarget: {
+      auto spec = target_by_name(ev.target);
+      CHS_CHECK_MSG(spec.has_value(), "retarget to unknown target");
+      core::retarget(eng, std::move(*spec));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<JobSpec> expand_jobs(const Scenario& sc) {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(sc.num_jobs());
+  std::size_t index = 0;
+  for (graph::Family family : sc.families) {
+    for (std::size_t hosts : sc.host_counts) {
+      for (std::uint64_t seed = sc.seed_lo; seed <= sc.seed_hi; ++seed) {
+        jobs.push_back(JobSpec{index++, family, hosts, seed});
+      }
+    }
+  }
+  return jobs;
+}
+
+JobResult run_job(const Scenario& sc, const JobSpec& spec,
+                  std::size_t engine_workers) {
+  CHS_CHECK_MSG(sc.validate().empty(), "scenario failed validation");
+  JobResult out;
+  out.spec = spec;
+
+  // Initial configuration: same (seed -> ids -> family) recipe as the
+  // experiment sweeps, so a campaign job is comparable to a sweep point.
+  util::Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 13);
+  auto ids = graph::sample_ids(spec.n_hosts, sc.n_guests, rng);
+  graph::Graph g = graph::make_family(spec.family, ids, rng);
+
+  core::Params params;
+  params.n_guests = sc.n_guests;
+  params.target = *target_by_name(sc.target);
+  params.delay_slack = sc.delay;
+  auto eng = core::make_engine(std::move(g), params, spec.seed);
+  eng->set_max_message_delay(sc.delay);
+  if (engine_workers > 1) eng->set_worker_threads(engine_workers);
+
+  if (sc.start == StartMode::kConverged) {
+    const auto res = core::run_to_convergence(*eng, sc.max_rounds);
+    out.setup_converged = res.converged;
+    out.setup_rounds = res.rounds;
+    if (!res.converged) return out;  // nothing to attack; report the failure
+  } else {
+    out.setup_converged = true;
+  }
+
+  // Timeline-phase baselines. total_resets is saturated below because a
+  // state wipe zeroes the victim's reset counter.
+  const std::uint64_t msg0 = eng->metrics().messages();
+  const std::uint64_t drop0 = eng->metrics().messages_dropped();
+  const std::uint64_t adds0 = eng->metrics().edge_adds();
+  const std::uint64_t dels0 = eng->metrics().edge_dels();
+  const std::uint64_t resets0 = core::total_resets(*eng);
+
+  Adversary adv(spec.seed, sc, eng->graph().ids());
+  const std::uint64_t r0 = eng->round();
+  if (!sc.losses.empty() || !sc.partitions.empty()) {
+    eng->set_delivery_filter([&adv, &sc, r0](NodeId from, NodeId to,
+                                             std::uint64_t round) {
+      const std::uint64_t t = round - r0;
+      // Partition cuts are checked first; a cut message consumes no loss
+      // draw, so the loss stream's draw sequence is well-defined.
+      for (std::size_t w = 0; w < sc.partitions.size(); ++w) {
+        const auto& win = sc.partitions[w];
+        if (t >= win.begin && t < win.end &&
+            adv.in_side_a(w, from) != adv.in_side_a(w, to)) {
+          return false;
+        }
+      }
+      for (const LossWindow& win : sc.losses) {
+        if (t >= win.begin && t < win.end &&
+            adv.loss_rng.next_double() < win.rate) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+
+  // Drive the timeline: apply events due at t, then execute round t.
+  // The job ends when every event is applied, every window has closed, no
+  // event still awaits recovery, and the network is converged — or when
+  // the budget runs out.
+  struct Pending {
+    std::size_t event_index;  // into out.events
+  };
+  std::vector<Pending> pending;
+  // Apply in round order whatever order the events were declared in
+  // (parse_scenario pre-sorts; builder chains need not be monotone). The
+  // stable sort keeps same-round events in declaration order.
+  std::vector<TimelineEvent> events(sc.events);
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TimelineEvent& a, const TimelineEvent& b) {
+                     return a.round < b.round;
+                   });
+  const std::uint64_t t_end = sc.timeline_end();
+  std::size_t next_event = 0;
+  std::uint64_t executed = 0;
+  for (std::uint64_t t = 0;; ++t) {
+    while (next_event < events.size() && events[next_event].round == t) {
+      apply_event(*eng, events[next_event], adv);
+      out.events.push_back(EventOutcome{events[next_event].kind, t, 0,
+                                        false});
+      pending.push_back(Pending{out.events.size() - 1});
+      ++next_event;
+    }
+    // The O(hosts + edges) convergence scan runs only when its answer can
+    // matter: to end the job (everything applied, every window closed,
+    // nothing awaiting recovery) or to timestamp recoveries below. Gap
+    // rounds spent waiting for a future event or window skip it entirely.
+    if (next_event == events.size() && t >= t_end && pending.empty() &&
+        core::is_converged(*eng)) {
+      break;
+    }
+    if (t >= sc.max_rounds) break;  // budget exhausted
+    eng->step_round();
+    ++executed;
+    if (!pending.empty() && core::is_converged(*eng)) {
+      for (const Pending& p : pending) {
+        out.events[p.event_index].recovered = true;
+        out.events[p.event_index].recovery_rounds =
+            t + 1 - out.events[p.event_index].round;
+      }
+      pending.clear();
+    }
+  }
+  eng->set_delivery_filter({});  // adversary state dies with this frame
+
+  out.converged = core::is_converged(*eng);
+  out.rounds = executed;
+  out.messages = eng->metrics().messages() - msg0;
+  out.messages_dropped = eng->metrics().messages_dropped() - drop0;
+  out.edge_adds = eng->metrics().edge_adds() - adds0;
+  out.edge_dels = eng->metrics().edge_dels() - dels0;
+  const std::uint64_t resets1 = core::total_resets(*eng);
+  out.resets = resets1 > resets0 ? resets1 - resets0 : 0;
+  out.peak_degree = eng->metrics().peak_max_degree();
+  out.degree_expansion = eng->metrics().degree_expansion(eng->graph());
+  out.degree_trace = eng->metrics().max_degree_trace();
+  return out;
+}
+
+CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
+  CHS_CHECK_MSG(sc.validate().empty(), "scenario failed validation");
+  const std::vector<JobSpec> jobs = expand_jobs(sc);
+  std::vector<JobResult> results(jobs.size());
+
+  const std::size_t k =
+      std::min(std::max<std::size_t>(1, opts.jobs), std::max<std::size_t>(
+                                                        1, jobs.size()));
+  if (k == 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = run_job(sc, jobs[i], opts.engine_workers);
+    }
+  } else {
+    // Dynamic claiming balances wildly uneven job lengths; determinism is
+    // untouched because each job is self-contained and lands in its own
+    // index slot — claim order is invisible to the merged report.
+    std::atomic<std::size_t> next{0};
+    const auto work = [&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= jobs.size()) return;
+        results[i] = run_job(sc, jobs[i], opts.engine_workers);
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(k - 1);
+    for (std::size_t w = 0; w + 1 < k; ++w) threads.emplace_back(work);
+    work();  // the caller participates
+    for (std::thread& th : threads) th.join();
+  }
+  return make_report(sc, std::move(results));
+}
+
+}  // namespace chs::campaign

@@ -1,0 +1,48 @@
+// Campaign runner (DESIGN.md D7): expand a Scenario's sweep axes into a job
+// list, execute every job — an independent simulation with the scenario's
+// adversarial timeline applied round by round — and aggregate the results.
+//
+// Parallelism happens at two independent levels:
+//   * across jobs — `RunOptions::jobs` worker threads claim job indices
+//     from a shared counter; each job owns its engine, RNG streams, and
+//     result slot, so threads share nothing but the counter and results
+//     are written by job index. The aggregate report is assembled from the
+//     results array in index order after all jobs finish, which makes the
+//     emitted bytes identical for any thread count;
+//   * inside a job — `RunOptions::engine_workers` forwards to
+//     Engine::set_worker_threads, whose PR 2 merge rule keeps per-job
+//     traces bit-for-bit identical at any k, including while this module's
+//     loss/partition delivery filter is active (the filter runs in the
+//     engine's serial release phase — see sim/engine.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/report.hpp"
+#include "campaign/scenario.hpp"
+
+namespace chs::campaign {
+
+/// The scenario's cartesian sweep (families x host counts x seeds), in
+/// deterministic job-index order: family-major, then host count, then seed.
+std::vector<JobSpec> expand_jobs(const Scenario& sc);
+
+/// Execute one job: build the initial configuration, optionally stabilize
+/// (StartMode::kConverged), then drive the timeline — applying round-indexed
+/// events and maintaining the loss/partition delivery filter — until every
+/// event and window has passed and the network has reconverged, or the
+/// round budget runs out. The scenario must validate() clean.
+JobResult run_job(const Scenario& sc, const JobSpec& spec,
+                  std::size_t engine_workers = 1);
+
+struct RunOptions {
+  std::size_t jobs = 1;            // parallel job-runner threads
+  std::size_t engine_workers = 1;  // Engine::set_worker_threads per job
+};
+
+/// Run the whole campaign. The report (and its JSON/CSV serializations) is
+/// byte-identical for any RunOptions — parallelism trades wall clock only.
+CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts = {});
+
+}  // namespace chs::campaign

@@ -1,0 +1,300 @@
+#include "campaign/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace chs::campaign {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kChurn: return "churn";
+    case EventKind::kFault: return "fault";
+    case EventKind::kRetarget: return "retarget";
+  }
+  return "?";
+}
+
+Scenario& Scenario::churn_at(std::uint64_t round, std::uint64_t count) {
+  events.push_back({EventKind::kChurn, round, count, {}});
+  return *this;
+}
+
+Scenario& Scenario::fault_at(std::uint64_t round, std::uint64_t count) {
+  events.push_back({EventKind::kFault, round, count, {}});
+  return *this;
+}
+
+Scenario& Scenario::retarget_at(std::uint64_t round, std::string target_name) {
+  events.push_back({EventKind::kRetarget, round, 0, std::move(target_name)});
+  return *this;
+}
+
+Scenario& Scenario::loss(std::uint64_t begin, std::uint64_t end, double rate) {
+  losses.push_back({begin, end, rate});
+  return *this;
+}
+
+Scenario& Scenario::partition(std::uint64_t begin, std::uint64_t end) {
+  partitions.push_back({begin, end});
+  return *this;
+}
+
+std::size_t Scenario::num_jobs() const {
+  if (seed_hi < seed_lo) return 0;
+  return families.size() * host_counts.size() *
+         static_cast<std::size_t>(seed_hi - seed_lo + 1);
+}
+
+std::uint64_t Scenario::timeline_end() const {
+  std::uint64_t end = 0;
+  for (const auto& e : events) end = std::max(end, e.round + 1);
+  for (const auto& w : losses) end = std::max(end, w.end);
+  for (const auto& w : partitions) end = std::max(end, w.end);
+  return end;
+}
+
+std::string Scenario::validate() const {
+  if (name.empty()) return "scenario name is empty";
+  if (n_guests < 2) return "guests must be >= 2";
+  if (host_counts.empty()) return "no host counts";
+  if (families.empty()) return "no families";
+  if (seed_hi < seed_lo) return "seed range is empty";
+  if (!target_by_name(target)) return "unknown target '" + target + "'";
+  if (delay < 1) return "delay must be >= 1";
+  if (max_rounds < 1) return "max-rounds must be >= 1";
+  std::size_t min_hosts = host_counts[0];
+  for (std::size_t h : host_counts) {
+    if (h < 3) return "host counts must be >= 3";
+    if (h > n_guests) return "host count exceeds guest space";
+    min_hosts = std::min(min_hosts, h);
+  }
+  for (const auto& e : events) {
+    switch (e.kind) {
+      case EventKind::kChurn:
+        // churn needs a surviving anchor outside the victim set.
+        if (e.count < 1 || e.count >= min_hosts) {
+          return "churn count must be in [1, hosts-1]";
+        }
+        break;
+      case EventKind::kFault:
+        if (e.count < 1 || e.count > min_hosts) {
+          return "fault count must be in [1, hosts]";
+        }
+        break;
+      case EventKind::kRetarget:
+        if (!target_by_name(e.target)) {
+          return "unknown retarget target '" + e.target + "'";
+        }
+        break;
+    }
+  }
+  for (const auto& w : losses) {
+    if (w.begin >= w.end) return "loss window is empty";
+    if (w.rate < 0.0 || w.rate > 1.0) return "loss rate outside [0, 1]";
+  }
+  for (const auto& w : partitions) {
+    if (w.begin >= w.end) return "partition window is empty";
+  }
+  if (timeline_end() > max_rounds) {
+    return "timeline extends past max-rounds";
+  }
+  return "";
+}
+
+std::optional<topology::TargetSpec> target_by_name(const std::string& name) {
+  if (name == "chord") return topology::chord_target();
+  if (name == "bichord") return topology::bichord_target();
+  if (name == "hypercube") return topology::hypercube_target();
+  if (name == "skiplist") return topology::skiplist_target();
+  if (name == "smallworld") return topology::smallworld_target();
+  return std::nullopt;
+}
+
+std::optional<graph::Family> family_by_name(const std::string& name) {
+  for (graph::Family f : graph::all_families()) {
+    if (name == graph::family_name(f)) return f;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+bool parse_u64(const std::string& tok, std::uint64_t* out) {
+  if (tok.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (~std::uint64_t{0} - digit) / 10) return false;  // would wrap
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_rate(const std::string& tok, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::optional<Scenario> fail(std::string* error, std::size_t line_no,
+                             const std::string& why) {
+  if (error) {
+    *error = "line " + std::to_string(line_no) + ": " + why;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Scenario> parse_scenario(const std::string& text,
+                                       std::string* error) {
+  Scenario sc;
+  // The defaults above are real defaults, but sweep axes given in the file
+  // replace (not extend) them.
+  bool saw_hosts = false, saw_families = false;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::vector<std::string> tok;
+    for (std::string t; ls >> t;) tok.push_back(t);
+    if (tok.empty()) continue;
+    const std::string& key = tok[0];
+    const auto args = tok.size() - 1;
+
+    if (key == "name" && args == 1) {
+      sc.name = tok[1];
+    } else if (key == "guests" && args == 1) {
+      if (!parse_u64(tok[1], &sc.n_guests)) {
+        return fail(error, line_no, "bad guest count '" + tok[1] + "'");
+      }
+    } else if (key == "hosts" && args >= 1) {
+      if (!saw_hosts) sc.host_counts.clear();
+      saw_hosts = true;
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        std::uint64_t h = 0;
+        if (!parse_u64(tok[i], &h)) {
+          return fail(error, line_no, "bad host count '" + tok[i] + "'");
+        }
+        sc.host_counts.push_back(static_cast<std::size_t>(h));
+      }
+    } else if (key == "families" && args >= 1) {
+      if (!saw_families) sc.families.clear();
+      saw_families = true;
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        const auto f = family_by_name(tok[i]);
+        if (!f) return fail(error, line_no, "unknown family '" + tok[i] + "'");
+        sc.families.push_back(*f);
+      }
+    } else if (key == "seeds" && (args == 1 || args == 2)) {
+      if (!parse_u64(tok[1], &sc.seed_lo)) {
+        return fail(error, line_no, "bad seed '" + tok[1] + "'");
+      }
+      sc.seed_hi = sc.seed_lo;
+      if (args == 2 && !parse_u64(tok[2], &sc.seed_hi)) {
+        return fail(error, line_no, "bad seed '" + tok[2] + "'");
+      }
+    } else if (key == "target" && args == 1) {
+      sc.target = tok[1];
+    } else if (key == "delay" && args == 1) {
+      std::uint64_t d = 0;
+      if (!parse_u64(tok[1], &d) || d < 1) {
+        return fail(error, line_no, "bad delay '" + tok[1] + "'");
+      }
+      sc.delay = static_cast<std::uint32_t>(d);
+    } else if (key == "start" && args == 1) {
+      if (tok[1] == "converged") {
+        sc.start = StartMode::kConverged;
+      } else if (tok[1] == "cold") {
+        sc.start = StartMode::kCold;
+      } else {
+        return fail(error, line_no, "start must be converged|cold");
+      }
+    } else if (key == "max-rounds" && args == 1) {
+      if (!parse_u64(tok[1], &sc.max_rounds)) {
+        return fail(error, line_no, "bad max-rounds '" + tok[1] + "'");
+      }
+    } else if (key == "at" && args >= 2) {
+      std::uint64_t round = 0;
+      if (!parse_u64(tok[1], &round)) {
+        return fail(error, line_no, "bad event round '" + tok[1] + "'");
+      }
+      const std::string& what = tok[2];
+      if (what == "churn" || what == "fault") {
+        std::uint64_t count = 1;
+        if (args == 3) {
+          if (!parse_u64(tok[3], &count)) {
+            return fail(error, line_no, "bad count '" + tok[3] + "'");
+          }
+        } else if (args != 2) {
+          return fail(error, line_no, "usage: at R churn|fault [K]");
+        }
+        if (what == "churn") {
+          sc.churn_at(round, count);
+        } else {
+          sc.fault_at(round, count);
+        }
+      } else if (what == "retarget" && args == 3) {
+        sc.retarget_at(round, tok[3]);
+      } else {
+        return fail(error, line_no, "unknown event '" + what + "'");
+      }
+    } else if (key == "loss" && args == 3) {
+      std::uint64_t a = 0, b = 0;
+      double rate = 0.0;
+      if (!parse_u64(tok[1], &a) || !parse_u64(tok[2], &b) ||
+          !parse_rate(tok[3], &rate)) {
+        return fail(error, line_no, "usage: loss BEGIN END RATE");
+      }
+      sc.loss(a, b, rate);
+    } else if (key == "partition" && args == 2) {
+      std::uint64_t a = 0, b = 0;
+      if (!parse_u64(tok[1], &a) || !parse_u64(tok[2], &b)) {
+        return fail(error, line_no, "usage: partition BEGIN END");
+      }
+      sc.partition(a, b);
+    } else {
+      return fail(error, line_no, "unknown directive '" + key + "'");
+    }
+  }
+  // Keep the timeline in application order regardless of file order; ties
+  // stay in file order (stable sort) so "churn then fault at round r" means
+  // what it says.
+  std::stable_sort(sc.events.begin(), sc.events.end(),
+                   [](const TimelineEvent& a, const TimelineEvent& b) {
+                     return a.round < b.round;
+                   });
+  const std::string problem = sc.validate();
+  if (!problem.empty()) {
+    if (error) *error = problem;
+    return std::nullopt;
+  }
+  return sc;
+}
+
+std::optional<Scenario> load_scenario(const std::string& path,
+                                      std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    if (error) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[4096];
+  for (std::size_t got; (got = std::fread(buf, 1, sizeof(buf), f)) > 0;) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return parse_scenario(text, error);
+}
+
+}  // namespace chs::campaign

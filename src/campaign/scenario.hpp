@@ -1,0 +1,135 @@
+// Declarative adversarial scenarios (DESIGN.md D7).
+//
+// The paper's headline claim is convergence from *any* initial configuration
+// under *any* transient fault pattern; a Scenario is how the repo states one
+// such pattern once and exercises it at fleet scale. It describes
+//   * the sweep axes — host counts, initial-topology families, and an
+//     inclusive seed range — whose cartesian product becomes the campaign's
+//     job list (runner.hpp), and
+//   * a round-indexed adversarial timeline applied identically inside every
+//     job: churn bursts, targeted republish (state-wipe) faults, message-
+//     loss windows, temporary network partitions, and mid-run target-
+//     topology switches.
+//
+// Scenarios are built programmatically (the fluent helpers below) or loaded
+// from a small line-based text format:
+//
+//   # one directive per line; '#' starts a comment
+//   name churn-storm
+//   guests 128            # N: guest-space size
+//   hosts 16 24           # sweep axis: host counts
+//   families random_tree line
+//   seeds 1 8             # inclusive range -> 8 seeds
+//   target chord          # chord|bichord|hypercube|skiplist|smallworld
+//   delay 1               # max message delay (engine asynchrony model)
+//   start converged       # converged|cold
+//   max-rounds 200000     # timeline round budget per job
+//   at 0 churn 3          # round-indexed events (rounds relative to start)
+//   at 40 fault 2         # wipe 2 random hosts' state (edges survive)
+//   loss 10 30 0.25       # drop 25% of network messages in rounds [10,30)
+//   partition 60 90       # random bipartition cuts traffic in [60,90)
+//   at 120 retarget hypercube
+//
+// Event rounds are relative to the timeline start: round 0 is the converged
+// network for `start converged`, the raw initial configuration for
+// `start cold`. All randomness (victim picks, partition sides, loss draws)
+// comes from per-job streams derived from the job seed, so a scenario run
+// is bit-for-bit reproducible at any worker/job count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "topology/target.hpp"
+
+namespace chs::campaign {
+
+enum class EventKind : std::uint8_t {
+  kChurn,     // crash-and-rejoin `count` random hosts simultaneously
+  kFault,     // wipe `count` random hosts' state via the targeted republish
+  kRetarget,  // switch the target topology; hosts restart over the current
+              // (old-target) topology as an arbitrary initial configuration
+};
+
+const char* event_kind_name(EventKind k);
+
+struct TimelineEvent {
+  EventKind kind = EventKind::kChurn;
+  std::uint64_t round = 0;  // relative to the timeline start
+  std::uint64_t count = 1;  // churn/fault: hosts affected
+  std::string target;       // retarget: target name
+};
+
+/// Drop each network message delivered in rounds [begin, end) with
+/// probability `rate` (per-job loss stream; self-messages are exempt).
+struct LossWindow {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  double rate = 1.0;
+};
+
+/// Random bipartition (per-job draw, both sides non-empty): every message
+/// crossing the cut in rounds [begin, end) is dropped. Topology — and thus
+/// every state predicate — is untouched; only delivery is filtered.
+struct PartitionWindow {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+enum class StartMode : std::uint8_t {
+  kConverged,  // stabilize first; the timeline attacks a legal network
+  kCold,       // the timeline runs from the raw initial configuration
+};
+
+struct Scenario {
+  std::string name = "scenario";
+  std::uint64_t n_guests = 128;
+  std::vector<std::size_t> host_counts = {16};
+  std::vector<graph::Family> families = {graph::Family::kRandomTree};
+  std::uint64_t seed_lo = 1;  // inclusive
+  std::uint64_t seed_hi = 1;  // inclusive
+  std::string target = "chord";
+  std::uint32_t delay = 1;
+  StartMode start = StartMode::kConverged;
+  std::uint64_t max_rounds = 400000;
+  std::vector<TimelineEvent> events;
+  std::vector<LossWindow> losses;
+  std::vector<PartitionWindow> partitions;
+
+  // Fluent builder helpers (return *this so timelines read as one chain).
+  Scenario& churn_at(std::uint64_t round, std::uint64_t count);
+  Scenario& fault_at(std::uint64_t round, std::uint64_t count);
+  Scenario& retarget_at(std::uint64_t round, std::string target_name);
+  Scenario& loss(std::uint64_t begin, std::uint64_t end, double rate);
+  Scenario& partition(std::uint64_t begin, std::uint64_t end);
+
+  /// Jobs the sweep axes expand to: families x host counts x seeds.
+  std::size_t num_jobs() const;
+
+  /// First round with no event left to apply and no window still open.
+  std::uint64_t timeline_end() const;
+
+  /// "" when well-formed; otherwise the first problem, human-readable.
+  std::string validate() const;
+};
+
+/// Resolve a target-topology name ("chord", "bichord", "hypercube",
+/// "skiplist", "smallworld"); nullopt for unknown names.
+std::optional<topology::TargetSpec> target_by_name(const std::string& name);
+
+/// Resolve an initial-family name (graph::family_name spelling).
+std::optional<graph::Family> family_by_name(const std::string& name);
+
+/// Parse the text format above. On failure returns nullopt and, when
+/// `error` is non-null, stores a message naming the offending line.
+std::optional<Scenario> parse_scenario(const std::string& text,
+                                       std::string* error = nullptr);
+
+/// parse_scenario over a file's contents.
+std::optional<Scenario> load_scenario(const std::string& path,
+                                      std::string* error = nullptr);
+
+}  // namespace chs::campaign

@@ -1,52 +1,80 @@
 #include "core/churn.hpp"
 
+#include <algorithm>
 #include <set>
+#include <utility>
 
+#include "graph/analysis.hpp"
 #include "util/check.hpp"
 
 namespace chs::core {
+
+void reset_host_state(StabEngine& eng, graph::NodeId id) {
+  stabilizer::HostState& st = eng.state_mut(id);
+  st = stabilizer::HostState{};
+  st.id = id;
+  st.phase = Phase::kCbt;
+  st.cluster = id;
+  st.lo = 0;
+  st.hi = eng.protocol().params().n_guests;
+  eng.protocol().recompute_fragments(st);
+  st.nbrs = eng.graph().neighbors(id);
+}
+
+void wipe_host_state(StabEngine& eng, graph::NodeId victim) {
+  reset_host_state(eng, victim);
+  // Only the victim's state changed; a targeted publish is equivalent to
+  // the full republish() sweep and keeps burst faults O(burst), not O(n).
+  eng.republish(victim);
+}
 
 void churn_host(StabEngine& eng, graph::NodeId victim, graph::NodeId anchor) {
   CHS_CHECK_MSG(victim != anchor, "churn_host(v, v)");
   const auto nbrs = eng.graph().neighbors(victim);  // copy before mutation
   for (graph::NodeId v : nbrs) eng.inject_edge_removal(victim, v);
   eng.inject_edge(victim, anchor);
-  stabilizer::HostState& st = eng.state_mut(victim);
-  st = stabilizer::HostState{};
-  st.id = victim;
-  st.phase = Phase::kCbt;
-  st.cluster = victim;
-  st.lo = 0;
-  st.hi = eng.protocol().params().n_guests;
-  eng.protocol().recompute_fragments(st);
-  st.nbrs = eng.graph().neighbors(victim);
-  // Only the victim's state changed; a targeted publish is equivalent to
-  // the full republish() sweep and keeps burst churn O(burst), not O(n).
-  eng.republish(victim);
+  wipe_host_state(eng, victim);
+}
+
+std::vector<std::pair<graph::NodeId, graph::NodeId>> churn_burst(
+    StabEngine& eng, std::uint64_t burst, util::Rng& rng) {
+  CHS_CHECK(burst >= 1);
+  const auto& ids = eng.graph().ids();
+  CHS_CHECK_MSG(ids.size() >= burst + 1,
+                "burst leaves no surviving host to anchor to");
+  std::set<graph::NodeId> victims;
+  bool connected_ok = false;
+  for (int attempt = 0; attempt < 100 && !connected_ok; ++attempt) {
+    victims.clear();
+    while (victims.size() < burst) {
+      victims.insert(ids[rng.next_below(ids.size())]);
+    }
+    connected_ok = graph::is_connected(graph::remove_nodes(
+        eng.graph(), {victims.begin(), victims.end()}));
+  }
+  CHS_CHECK_MSG(connected_ok, "burst cannot keep the topology connected");
+  std::vector<graph::NodeId> survivors;
+  survivors.reserve(ids.size() - victims.size());
+  for (graph::NodeId id : ids) {
+    if (victims.count(id) == 0) survivors.push_back(id);
+  }
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  pairs.reserve(victims.size());
+  for (graph::NodeId victim : victims) {
+    const graph::NodeId anchor = survivors[rng.next_below(survivors.size())];
+    churn_host(eng, victim, anchor);
+    pairs.emplace_back(victim, anchor);
+  }
+  return pairs;
 }
 
 ChurnReport run_churn_schedule(StabEngine& eng, const ChurnSchedule& schedule) {
   CHS_CHECK_MSG(is_converged(eng), "churn schedule needs a converged start");
-  CHS_CHECK(schedule.burst >= 1);
-  const auto& ids = eng.graph().ids();
-  CHS_CHECK_MSG(ids.size() >= 2 * schedule.burst + 1,
-                "burst too large for the host count");
   util::Rng rng(schedule.seed * 31 + 17);
   ChurnReport report;
   for (std::uint64_t e = 0; e < schedule.episodes; ++e) {
-    // Pick `burst` distinct victims, then anchors outside the victim set so
-    // a victim is never re-attached to a host that just lost its state.
-    std::set<graph::NodeId> victims;
-    while (victims.size() < schedule.burst) {
-      victims.insert(ids[rng.next_below(ids.size())]);
-    }
     std::vector<ChurnEpisode> burst_episodes;
-    for (graph::NodeId victim : victims) {
-      graph::NodeId anchor = victim;
-      while (anchor == victim || victims.count(anchor) != 0) {
-        anchor = ids[rng.next_below(ids.size())];
-      }
-      churn_host(eng, victim, anchor);
+    for (const auto& [victim, anchor] : churn_burst(eng, schedule.burst, rng)) {
       burst_episodes.push_back(ChurnEpisode{victim, anchor, 0, false});
     }
     const std::uint64_t before = eng.round();

@@ -24,6 +24,20 @@ namespace chs::core {
 /// without the victim; stabilization then restores Avatar(target).
 void churn_host(StabEngine& eng, graph::NodeId victim, graph::NodeId anchor);
 
+/// Reset `id` to a fresh singleton cluster covering the whole guest space
+/// (the post-detection state), leaving edges and snapshots alone. The
+/// building block under wipe_host_state and core::retarget; callers must
+/// republish when done mutating.
+void reset_host_state(StabEngine& eng, graph::NodeId id);
+
+/// Transient memory fault: wipe `victim`'s state to a fresh singleton
+/// cluster covering the whole guest space, keeping every incident edge, and
+/// publish the new snapshot via the targeted republish hook. This is the
+/// paper's arbitrary-state-corruption fault in its recoverable form — the
+/// connectivity substrate survives, only local state is lost. Campaign
+/// `fault` events and churn_host are built on it.
+void wipe_host_state(StabEngine& eng, graph::NodeId victim);
+
 struct ChurnEpisode {
   graph::NodeId victim = 0;
   graph::NodeId anchor = 0;
@@ -31,9 +45,22 @@ struct ChurnEpisode {
   bool recovered = false;
 };
 
+/// Churn `burst` hosts simultaneously: draw distinct victims from `rng` —
+/// redrawing (bounded attempts, CHS_CHECK on exhaustion) until the
+/// *surviving* hosts remain connected, since edges are state and a victim
+/// taking down some host's only link would partition the network for good —
+/// then attach each victim to a surviving anchor drawn by index (no
+/// rejection sampling, so any burst up to n - 1 terminates). Returns the
+/// (victim, anchor) pairs in ascending victim order. Shared by
+/// run_churn_schedule and the campaign adversary.
+std::vector<std::pair<graph::NodeId, graph::NodeId>> churn_burst(
+    StabEngine& eng, std::uint64_t burst, util::Rng& rng);
+
 struct ChurnSchedule {
   std::uint64_t episodes = 3;
-  /// Churn events per episode (>= 1: simultaneous multi-host churn).
+  /// Churn events per episode (>= 1: simultaneous multi-host churn). Any
+  /// burst up to n - 1 is legal: anchors are drawn from the surviving
+  /// (non-victim) hosts, of which at least one must remain.
   std::uint64_t burst = 1;
   std::uint64_t max_rounds_per_episode = 400000;
   std::uint64_t seed = 1;

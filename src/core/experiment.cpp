@@ -59,18 +59,40 @@ std::string Table::fmt(std::uint64_t v) {
   return buf;
 }
 
+namespace {
+
+/// Nearest-rank index for percentile q over n sorted samples:
+/// ceil(q/100 * n) - 1, clamped to [0, n).
+std::size_t rank_index(std::size_t n, double q) {
+  const double pos = q / 100.0 * static_cast<double>(n);
+  std::size_t idx = static_cast<std::size_t>(pos);
+  if (static_cast<double>(idx) < pos) ++idx;  // ceil
+  if (idx > 0) --idx;
+  return std::min(idx, n - 1);
+}
+
+}  // namespace
+
 Stats stats_of(const std::vector<double>& xs) {
   Stats s;
   if (xs.empty()) return s;
-  s.min = s.max = xs[0];
+  std::vector<double> sorted(xs);
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
   double total = 0.0;
-  for (double x : xs) {
-    total += x;
-    s.min = std::min(s.min, x);
-    s.max = std::max(s.max, x);
-  }
-  s.mean = total / static_cast<double>(xs.size());
+  for (double x : sorted) total += x;
+  s.mean = total / static_cast<double>(sorted.size());
+  s.p50 = sorted[rank_index(sorted.size(), 50.0)];
+  s.p90 = sorted[rank_index(sorted.size(), 90.0)];
+  s.p99 = sorted[rank_index(sorted.size(), 99.0)];
   return s;
+}
+
+double percentile_of(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  return xs[rank_index(xs.size(), q)];
 }
 
 SweepOutcome run_sweep_point(const SweepPoint& pt, const Params& base_params,

@@ -34,8 +34,18 @@ struct Stats {
   double mean = 0.0;
   double min = 0.0;
   double max = 0.0;
+  // Nearest-rank percentiles (p50 = median). Exact sample values, never
+  // interpolated, so integer-valued inputs keep integer-valued percentiles
+  // and reports stay byte-stable across platforms.
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
 };
 Stats stats_of(const std::vector<double>& xs);
+
+/// Nearest-rank percentile of q in [0, 100]: the smallest sample >= q% of
+/// the distribution. xs need not be sorted; empty input yields 0.
+double percentile_of(std::vector<double> xs, double q);
 
 /// One stabilization run from a generated initial configuration.
 struct SweepPoint {

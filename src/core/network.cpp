@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "avatar/range.hpp"
+#include "core/churn.hpp"
 #include "topology/cbt.hpp"
 
 namespace chs::core {
@@ -127,6 +128,13 @@ void install_chord_built_upto(StabEngine& eng, std::int32_t k,
     }
     st.nbrs = eng.graph().neighbors(id);
   }
+  eng.republish();
+}
+
+void retarget(StabEngine& eng, topology::TargetSpec target) {
+  eng.protocol().set_target(std::move(target));
+  for (NodeId id : eng.graph().ids()) reset_host_state(eng, id);
+  // Every host changed: the full republish sweep is the right tool here.
   eng.republish();
 }
 

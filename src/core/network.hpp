@@ -46,6 +46,15 @@ void install_legal_cbt(StabEngine& eng, Phase phase,
 void install_chord_built_upto(StabEngine& eng, std::int32_t k,
                               const std::vector<graph::NodeId>* members = nullptr);
 
+/// Mid-run target-topology switch (campaign `retarget` events): install the
+/// new target spec in the protocol and restart every host as a singleton
+/// cluster over the *current* topology — the old target's built overlay
+/// becomes just another arbitrary initial configuration the stabilizer
+/// reconverges from. Hosts are restarted explicitly because a network that
+/// legally built the old target holds no locally-detectable fault against
+/// the new one; this models an operator reconfiguration, not a silent fault.
+void retarget(StabEngine& eng, topology::TargetSpec target);
+
 /// Exact convergence predicate: the topology equals the ideal host graph of
 /// the target and every host is silent in phase DONE.
 bool is_converged(const StabEngine& eng);

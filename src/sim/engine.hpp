@@ -50,6 +50,7 @@
 #include <concepts>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <span>
 #include <utility>
@@ -390,6 +391,27 @@ class Engine {
     max_delay_ = d;
   }
 
+  /// Per-round delivery filter (DESIGN.md D7): fault-injection hook for
+  /// message loss and network partitions. When installed, it is consulted
+  /// once per network delivery due this round — return false to drop the
+  /// message. Self-deliveries (from == to) never cross the network and are
+  /// exempt; held self-messages (NodeCtx::hold) are intra-host and likewise
+  /// never filtered.
+  ///
+  /// Threading contract: the filter runs on the engine's calling thread
+  /// during the serial release phase, *before* the round's parallel step
+  /// phase, in calendar drain order (deterministic). It may therefore keep
+  /// unsynchronized state (e.g. an RNG stream for probabilistic loss) and
+  /// still yield bit-for-bit identical traces at any set_worker_threads(k).
+  using DeliveryFilter =
+      std::function<bool(NodeId from, NodeId to, std::uint64_t round)>;
+  void set_delivery_filter(DeliveryFilter f) {
+    delivery_filter_ = std::move(f);
+  }
+  bool has_delivery_filter() const {
+    return static_cast<bool>(delivery_filter_);
+  }
+
   /// Record which protocol site requested each applied edge deletion
   /// (ctx.last_delete_site). Off by default: the record grows with every
   /// deletion ever applied, which is unbounded under churn.
@@ -416,6 +438,14 @@ class Engine {
       mail_.deliver(h.to, Envelope<Message>{graph_.id_of(h.to), std::move(h.msg)});
     });
     delayed_.drain_due(round_, [&](SendEvent&& s) {
+      if (delivery_filter_) {
+        const NodeId to_id = graph_.id_of(s.to);
+        if (s.env.from != to_id &&
+            !delivery_filter_(s.env.from, to_id, round_)) {
+          metrics_.count_message_dropped();
+          return;  // dropped: no delivery, and the recipient is not woken
+        }
+      }
       wake(s.to);
       mail_.deliver(s.to, std::move(s.env));
     });
@@ -762,6 +792,7 @@ class Engine {
   std::vector<const char*> pending_delete_sites_;
   std::map<std::pair<NodeId, NodeId>, const char*> last_delete_;
   RunMetrics metrics_;
+  DeliveryFilter delivery_filter_;  // empty = deliver everything
   WorkerPool pool_;
   std::vector<WorkerSlot> slots_;
   std::size_t worker_threads_ = 1;

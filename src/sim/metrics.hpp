@@ -32,11 +32,15 @@ class RunMetrics {
                          std::size_t peak_bucket_occupancy);
 
   void count_message() { ++messages_; }
+  /// A network delivery suppressed by the engine's delivery filter
+  /// (message-loss / partition fault injection — DESIGN.md D7).
+  void count_message_dropped() { ++messages_dropped_; }
   void count_edge_add() { ++edge_adds_; }
   void count_edge_del() { ++edge_dels_; }
   void count_snapshots(std::uint64_t k) { snapshots_published_ += k; }
 
   std::uint64_t messages() const { return messages_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
   std::uint64_t edge_adds() const { return edge_adds_; }
   std::uint64_t edge_dels() const { return edge_dels_; }
   std::uint64_t rounds() const { return rounds_; }
@@ -73,6 +77,7 @@ class RunMetrics {
 
  private:
   std::uint64_t messages_ = 0;
+  std::uint64_t messages_dropped_ = 0;
   std::uint64_t edge_adds_ = 0;
   std::uint64_t edge_dels_ = 0;
   std::uint64_t rounds_ = 0;

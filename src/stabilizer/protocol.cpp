@@ -55,6 +55,13 @@ Protocol::Protocol(Params params)
                 "target wave count out of range");
 }
 
+void Protocol::set_target(topology::TargetSpec target) {
+  params_.target = std::move(target);
+  num_waves_ = params_.target.num_waves(params_.n_guests);
+  CHS_CHECK_MSG(num_waves_ >= 1 && num_waves_ <= util::ceil_log2(params_.n_guests),
+                "target wave count out of range");
+}
+
 void Protocol::init_node(NodeId id, HostState& st, util::Rng& rng) {
   CHS_CHECK_MSG(id < params_.n_guests, "host id outside guest space");
   st = HostState{};

@@ -50,6 +50,15 @@ class Protocol {
   explicit Protocol(Params params);
 
   const Params& params() const { return params_; }
+
+  /// Swap the target topology mid-run (campaign retarget events). Must be
+  /// called between rounds — never from step(), which runs concurrently —
+  /// and followed by a host-state reset (core::retarget does both): hosts
+  /// that already built the old target hold no locally-detectable fault
+  /// against the new spec, so they are restarted explicitly and stabilize
+  /// from the current topology as an arbitrary initial configuration.
+  void set_target(topology::TargetSpec target);
+
   const topology::Cbt& cbt() const { return cbt_; }
   std::uint32_t num_waves() const { return num_waves_; }
   GuestId guest_root() const { return cbt_.root(); }

@@ -88,9 +88,13 @@ TEST(Determinism, SeedEngineGoldensChurnSchedule) {
   sched.seed = 5;
   const auto rep = core::run_churn_schedule(*eng, sched);
   EXPECT_TRUE(rep.all_recovered);
-  EXPECT_EQ(rep.total_rounds, 4005u);
-  EXPECT_EQ(rep.max_recovery_rounds, 1592u);
-  EXPECT_EQ(eng->metrics().messages(), 8348u);
+  // Re-recorded in PR 3: run_churn_schedule now draws anchors by index
+  // into the survivor list and redraws victim sets that would disconnect
+  // the survivors (core/churn.cpp), which shifts the RNG draw sequence.
+  // The engine traces underneath are untouched (goldens above).
+  EXPECT_EQ(rep.total_rounds, 4257u);
+  EXPECT_EQ(rep.max_recovery_rounds, 1632u);
+  EXPECT_EQ(eng->metrics().messages(), 8548u);
 }
 
 TEST(Determinism, SeedEngineGoldensAsyncDelay) {

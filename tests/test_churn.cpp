@@ -120,6 +120,80 @@ TEST(ChurnSchedule, BurstEpisodesRecover) {
   EXPECT_EQ(report.episodes.size(), 8u);  // burst * episodes entries
 }
 
+TEST(ChurnSchedule, BurstLargerThanHalfTheHostsRecovers) {
+  // burst > n/2: most anchor draws would collide with a victim under
+  // rejection sampling; anchors are drawn by index into the survivor list
+  // instead, and the victim set is redrawn until the survivors stay
+  // connected. 9 of 16 hosts churn simultaneously, every episode.
+  auto eng = converged(12, 16);
+  core::ChurnSchedule sched;
+  sched.episodes = 2;
+  sched.burst = 9;
+  sched.seed = 13;
+  const auto report = core::run_churn_schedule(*eng, sched);
+  EXPECT_TRUE(report.all_recovered);
+  ASSERT_EQ(report.episodes.size(), 18u);
+  for (std::size_t base = 0; base < report.episodes.size(); base += 9) {
+    std::set<NodeId> victims;
+    for (std::size_t i = base; i < base + 9; ++i) {
+      victims.insert(report.episodes[i].victim);
+    }
+    EXPECT_EQ(victims.size(), 9u);
+    for (std::size_t i = base; i < base + 9; ++i) {
+      EXPECT_EQ(victims.count(report.episodes[i].anchor), 0u)
+          << "anchor collided with a victim";
+    }
+  }
+}
+
+TEST(ChurnSchedule, BurstOfAllButOneHostRecovers) {
+  // The extreme: every host but one loses its entire state and edge set in
+  // the same round. The lone survivor is the only legal anchor, so the
+  // post-burst topology is a star around it.
+  auto eng = converged(13, 12);
+  core::ChurnSchedule sched;
+  sched.episodes = 1;
+  sched.burst = 11;
+  sched.seed = 17;
+  const auto report = core::run_churn_schedule(*eng, sched);
+  EXPECT_TRUE(report.all_recovered);
+  EXPECT_EQ(report.episodes.size(), 11u);
+  std::set<NodeId> anchors;
+  for (const auto& ep : report.episodes) anchors.insert(ep.anchor);
+  EXPECT_EQ(anchors.size(), 1u);  // only one survivor existed
+}
+
+TEST(ChurnSchedule, DeterministicAcrossEngineWorkerCounts) {
+  // run_churn_schedule on set_worker_threads(1/2/8) engines: identical
+  // victims, anchors, recovery rounds, message counts, and degree traces.
+  auto run = [](std::size_t workers) {
+    auto eng = converged(14, 20);
+    eng->set_worker_threads(workers);
+    core::ChurnSchedule sched;
+    sched.episodes = 3;
+    sched.burst = 2;
+    sched.seed = 9;
+    const auto report = core::run_churn_schedule(*eng, sched);
+    return std::make_tuple(report, eng->metrics().messages(),
+                           eng->metrics().max_degree_trace());
+  };
+  const auto [rep1, msgs1, trace1] = run(1);
+  ASSERT_TRUE(rep1.all_recovered);
+  for (std::size_t workers : {2u, 8u}) {
+    const auto [repk, msgsk, tracek] = run(workers);
+    ASSERT_EQ(repk.episodes.size(), rep1.episodes.size()) << workers;
+    for (std::size_t i = 0; i < rep1.episodes.size(); ++i) {
+      EXPECT_EQ(repk.episodes[i].victim, rep1.episodes[i].victim);
+      EXPECT_EQ(repk.episodes[i].anchor, rep1.episodes[i].anchor);
+      EXPECT_EQ(repk.episodes[i].recovery_rounds,
+                rep1.episodes[i].recovery_rounds);
+    }
+    EXPECT_EQ(repk.total_rounds, rep1.total_rounds);
+    EXPECT_EQ(msgsk, msgs1) << "workers=" << workers;
+    EXPECT_EQ(tracek, trace1) << "workers=" << workers;
+  }
+}
+
 TEST(ChurnSchedule, AnchorsNeverPointIntoTheVictimSet) {
   auto eng = converged(11, 24);
   core::ChurnSchedule sched;

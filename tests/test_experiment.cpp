@@ -41,10 +41,33 @@ TEST(TableTest, RowAritiesAreEnforced) {
 TEST(StatsOf, EmptyAndBasics) {
   const auto e = stats_of({});
   EXPECT_EQ(e.mean, 0.0);
+  EXPECT_EQ(e.p50, 0.0);
   const auto s = stats_of({4.0, 1.0, 7.0});
   EXPECT_DOUBLE_EQ(s.mean, 4.0);
   EXPECT_DOUBLE_EQ(s.min, 1.0);
   EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.p50, 4.0);
+  EXPECT_DOUBLE_EQ(s.p90, 7.0);
+  EXPECT_DOUBLE_EQ(s.p99, 7.0);
+}
+
+TEST(StatsOf, NearestRankPercentiles) {
+  // 1..100: nearest-rank pq is exactly q for a 100-sample 1-based ladder.
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(i);  // unsorted on purpose
+  const auto s = stats_of(xs);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p90, 90.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 1.0);
+  // Percentiles are sample values, never interpolated.
+  const auto t = stats_of({1.0, 1000.0});
+  EXPECT_DOUBLE_EQ(t.p50, 1.0);
+  EXPECT_DOUBLE_EQ(t.p90, 1000.0);
+  const auto one = stats_of({42.0});
+  EXPECT_DOUBLE_EQ(one.p50, 42.0);
+  EXPECT_DOUBLE_EQ(one.p99, 42.0);
 }
 
 TEST(SweepPointTest, ConvergesAndReportsDegrees) {

@@ -10,6 +10,8 @@
 //                   [--rounds R] [--svg]  (0 = run to convergence)
 //   chordsim kv     [--n 48] [--N 512] [--keys 64] [--replicas 3]
 //                   [--fail-frac 0.2] [--delay 1] [--seed 1]
+//   chordsim campaign <scenario-file> [--jobs 1] [--workers 1]
+//                   [--json PATH] [--csv] [--quiet]
 //
 // `run` stabilizes an Avatar(target) network from the chosen initial
 // topology and prints the convergence metrics (optionally a per-round phase
@@ -17,14 +19,23 @@
 // in-band lookups. `churn` repeatedly tears a host out and lets the network
 // re-stabilize. `dot` prints a Graphviz snapshot (nodes colored by phase,
 // edges by ring/tree/finger/transient classification) after R rounds —
-// render with `neato -n2 -Tsvg`.
+// render with `neato -n2 -Tsvg`. `campaign` loads a declarative scenario
+// (src/campaign/scenario.hpp documents the format, examples/scenarios/ has
+// ready-made ones), fans the expanded job list out over `--jobs` threads,
+// and prints per-job and aggregate reports — byte-identical for any
+// `--jobs`/`--workers` values (DESIGN.md D7).
+//
+// Unknown --flags are a usage error: a typo like `--worker 8` must fail
+// loudly, not silently run single-threaded.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "campaign/runner.hpp"
 #include "core/churn.hpp"
 #include "core/invariants.hpp"
 #include "core/svg.hpp"
@@ -34,6 +45,7 @@
 #include "graph/generators.hpp"
 #include "routing/protocol.hpp"
 #include "util/bitops.hpp"
+#include "util/log.hpp"
 
 using namespace chs;
 
@@ -41,6 +53,7 @@ namespace {
 
 struct Args {
   std::map<std::string, std::string> kv;
+  std::vector<std::string> positional;
   const char* get(const char* key, const char* def) const {
     auto it = kv.find(key);
     return it == kv.end() ? def : it->second.c_str();
@@ -52,12 +65,39 @@ struct Args {
   bool has(const char* key) const { return kv.count(key) > 0; }
 };
 
-Args parse(int argc, char** argv, int first) {
+/// Strict parser: every --flag must appear in `allowed` (nullptr-terminated)
+/// and at most `max_positional` bare arguments are accepted. Anything else
+/// exits with a usage error naming the offender — silently ignoring a typo
+/// like `--worker 8` would run a different experiment than the one asked for.
+Args parse(int argc, char** argv, int first, const char* const* allowed,
+           std::size_t max_positional = 0) {
   Args a;
   for (int i = first; i < argc; ++i) {
     std::string k = argv[i];
-    if (k.rfind("--", 0) != 0) continue;
+    if (k.rfind("--", 0) != 0) {
+      if (a.positional.size() >= max_positional) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", k.c_str());
+        std::exit(2);
+      }
+      a.positional.push_back(k);
+      continue;
+    }
     k = k.substr(2);
+    bool known = false;
+    for (const char* const* f = allowed; *f; ++f) {
+      if (k == *f) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown flag '--%s'; valid flags:", k.c_str());
+      for (const char* const* f = allowed; *f; ++f) {
+        std::fprintf(stderr, " --%s", *f);
+      }
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
     if (i + 1 < argc && argv[i + 1][0] != '-') {
       a.kv[k] = argv[++i];
     } else {
@@ -275,20 +315,105 @@ int cmd_kv(const Args& a) {
   return route_fail == 0 ? 0 : 1;
 }
 
+int cmd_campaign(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "usage: chordsim campaign <scenario-file> "
+                 "[--jobs k] [--workers k] [--json PATH] [--csv] [--quiet]\n");
+    return 2;
+  }
+  std::string error;
+  const auto sc = campaign::load_scenario(a.positional[0], &error);
+  if (!sc) {
+    std::fprintf(stderr, "%s: %s\n", a.positional[0].c_str(), error.c_str());
+    return 2;
+  }
+  // Protocol warnings from inside jobs would interleave across threads;
+  // campaigns report through the tables, not the log.
+  util::set_log_level(util::LogLevel::kError);
+  campaign::RunOptions opts;
+  opts.jobs = std::max<std::size_t>(1, a.get_u64("jobs", 1));
+  opts.engine_workers = std::max<std::size_t>(1, a.get_u64("workers", 1));
+  if (!a.has("quiet")) {
+    std::printf("campaign %s: %zu jobs (%zu families x %zu host counts x "
+                "%llu seeds), jobs=%zu workers=%zu\n",
+                sc->name.c_str(), sc->num_jobs(), sc->families.size(),
+                sc->host_counts.size(),
+                static_cast<unsigned long long>(sc->seed_hi - sc->seed_lo + 1),
+                opts.jobs, opts.engine_workers);
+  }
+  const auto report = campaign::run_campaign(*sc, opts);
+  if (!a.has("quiet")) {
+    report.to_table().print();
+    std::printf("\n");
+    report.aggregate_table().print();
+  }
+  // CSV is an output format, not chatter: it prints under --quiet too.
+  if (a.has("csv")) {
+    report.to_table().print_csv("campaign_" + sc->name);
+    report.aggregate_table().print_csv("campaign_" + sc->name + "_aggregate");
+  }
+  if (a.has("json")) {
+    const std::string json = report.to_json();
+    // Bare `--json` (no PATH) writes to stdout; pair with --quiet for a
+    // pipeline-clean document.
+    const char* path = a.get("json", "");
+    if (path[0] == '\0' || !std::strcmp(path, "1")) {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(path, "wb");
+      if (!f) {
+        std::fprintf(stderr, "cannot write '%s'\n", path);
+        return 2;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    }
+  }
+  return report.converged_jobs == report.jobs ? 0 : 1;
+}
+
+// Flags shared by every engine-building subcommand.
+#define CHS_ENGINE_FLAGS "n", "N", "family", "seed", "target", "delay", \
+                         "max-rounds", "workers", "fast-forward"
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: chordsim run|route|churn|dot|kv [--key value ...]\n");
+                 "usage: chordsim run|route|churn|dot|kv|campaign "
+                 "[--key value ...]\n");
     return 2;
   }
-  const Args a = parse(argc, argv, 2);
-  if (!std::strcmp(argv[1], "run")) return cmd_run(a);
-  if (!std::strcmp(argv[1], "route")) return cmd_route(a);
-  if (!std::strcmp(argv[1], "churn")) return cmd_churn(a);
-  if (!std::strcmp(argv[1], "dot")) return cmd_dot(a);
-  if (!std::strcmp(argv[1], "kv")) return cmd_kv(a);
+  const std::string cmd = argv[1];
+  if (cmd == "run") {
+    static const char* const kFlags[] = {CHS_ENGINE_FLAGS, "trace", nullptr};
+    return cmd_run(parse(argc, argv, 2, kFlags));
+  }
+  if (cmd == "route") {
+    static const char* const kFlags[] = {CHS_ENGINE_FLAGS, "lookups", nullptr};
+    return cmd_route(parse(argc, argv, 2, kFlags));
+  }
+  if (cmd == "churn") {
+    static const char* const kFlags[] = {CHS_ENGINE_FLAGS, "episodes", "burst",
+                                         nullptr};
+    return cmd_churn(parse(argc, argv, 2, kFlags));
+  }
+  if (cmd == "dot") {
+    static const char* const kFlags[] = {CHS_ENGINE_FLAGS, "rounds", "svg",
+                                         nullptr};
+    return cmd_dot(parse(argc, argv, 2, kFlags));
+  }
+  if (cmd == "kv") {
+    static const char* const kFlags[] = {CHS_ENGINE_FLAGS, "keys", "replicas",
+                                         "fail-frac", nullptr};
+    return cmd_kv(parse(argc, argv, 2, kFlags));
+  }
+  if (cmd == "campaign") {
+    static const char* const kFlags[] = {"jobs", "workers", "json", "csv",
+                                         "quiet", nullptr};
+    return cmd_campaign(parse(argc, argv, 2, kFlags, 1));
+  }
   std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
   return 2;
 }
