@@ -26,6 +26,7 @@
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "verify/oracle.hpp"
 
 namespace {
 
@@ -240,6 +241,38 @@ void BM_EngineBusyRound(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineBusyRound)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMicrosecond);
+
+// Online invariant oracle (DESIGN.md D8) riding the busy round: StepMode
+// kAll steps — and therefore dirties — all 10k hosts every round, so the
+// oracle re-checks every host at stride 1: the worst case. Arg: 0 = no
+// oracle installed (must match BM_EngineBusyRound/1 — the hook costs one
+// untaken branch per round), otherwise the sampling stride. On a quiescent
+// active-set network the dirty set is empty and oracle cost is ~zero
+// regardless of stride.
+void BM_OracleRound(benchmark::State& state) {
+  auto& eng = quiescent_engine(chs::sim::StepMode::kAll);
+  const std::uint64_t stride = static_cast<std::uint64_t>(state.range(0));
+  std::unique_ptr<chs::verify::InvariantOracle> oracle;
+  if (stride > 0) {
+    oracle = std::make_unique<chs::verify::InvariantOracle>(
+        eng, chs::verify::OracleConfig{.stride = stride});
+  }
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    eng.step_round();
+    ++rounds;
+  }
+  if (oracle) {
+    state.counters["hosts_checked_per_round"] = benchmark::Counter(
+        static_cast<double>(oracle->hosts_checked()) /
+        static_cast<double>(rounds == 0 ? 1 : rounds));
+    if (oracle->violation()) state.SkipWithError("invariant violation");
+    oracle->detach();
+  }
+  state.counters["hosts"] = kQuiescentHosts;
+}
+BENCHMARK(BM_OracleRound)->Arg(0)->Arg(1)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 // Idle fast-forward: a two-node network where node 0 self-clocks every
 // 1000 rounds. With set_idle_fast_forward(true) each step_round() call

@@ -133,8 +133,16 @@ std::string CampaignReport::to_json() const {
            fmt_u64(r.edge_adds) + ", \"edge_dels\": " + fmt_u64(r.edge_dels) +
            ",\n";
     out += "     \"peak_degree\": " + fmt_u64(r.peak_degree) +
-           ", \"degree_expansion\": " + fmt_f(r.degree_expansion) +
-           ", \"events\": [";
+           ", \"degree_expansion\": " + fmt_f(r.degree_expansion);
+    if (r.oracle_armed) {
+      // Emitted only for probed jobs, so probe-less reports (and the CI
+      // golden) keep their exact pre-probe bytes.
+      out += ", \"oracle\": {\"violation\": \"" +
+             json_escape(r.oracle_violation) + "\", \"round\": " +
+             fmt_u64(r.oracle_round) + ", \"rounds_checked\": " +
+             fmt_u64(r.oracle_rounds_checked) + "}";
+    }
+    out += ", \"events\": [";
     for (std::size_t j = 0; j < r.events.size(); ++j) {
       const EventOutcome& e = r.events[j];
       if (j) out += ", ";

@@ -52,6 +52,14 @@ struct JobResult {
   std::size_t peak_degree = 0;   // over the whole run (setup + timeline)
   double degree_expansion = 0.0;
   std::vector<EventOutcome> events;
+  /// Verification-probe outcome (campaign::JobProbe / verify::OracleProbe).
+  /// Untouched when the job ran without a probe; serialized into JSON only
+  /// for armed jobs, so probe-less reports (and the CI golden) are
+  /// byte-identical to pre-probe ones.
+  bool oracle_armed = false;
+  std::string oracle_violation;       // first violated invariant, "" = clean
+  std::uint64_t oracle_round = 0;     // engine round of the violation
+  std::uint64_t oracle_rounds_checked = 0;
   /// Per-round max-degree trace of the whole run — the engine's bit-for-bit
   /// determinism witness (tests compare it across worker counts). Held in
   /// memory only; never serialized into JSON/CSV.

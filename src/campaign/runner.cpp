@@ -88,8 +88,20 @@ void apply_event(core::StabEngine& eng, const TimelineEvent& ev,
       core::retarget(eng, std::move(*spec));
       break;
     }
+    case EventKind::kFreeze: {
+      eng.protocol().set_frozen(true);
+      break;
+    }
+    case EventKind::kThaw: {
+      eng.protocol().set_frozen(false);
+      // Frozen steps scheduled no wakeups; the full republish re-activates
+      // every host so the network resumes from wherever the stall left it.
+      eng.republish();
+      break;
+    }
   }
 }
+
 
 }  // namespace
 
@@ -108,7 +120,7 @@ std::vector<JobSpec> expand_jobs(const Scenario& sc) {
 }
 
 JobResult run_job(const Scenario& sc, const JobSpec& spec,
-                  std::size_t engine_workers) {
+                  std::size_t engine_workers, JobProbe* probe) {
   CHS_CHECK_MSG(sc.validate().empty(), "scenario failed validation");
   JobResult out;
   out.spec = spec;
@@ -126,12 +138,22 @@ JobResult run_job(const Scenario& sc, const JobSpec& spec,
   auto eng = core::make_engine(std::move(g), params, spec.seed);
   eng->set_max_message_delay(sc.delay);
   if (engine_workers > 1) eng->set_worker_threads(engine_workers);
+  if (probe) probe->attach(*eng);
 
   if (sc.start == StartMode::kConverged) {
-    const auto res = core::run_to_convergence(*eng, sc.max_rounds);
+    // The abort hook lets a hard-failing probe end the setup phase too:
+    // invariants must hold during stabilization, not just the timeline.
+    const std::function<bool()> probe_failed = [probe] {
+      return probe && probe->failed();
+    };
+    const auto res =
+        core::run_to_convergence(*eng, sc.max_rounds, &probe_failed);
     out.setup_converged = res.converged;
     out.setup_rounds = res.rounds;
-    if (!res.converged) return out;  // nothing to attack; report the failure
+    if (!res.converged) {  // nothing to attack; report the failure
+      if (probe) probe->finish(out);
+      return out;
+    }
   } else {
     out.setup_converged = true;
   }
@@ -178,13 +200,9 @@ JobResult run_job(const Scenario& sc, const JobSpec& spec,
   };
   std::vector<Pending> pending;
   // Apply in round order whatever order the events were declared in
-  // (parse_scenario pre-sorts; builder chains need not be monotone). The
-  // stable sort keeps same-round events in declaration order.
+  // (parse_scenario pre-sorts; builder chains need not be monotone).
   std::vector<TimelineEvent> events(sc.events);
-  std::stable_sort(events.begin(), events.end(),
-                   [](const TimelineEvent& a, const TimelineEvent& b) {
-                     return a.round < b.round;
-                   });
+  sort_events_by_round(events);
   const std::uint64_t t_end = sc.timeline_end();
   std::size_t next_event = 0;
   std::uint64_t executed = 0;
@@ -205,6 +223,7 @@ JobResult run_job(const Scenario& sc, const JobSpec& spec,
       break;
     }
     if (t >= sc.max_rounds) break;  // budget exhausted
+    if (probe && probe->failed()) break;  // oracle hard failure
     eng->step_round();
     ++executed;
     if (!pending.empty() && core::is_converged(*eng)) {
@@ -229,6 +248,7 @@ JobResult run_job(const Scenario& sc, const JobSpec& spec,
   out.peak_degree = eng->metrics().peak_max_degree();
   out.degree_expansion = eng->metrics().degree_expansion(eng->graph());
   out.degree_trace = eng->metrics().max_degree_trace();
+  if (probe) probe->finish(out);
   return out;
 }
 
@@ -237,13 +257,17 @@ CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
   const std::vector<JobSpec> jobs = expand_jobs(sc);
   std::vector<JobResult> results(jobs.size());
 
+  const auto run_one = [&](std::size_t i) {
+    std::unique_ptr<JobProbe> probe =
+        opts.probe ? opts.probe(jobs[i]) : nullptr;
+    results[i] = run_job(sc, jobs[i], opts.engine_workers, probe.get());
+  };
+
   const std::size_t k =
       std::min(std::max<std::size_t>(1, opts.jobs), std::max<std::size_t>(
                                                         1, jobs.size()));
   if (k == 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      results[i] = run_job(sc, jobs[i], opts.engine_workers);
-    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
   } else {
     // Dynamic claiming balances wildly uneven job lengths; determinism is
     // untouched because each job is self-contained and lands in its own
@@ -253,7 +277,7 @@ CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= jobs.size()) return;
-        results[i] = run_job(sc, jobs[i], opts.engine_workers);
+        run_one(i);
       }
     };
     std::vector<std::thread> threads;

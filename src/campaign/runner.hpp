@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "campaign/report.hpp"
@@ -28,17 +30,37 @@ namespace chs::campaign {
 /// deterministic job-index order: family-major, then host count, then seed.
 std::vector<JobSpec> expand_jobs(const Scenario& sc);
 
+/// Per-job verification hook. A probe is created per job (ProbeFactory),
+/// attached to the engine right after construction — before the setup
+/// phase, so stabilization itself is observed — polled between rounds, and
+/// given the JobResult to annotate when the job ends. `failed()` == true
+/// aborts the job early (the oracle's hard-failure mode). Probes must be
+/// read-only observers of the engine: they run on the job's thread and must
+/// not perturb the simulation, or the D7 determinism rule breaks.
+class JobProbe {
+ public:
+  virtual ~JobProbe() = default;
+  virtual void attach(core::StabEngine& eng) = 0;
+  virtual bool failed() const = 0;
+  virtual void finish(JobResult& out) = 0;
+};
+
+/// Factory invoked once per job, on the job's thread, before the engine is
+/// built. May return nullptr to leave a job unprobed.
+using ProbeFactory = std::function<std::unique_ptr<JobProbe>(const JobSpec&)>;
+
 /// Execute one job: build the initial configuration, optionally stabilize
 /// (StartMode::kConverged), then drive the timeline — applying round-indexed
 /// events and maintaining the loss/partition delivery filter — until every
 /// event and window has passed and the network has reconverged, or the
 /// round budget runs out. The scenario must validate() clean.
 JobResult run_job(const Scenario& sc, const JobSpec& spec,
-                  std::size_t engine_workers = 1);
+                  std::size_t engine_workers = 1, JobProbe* probe = nullptr);
 
 struct RunOptions {
   std::size_t jobs = 1;            // parallel job-runner threads
   std::size_t engine_workers = 1;  // Engine::set_worker_threads per job
+  ProbeFactory probe;              // optional per-job verification probe
 };
 
 /// Run the whole campaign. The report (and its JSON/CSV serializations) is

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace chs::campaign {
@@ -11,6 +12,8 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kChurn: return "churn";
     case EventKind::kFault: return "fault";
     case EventKind::kRetarget: return "retarget";
+    case EventKind::kFreeze: return "freeze";
+    case EventKind::kThaw: return "thaw";
   }
   return "?";
 }
@@ -27,6 +30,16 @@ Scenario& Scenario::fault_at(std::uint64_t round, std::uint64_t count) {
 
 Scenario& Scenario::retarget_at(std::uint64_t round, std::string target_name) {
   events.push_back({EventKind::kRetarget, round, 0, std::move(target_name)});
+  return *this;
+}
+
+Scenario& Scenario::freeze_at(std::uint64_t round) {
+  events.push_back({EventKind::kFreeze, round, 0, {}});
+  return *this;
+}
+
+Scenario& Scenario::thaw_at(std::uint64_t round) {
+  events.push_back({EventKind::kThaw, round, 0, {}});
   return *this;
 }
 
@@ -56,6 +69,11 @@ std::uint64_t Scenario::timeline_end() const {
 
 std::string Scenario::validate() const {
   if (name.empty()) return "scenario name is empty";
+  // The text format stores the name as one token on a '#'-commented line;
+  // anything else would break the parse(to_text()) round trip.
+  if (name.find_first_of(" \t\r\n#") != std::string::npos) {
+    return "scenario name contains whitespace or '#'";
+  }
   if (n_guests < 2) return "guests must be >= 2";
   if (host_counts.empty()) return "no host counts";
   if (families.empty()) return "no families";
@@ -87,6 +105,9 @@ std::string Scenario::validate() const {
           return "unknown retarget target '" + e.target + "'";
         }
         break;
+      case EventKind::kFreeze:
+      case EventKind::kThaw:
+        break;  // no parameters to validate
     }
   }
   for (const auto& w : losses) {
@@ -102,6 +123,65 @@ std::string Scenario::validate() const {
   return "";
 }
 
+namespace {
+
+/// Shortest decimal that strtod parses back to exactly `v` — keeps .scn
+/// output human-readable (0.25 stays "0.25") without breaking the
+/// parse(to_text()) identity for any representable rate.
+std::string fmt_rate_tok(double v) {
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Scenario::to_text() const {
+  std::string out;
+  out += "name " + name + "\n";
+  out += "guests " + std::to_string(n_guests) + "\n";
+  out += "hosts";
+  for (std::size_t h : host_counts) out += " " + std::to_string(h);
+  out += "\n";
+  out += "families";
+  for (graph::Family f : families) out += std::string(" ") + graph::family_name(f);
+  out += "\n";
+  out += "seeds " + std::to_string(seed_lo) + " " + std::to_string(seed_hi) + "\n";
+  out += "target " + target + "\n";
+  out += "delay " + std::to_string(delay) + "\n";
+  out += std::string("start ") +
+         (start == StartMode::kConverged ? "converged" : "cold") + "\n";
+  out += "max-rounds " + std::to_string(max_rounds) + "\n";
+  for (const TimelineEvent& e : events) {
+    out += "at " + std::to_string(e.round) + " " + event_kind_name(e.kind);
+    switch (e.kind) {
+      case EventKind::kChurn:
+      case EventKind::kFault:
+        out += " " + std::to_string(e.count);
+        break;
+      case EventKind::kRetarget:
+        out += " " + e.target;
+        break;
+      case EventKind::kFreeze:
+      case EventKind::kThaw:
+        break;
+    }
+    out += "\n";
+  }
+  for (const LossWindow& w : losses) {
+    out += "loss " + std::to_string(w.begin) + " " + std::to_string(w.end) + " " +
+           fmt_rate_tok(w.rate) + "\n";
+  }
+  for (const PartitionWindow& w : partitions) {
+    out += "partition " + std::to_string(w.begin) + " " + std::to_string(w.end) +
+           "\n";
+  }
+  return out;
+}
+
 std::optional<topology::TargetSpec> target_by_name(const std::string& name) {
   if (name == "chord") return topology::chord_target();
   if (name == "bichord") return topology::bichord_target();
@@ -111,11 +191,24 @@ std::optional<topology::TargetSpec> target_by_name(const std::string& name) {
   return std::nullopt;
 }
 
+const std::vector<std::string>& all_target_names() {
+  static const std::vector<std::string> kNames = {
+      "chord", "bichord", "hypercube", "skiplist", "smallworld"};
+  return kNames;
+}
+
 std::optional<graph::Family> family_by_name(const std::string& name) {
   for (graph::Family f : graph::all_families()) {
     if (name == graph::family_name(f)) return f;
   }
   return std::nullopt;
+}
+
+void sort_events_by_round(std::vector<TimelineEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TimelineEvent& a, const TimelineEvent& b) {
+                     return a.round < b.round;
+                   });
 }
 
 namespace {
@@ -245,6 +338,10 @@ std::optional<Scenario> parse_scenario(const std::string& text,
         }
       } else if (what == "retarget" && args == 3) {
         sc.retarget_at(round, tok[3]);
+      } else if (what == "freeze" && args == 2) {
+        sc.freeze_at(round);
+      } else if (what == "thaw" && args == 2) {
+        sc.thaw_at(round);
       } else {
         return fail(error, line_no, "unknown event '" + what + "'");
       }
@@ -269,10 +366,7 @@ std::optional<Scenario> parse_scenario(const std::string& text,
   // Keep the timeline in application order regardless of file order; ties
   // stay in file order (stable sort) so "churn then fault at round r" means
   // what it says.
-  std::stable_sort(sc.events.begin(), sc.events.end(),
-                   [](const TimelineEvent& a, const TimelineEvent& b) {
-                     return a.round < b.round;
-                   });
+  sort_events_by_round(sc.events);
   const std::string problem = sc.validate();
   if (!problem.empty()) {
     if (error) *error = problem;

@@ -29,6 +29,8 @@
 //   loss 10 30 0.25       # drop 25% of network messages in rounds [10,30)
 //   partition 60 90       # random bipartition cuts traffic in [60,90)
 //   at 120 retarget hypercube
+//   at 150 freeze         # stall every host: steps become no-ops
+//   at 160 thaw           # end the stall (hosts re-activated)
 //
 // Event rounds are relative to the timeline start: round 0 is the converged
 // network for `start converged`, the raw initial configuration for
@@ -52,6 +54,8 @@ enum class EventKind : std::uint8_t {
   kFault,     // wipe `count` random hosts' state via the targeted republish
   kRetarget,  // switch the target topology; hosts restart over the current
               // (old-target) topology as an arbitrary initial configuration
+  kFreeze,    // stall the whole network: protocol steps become no-ops
+  kThaw,      // end a stall; every host is re-activated (republish)
 };
 
 const char* event_kind_name(EventKind k);
@@ -61,6 +65,8 @@ struct TimelineEvent {
   std::uint64_t round = 0;  // relative to the timeline start
   std::uint64_t count = 1;  // churn/fault: hosts affected
   std::string target;       // retarget: target name
+
+  bool operator==(const TimelineEvent&) const = default;
 };
 
 /// Drop each network message delivered in rounds [begin, end) with
@@ -69,6 +75,8 @@ struct LossWindow {
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
   double rate = 1.0;
+
+  bool operator==(const LossWindow&) const = default;
 };
 
 /// Random bipartition (per-job draw, both sides non-empty): every message
@@ -77,6 +85,8 @@ struct LossWindow {
 struct PartitionWindow {
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
+
+  bool operator==(const PartitionWindow&) const = default;
 };
 
 enum class StartMode : std::uint8_t {
@@ -103,6 +113,8 @@ struct Scenario {
   Scenario& churn_at(std::uint64_t round, std::uint64_t count);
   Scenario& fault_at(std::uint64_t round, std::uint64_t count);
   Scenario& retarget_at(std::uint64_t round, std::string target_name);
+  Scenario& freeze_at(std::uint64_t round);
+  Scenario& thaw_at(std::uint64_t round);
   Scenario& loss(std::uint64_t begin, std::uint64_t end, double rate);
   Scenario& partition(std::uint64_t begin, std::uint64_t end);
 
@@ -114,14 +126,30 @@ struct Scenario {
 
   /// "" when well-formed; otherwise the first problem, human-readable.
   std::string validate() const;
+
+  /// Serialize to the text format above; parse_scenario(to_text()) yields a
+  /// structurally identical scenario (the minimizer's .scn repro output
+  /// depends on this round-trip — tests/test_campaign.cpp pins it).
+  std::string to_text() const;
+
+  bool operator==(const Scenario&) const = default;
 };
 
 /// Resolve a target-topology name ("chord", "bichord", "hypercube",
 /// "skiplist", "smallworld"); nullopt for unknown names.
 std::optional<topology::TargetSpec> target_by_name(const std::string& name);
 
+/// Every name target_by_name resolves — the one list the fuzzer's grammar
+/// and any target sweep should draw from.
+const std::vector<std::string>& all_target_names();
+
 /// Resolve an initial-family name (graph::family_name spelling).
 std::optional<graph::Family> family_by_name(const std::string& name);
+
+/// Canonical timeline order: stable sort by round, ties keeping declaration
+/// order. Load-bearing for determinism — the runner applies same-round
+/// events in exactly this order, and the fuzzer/minimizer emit it.
+void sort_events_by_round(std::vector<TimelineEvent>& events);
 
 /// Parse the text format above. On failure returns nullopt and, when
 /// `error` is non-null, stores a message naming the offending line.

@@ -6,6 +6,7 @@
 
 #include "graph/analysis.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace chs::core {
 
@@ -37,14 +38,14 @@ void churn_host(StabEngine& eng, graph::NodeId victim, graph::NodeId anchor) {
 }
 
 std::vector<std::pair<graph::NodeId, graph::NodeId>> churn_burst(
-    StabEngine& eng, std::uint64_t burst, util::Rng& rng) {
+    StabEngine& eng, std::uint64_t burst, util::Rng& rng, int max_attempts) {
   CHS_CHECK(burst >= 1);
   const auto& ids = eng.graph().ids();
   CHS_CHECK_MSG(ids.size() >= burst + 1,
                 "burst leaves no surviving host to anchor to");
   std::set<graph::NodeId> victims;
   bool connected_ok = false;
-  for (int attempt = 0; attempt < 100 && !connected_ok; ++attempt) {
+  for (int attempt = 0; attempt < max_attempts && !connected_ok; ++attempt) {
     victims.clear();
     while (victims.size() < burst) {
       victims.insert(ids[rng.next_below(ids.size())]);
@@ -52,7 +53,33 @@ std::vector<std::pair<graph::NodeId, graph::NodeId>> churn_burst(
     connected_ok = graph::is_connected(graph::remove_nodes(
         eng.graph(), {victims.begin(), victims.end()}));
   }
-  CHS_CHECK_MSG(connected_ok, "burst cannot keep the topology connected");
+  if (!connected_ok) {
+    // Deterministic fallback: peel victims one at a time, each the
+    // lowest-id host whose removal keeps the remaining survivors connected.
+    // A connected graph with >= 2 nodes always has a non-cut vertex, so
+    // every peel finds one and the construction cannot fail — the random
+    // redraw above is just cheaper and unbiased when it works.
+    CHS_LOG_WARN(
+        "churn_burst: %d redraws failed for burst=%llu on %zu hosts; "
+        "falling back to deterministic victim selection",
+        max_attempts, static_cast<unsigned long long>(burst), ids.size());
+    victims.clear();
+    std::vector<graph::NodeId> picked;
+    while (picked.size() < burst) {
+      bool found = false;
+      for (graph::NodeId id : ids) {
+        if (victims.count(id)) continue;
+        picked.push_back(id);
+        if (graph::is_connected(graph::remove_nodes(eng.graph(), picked))) {
+          victims.insert(id);
+          found = true;
+          break;
+        }
+        picked.pop_back();
+      }
+      CHS_CHECK_MSG(found, "no peelable victim — graph was disconnected");
+    }
+  }
   std::vector<graph::NodeId> survivors;
   survivors.reserve(ids.size() - victims.size());
   for (graph::NodeId id : ids) {

@@ -45,16 +45,27 @@ struct ChurnEpisode {
   bool recovered = false;
 };
 
+/// Redraw budget for churn_burst victim sets. On adversarial topologies
+/// (cut vertices everywhere) random redraws can keep failing; the budget
+/// caps that cost and hands over to the deterministic fallback below.
+inline constexpr int kChurnRedrawAttempts = 100;
+
 /// Churn `burst` hosts simultaneously: draw distinct victims from `rng` —
-/// redrawing (bounded attempts, CHS_CHECK on exhaustion) until the
-/// *surviving* hosts remain connected, since edges are state and a victim
-/// taking down some host's only link would partition the network for good —
-/// then attach each victim to a surviving anchor drawn by index (no
-/// rejection sampling, so any burst up to n - 1 terminates). Returns the
+/// redrawing (at most `max_attempts` times) until the *surviving* hosts
+/// remain connected, since edges are state and a victim taking down some
+/// host's only link would partition the network for good — then attach
+/// each victim to a surviving anchor drawn by index (no rejection
+/// sampling, so any burst up to n - 1 terminates). If the redraw budget is
+/// exhausted, a diagnostic is logged and the victim set is built
+/// deterministically instead: victims are peeled one at a time, each the
+/// lowest-id host whose removal keeps the remaining survivors connected —
+/// a choice that always exists (every connected graph has a non-cut
+/// vertex), so the burst can never spin or abort. Returns the
 /// (victim, anchor) pairs in ascending victim order. Shared by
 /// run_churn_schedule and the campaign adversary.
 std::vector<std::pair<graph::NodeId, graph::NodeId>> churn_burst(
-    StabEngine& eng, std::uint64_t burst, util::Rng& rng);
+    StabEngine& eng, std::uint64_t burst, util::Rng& rng,
+    int max_attempts = kChurnRedrawAttempts);
 
 struct ChurnSchedule {
   std::uint64_t episodes = 3;

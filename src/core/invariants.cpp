@@ -10,74 +10,80 @@ using graph::NodeId;
 using stabilizer::HostState;
 using stabilizer::kNone;
 
-std::string check_invariants(const StabEngine& eng) {
+std::string check_host_invariants(const StabEngine& eng, NodeId id) {
   const auto& g = eng.graph();
   const std::uint64_t n = eng.protocol().params().n_guests;
+  const HostState& st = eng.state(id);
   std::ostringstream err;
 
+  // I2 — range sanity.
+  if (st.hi > n || st.lo >= st.hi || (st.lo != 0 && st.lo != st.id) ||
+      st.id < st.lo || st.id >= st.hi) {
+    err << "I2: host " << id << " range [" << st.lo << "," << st.hi << ")";
+    return err.str();
+  }
+  // I3 — map keys match geometry.
+  std::size_t nb = 0, np = 0;
+  for (const auto& ce : eng.protocol().cbt().crossing_edges(st.lo, st.hi)) {
+    if (!ce.child_inside) {
+      if (!st.boundary_host.count(ce.child_pos)) {
+        err << "I3: host " << id << " missing boundary key " << ce.child_pos;
+        return err.str();
+      }
+      ++nb;
+    } else {
+      if (!st.parent_host.count(ce.child_pos)) {
+        err << "I3: host " << id << " missing parent key " << ce.child_pos;
+        return err.str();
+      }
+      ++np;
+    }
+  }
+  if (st.boundary_host.size() != nb || st.parent_host.size() != np) {
+    err << "I3: host " << id << " has stale map keys";
+    return err.str();
+  }
+  // I4 — structural references are graph edges to known hosts.
+  const auto check_edge = [&](NodeId v, const char* what) -> bool {
+    if (v == kNone) return true;
+    if (!g.contains(v)) {
+      err << "I4: host " << id << " " << what << " -> unknown host " << v;
+      return false;
+    }
+    if (!g.has_edge(id, v)) {
+      err << "I4: host " << id << " " << what << " -> " << v
+          << " without an edge";
+      return false;
+    }
+    return true;
+  };
+  for (const auto& [pos, host] : st.boundary_host) {
+    (void)pos;
+    if (!check_edge(host, "boundary")) return err.str();
+  }
+  for (const auto& [pos, host] : st.parent_host) {
+    (void)pos;
+    if (!check_edge(host, "parent")) return err.str();
+  }
+  if (!check_edge(st.succ, "succ")) return err.str();
+  if (!check_edge(st.pred, "pred")) return err.str();
+  // I5 — cluster id is a real host.
+  if (st.cluster == kNone || !g.contains(st.cluster)) {
+    err << "I5: host " << id << " cluster " << st.cluster;
+    return err.str();
+  }
+  return "";
+}
+
+std::string check_invariants(const StabEngine& eng) {
+  const auto& g = eng.graph();
   // I1 — connectivity.
   if (g.size() > 1 && !graph::is_connected(g)) {
     return "I1: network disconnected";
   }
-
   for (NodeId id : g.ids()) {
-    const HostState& st = eng.state(id);
-    // I2 — range sanity.
-    if (st.hi > n || st.lo >= st.hi || (st.lo != 0 && st.lo != st.id) ||
-        st.id < st.lo || st.id >= st.hi) {
-      err << "I2: host " << id << " range [" << st.lo << "," << st.hi << ")";
-      return err.str();
-    }
-    // I3 — map keys match geometry.
-    std::size_t nb = 0, np = 0;
-    for (const auto& ce : eng.protocol().cbt().crossing_edges(st.lo, st.hi)) {
-      if (!ce.child_inside) {
-        if (!st.boundary_host.count(ce.child_pos)) {
-          err << "I3: host " << id << " missing boundary key " << ce.child_pos;
-          return err.str();
-        }
-        ++nb;
-      } else {
-        if (!st.parent_host.count(ce.child_pos)) {
-          err << "I3: host " << id << " missing parent key " << ce.child_pos;
-          return err.str();
-        }
-        ++np;
-      }
-    }
-    if (st.boundary_host.size() != nb || st.parent_host.size() != np) {
-      err << "I3: host " << id << " has stale map keys";
-      return err.str();
-    }
-    // I4 — structural references are graph edges to known hosts.
-    const auto check_edge = [&](NodeId v, const char* what) -> bool {
-      if (v == kNone) return true;
-      if (!g.contains(v)) {
-        err << "I4: host " << id << " " << what << " -> unknown host " << v;
-        return false;
-      }
-      if (!g.has_edge(id, v)) {
-        err << "I4: host " << id << " " << what << " -> " << v
-            << " without an edge";
-        return false;
-      }
-      return true;
-    };
-    for (const auto& [pos, host] : st.boundary_host) {
-      (void)pos;
-      if (!check_edge(host, "boundary")) return err.str();
-    }
-    for (const auto& [pos, host] : st.parent_host) {
-      (void)pos;
-      if (!check_edge(host, "parent")) return err.str();
-    }
-    if (!check_edge(st.succ, "succ")) return err.str();
-    if (!check_edge(st.pred, "pred")) return err.str();
-    // I5 — cluster id is a real host.
-    if (st.cluster == kNone || !g.contains(st.cluster)) {
-      err << "I5: host " << id << " cluster " << st.cluster;
-      return err.str();
-    }
+    const std::string v = check_host_invariants(eng, id);
+    if (!v.empty()) return v;
   }
   return "";
 }

@@ -20,7 +20,8 @@
 //
 // check_invariants returns the first violated invariant's description, or
 // an empty string. Property tests call it after every round of randomized
-// executions.
+// executions; the online oracle (src/verify/oracle.hpp) evaluates the same
+// per-host predicate incrementally against the engine's dirty-snapshot set.
 #pragma once
 
 #include <string>
@@ -28,6 +29,12 @@
 #include "core/network.hpp"
 
 namespace chs::core {
+
+/// I2–I5 for a single host: everything the invariants demand of `id` given
+/// its own state and its incident edges. Exactly the per-host slice of
+/// check_invariants, exposed so the online oracle can re-evaluate only
+/// hosts whose state or incident edges changed. Returns "" when clean.
+std::string check_host_invariants(const StabEngine& eng, graph::NodeId id);
 
 std::string check_invariants(const StabEngine& eng);
 

@@ -170,12 +170,17 @@ std::uint64_t total_resets(const StabEngine& eng) {
   return total;
 }
 
-RunResult run_to_convergence(StabEngine& eng, std::uint64_t max_rounds) {
+RunResult run_to_convergence(StabEngine& eng, std::uint64_t max_rounds,
+                             const std::function<bool()>* abort) {
   RunResult res;
   const auto [rounds, ok] = eng.run_until(
-      [](StabEngine& e) { return is_converged(e); }, max_rounds);
+      [abort](StabEngine& e) {
+        return is_converged(e) || (abort && (*abort)());
+      },
+      max_rounds);
   res.rounds = rounds;
-  res.converged = ok;
+  res.converged = is_converged(eng);
+  (void)ok;
   res.degree_expansion = eng.metrics().degree_expansion(eng.graph());
   res.messages = eng.metrics().messages();
   res.total_resets = total_resets(eng);

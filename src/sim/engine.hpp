@@ -89,6 +89,14 @@ constexpr bool protocol_uses_active_set() {
 template <typename P>
 class Engine;
 
+/// One applied topology mutation, as reported to a round observer: protocol
+/// edge actions and external inject_edge / inject_edge_removal calls alike.
+/// Recorded only while an observer is installed.
+struct EdgeDelta {
+  NodeId u = 0, v = 0;
+  bool removed = false;
+};
+
 /// Per-shard record of the protocol actions emitted while stepping
 /// (DESIGN.md D6). NodeCtx appends here instead of mutating the engine, so
 /// steps are data-parallel; the engine merges buffers in shard order (=
@@ -371,6 +379,7 @@ class Engine {
     topo_changed_ = true;
     wake(graph_.index_of(u));
     wake(graph_.index_of(v));
+    record_delta(u, v, false);
     return true;
   }
   bool inject_edge_removal(NodeId u, NodeId v) {
@@ -378,6 +387,7 @@ class Engine {
     topo_changed_ = true;
     wake(graph_.index_of(u));
     wake(graph_.index_of(v));
+    record_delta(u, v, true);
     return true;
   }
 
@@ -410,6 +420,33 @@ class Engine {
   }
   bool has_delivery_filter() const {
     return static_cast<bool>(delivery_filter_);
+  }
+
+  /// End-of-round observer (verification hook — see src/verify/). When
+  /// installed, it is invoked exactly once per executed round, after the
+  /// publish phase, with the round number, the indices of every node whose
+  /// state may have changed since the previous observation (stepped this
+  /// round or externally mutated via state_mut — ascending order), and
+  /// every topology mutation applied since the previous observation
+  /// (protocol edge actions and external inject_edge / inject_edge_removal
+  /// alike). Rounds skipped by the idle fast-forward are provably empty and
+  /// are not observed individually.
+  ///
+  /// Threading contract: like the delivery filter, the observer runs on the
+  /// engine's calling thread in a serial phase — after the D6 shard merge —
+  /// so it may keep unsynchronized state and reads are bit-for-bit
+  /// reproducible at any set_worker_threads(k). When no observer is
+  /// installed the engine records nothing: the hook costs one branch per
+  /// round and per applied edge mutation.
+  using RoundObserver = std::function<void(
+      std::uint64_t round, std::span<const NodeIndex> dirty,
+      std::span<const EdgeDelta> edge_deltas)>;
+  void set_round_observer(RoundObserver f) {
+    round_observer_ = std::move(f);
+    if (!round_observer_) observed_deltas_.clear();
+  }
+  bool has_round_observer() const {
+    return static_cast<bool>(round_observer_);
   }
 
   /// Record which protocol site requested each applied edge deletion
@@ -496,6 +533,7 @@ class Engine {
         topo_changed_ = true;
         wake(graph_.index_of(u));
         wake(graph_.index_of(v));
+        record_delta(u, v, true);
         if (edge_trace_) record_delete_site(u, v, pending_delete_sites_[di]);
       }
     }
@@ -506,6 +544,7 @@ class Engine {
         topo_changed_ = true;
         wake(graph_.index_of(u));
         wake(graph_.index_of(v));
+        record_delta(u, v, false);
       }
     }
     pending_deletes_.clear();
@@ -544,7 +583,8 @@ class Engine {
         slots_[s].wake.clear();
       }
       metrics_.count_snapshots(dirty_.size());
-      dirty_.clear();
+      // dirty_ is cleared at the end of the round (the marks are already
+      // zeroed above): the round observer reads it first.
     }
 
     const std::uint64_t deliveries = mail_.delivered_this_round();
@@ -553,6 +593,12 @@ class Engine {
     metrics_.observe_round(graph_, round_actions_, stepped_.size(),
                            topo_changed_);
     metrics_.observe_scheduler(pending_events(), peak_bucket_occupancy());
+    if (round_observer_) {
+      round_observer_(round_, std::span<const NodeIndex>(dirty_),
+                      std::span<const EdgeDelta>(observed_deltas_));
+      observed_deltas_.clear();
+    }
+    dirty_.clear();
     topo_changed_ = false;
     if (round_actions_ == 0 && deliveries == 0 && !holds_pending()) {
       ++quiescent_streak_;
@@ -560,6 +606,15 @@ class Engine {
       quiescent_streak_ = 0;
     }
     ++round_;
+  }
+
+  /// Debug: which protocol site last requested deletion of edge {a, b}
+  /// (requires set_edge_delete_tracing). Public so diagnostic harnesses and
+  /// the verification layer can attribute a missing edge without a NodeCtx.
+  const char* last_delete_site(NodeId a, NodeId b) {
+    if (!edge_trace_) return "(untracked)";
+    auto it = last_delete_.find(std::minmax(a, b));
+    return it == last_delete_.end() ? "(none)" : it->second;
   }
 
   /// Consecutive fully-silent rounds (no deliveries, holds, or actions).
@@ -760,16 +815,16 @@ class Engine {
     round_ = next;
   }
 
+  /// Accumulate an applied topology mutation for the round observer; a
+  /// no-op (one predicted branch) when no observer is installed.
+  void record_delta(NodeId u, NodeId v, bool removed) {
+    if (round_observer_) observed_deltas_.push_back({u, v, removed});
+  }
+
   void record_delete_site(NodeId u, NodeId v, const char* site) {
     // Bounded: long churn runs otherwise grow this map without limit.
     if (last_delete_.size() >= kMaxDeleteRecords) last_delete_.clear();
     last_delete_[std::minmax(u, v)] = site;
-  }
-
-  const char* last_delete_site(NodeId a, NodeId b) {
-    if (!edge_trace_) return "(untracked)";
-    auto it = last_delete_.find(std::minmax(a, b));
-    return it == last_delete_.end() ? "(none)" : it->second;
   }
 
   bool holds_pending() const { return !holds_.empty() || !delayed_.empty(); }
@@ -793,6 +848,8 @@ class Engine {
   std::map<std::pair<NodeId, NodeId>, const char*> last_delete_;
   RunMetrics metrics_;
   DeliveryFilter delivery_filter_;  // empty = deliver everything
+  RoundObserver round_observer_;    // empty = observe nothing, record nothing
+  std::vector<EdgeDelta> observed_deltas_;  // mutations since last observation
   WorkerPool pool_;
   std::vector<WorkerSlot> slots_;
   std::size_t worker_threads_ = 1;

@@ -112,6 +112,16 @@ bool Protocol::check_local(Ctx& ctx) const {
         (pos < v->lo || pos >= v->hi)) {
       CHS_FAULT();
     }
+    // Reciprocity: every crossing edge is held by both endpoints, so a
+    // legal boundary/parent reference is mirrored by the peer (my parent's
+    // boundary map names me, and vice versa). A reference the peer does
+    // not reciprocate is stale — e.g. a member carrying a pre-corruption
+    // cluster structure whose every other local check passes by id
+    // collision (the parasitic-enclave configuration found by the
+    // invariant oracle: edge hygiene used to "detect" it by severing the
+    // referenced edge, manufacturing the very dangling-reference fault I4
+    // forbids; now the referencing host detects it itself).
+    if (!merge_window && !v->considers_structural(st.id)) CHS_FAULT();
     return true;
   };
   for (const auto& [pos, host] : st.boundary_host) {
@@ -129,12 +139,16 @@ bool Protocol::check_local(Ctx& ctx) const {
     const PublicState* v = ctx.view(st.succ);
     if (v == nullptr || !cluster_ok(*v)) CHS_FAULT();
     if (!merge_window && v->id != st.hi) CHS_FAULT();  // ranges must tile
+    // Ring reciprocity: my successor's pred pointer names me (same
+    // stale-membership argument as the structural-map check above).
+    if (!merge_window && v->pred != st.id) CHS_FAULT();
   }
   if (st.pred != kNone) {
     if (!ctx.is_neighbor(st.pred)) CHS_FAULT();
     const PublicState* v = ctx.view(st.pred);
     if (v == nullptr || !cluster_ok(*v)) CHS_FAULT();
     if (!merge_window && v->hi != st.lo) CHS_FAULT();
+    if (!merge_window && v->succ != st.id) CHS_FAULT();
   }
 
   // --- 4. Phase agreement (Lemma 2's infection rule) and Lemma 1's

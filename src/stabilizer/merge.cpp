@@ -407,6 +407,37 @@ void Protocol::apply_commit(Ctx& ctx, std::uint64_t nonce, NodeId new_cluster) {
     }
   }
 
+  // A zip peer may have churned away between its ZipStep and this commit:
+  // its edges died with it, and adopting a structural reference without a
+  // backing edge would have this host manufacture the dangling-reference
+  // fault (I4) a round before any detector can fire — found by the
+  // invariant oracle fuzzing churn into mid-merge windows. A dead
+  // reference in the pending structure is the same zip-inconsistency
+  // fault as a geometry gap: reset and let stabilization redo the merge.
+  for (const auto& [pos, host] : boundary) {
+    (void)pos;
+    if (!ctx.is_neighbor(host)) {
+      reset_to_singleton(ctx);
+      return;
+    }
+  }
+  for (const auto& [pos, host] : parent) {
+    (void)pos;
+    if (!ctx.is_neighbor(host)) {
+      reset_to_singleton(ctx);
+      return;
+    }
+  }
+  if (f.new_hi != params_.n_guests && f.new_succ != kNone &&
+      !ctx.is_neighbor(f.new_succ)) {
+    reset_to_singleton(ctx);
+    return;
+  }
+  if (f.new_lo != 0 && f.new_pred != kNone && !ctx.is_neighbor(f.new_pred)) {
+    reset_to_singleton(ctx);
+    return;
+  }
+
   const NodeId old_cluster = st.cluster;
   st.lo = f.new_lo;
   st.hi = f.new_hi;

@@ -89,6 +89,7 @@ void Protocol::publish(const HostState& st, PublicState& pub) {
   pub.in_phase_wave = st.in_phase_wave;
   pub.in_done_wave = st.in_done_wave;
   pub.nbrs = st.nbrs;
+  structural_neighbors(st, pub.structural);
 }
 
 void Protocol::recompute_fragments(HostState& st) const {
@@ -126,6 +127,13 @@ GuestId Protocol::topmost_entry(const HostState& st) const {
 
 std::vector<NodeId> Protocol::structural_neighbors(const HostState& st) const {
   std::vector<NodeId> out;
+  structural_neighbors(st, out);
+  return out;
+}
+
+void Protocol::structural_neighbors(const HostState& st,
+                                    std::vector<NodeId>& out) const {
+  out.clear();
   for (const auto& [pos, host] : st.boundary_host) {
     (void)pos;
     out.push_back(host);
@@ -138,7 +146,6 @@ std::vector<NodeId> Protocol::structural_neighbors(const HostState& st) const {
   if (st.pred != kNone) out.push_back(st.pred);
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
 }
 
 bool Protocol::deletion_certificate(Ctx& ctx, NodeId v) const {
@@ -174,11 +181,24 @@ void Protocol::classify_and_clean_edges(Ctx& ctx) {
     if (view == nullptr) continue;
     if (view->cluster != st.cluster) continue;      // genuine external edge
     if (view->merging_with != kNone) continue;      // peer busy; wait
+    // Bilateral rule: an edge is junk only when *neither* end counts it as
+    // structural. The peer's references may be mid-flood (it has not seen
+    // the merge commit this host already applied) or a fault its own
+    // detector will repair; severing the edge first would manufacture the
+    // dangling-reference configuration (I4) the protocol is supposed to
+    // fix. Found by the invariant oracle: a host applied a merge commit
+    // and, in the same step, deleted the edges its pre-commit children
+    // still referenced. The view is one round stale, which is safe — a
+    // reference to this host can only appear via a commit this host's own
+    // new structure mirrors, or via external corruption, which republishes
+    // before the next round (DESIGN.md D4).
+    if (view->considers_structural(st.id)) continue;
     if (deletion_certificate(ctx, v)) ctx.disconnect(v, "protocol-d0");
   }
 }
 
 void Protocol::step(Ctx& ctx) {
+  if (frozen_) return;  // stalled: a perfect no-op, messages in flight drop
   step_impl(ctx);
   schedule_wakeups(ctx);
 }

@@ -59,6 +59,18 @@ class Protocol {
   /// from the current topology as an arbitrary initial configuration.
   void set_target(topology::TargetSpec target);
 
+  /// Freeze the protocol: while frozen, step() is a perfect no-op — no
+  /// detector, no message processing, no RNG consumption, no wakeups. The
+  /// campaign `freeze`/`thaw` timeline events use it to model a whole-
+  /// network execution stall; the verification layer uses it to observe
+  /// faults the live protocol would repair within a round (a frozen network
+  /// forfeits every guarantee, which is exactly what makes injected
+  /// invariant violations visible to the oracle). Must be called between
+  /// rounds, like set_target; after thawing, re-activate the network with
+  /// Engine::republish() — frozen steps scheduled no wakeups.
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+  bool frozen() const { return frozen_; }
+
   const topology::Cbt& cbt() const { return cbt_; }
   std::uint32_t num_waves() const { return num_waves_; }
   GuestId guest_root() const { return cbt_.root(); }
@@ -82,6 +94,9 @@ class Protocol {
   GuestId topmost_entry(const HostState& st) const;
   /// Structural neighbors in phase kCbt: boundary + parent + succ + pred.
   std::vector<NodeId> structural_neighbors(const HostState& st) const;
+  /// In-place variant (sorted, deduped into `out`): publish() runs once per
+  /// dirty node per round and must reuse the snapshot's buffer.
+  void structural_neighbors(const HostState& st, std::vector<NodeId>& out) const;
   bool deletion_certificate(Ctx& ctx, NodeId v) const;
   void classify_and_clean_edges(Ctx& ctx);
   std::vector<NodeId> external_neighbors(Ctx& ctx) const;
@@ -159,6 +174,10 @@ class Protocol {
   Params params_;
   topology::Cbt cbt_;
   std::uint32_t num_waves_;
+  // Runtime stall switch (set_frozen). Written only between rounds; read
+  // concurrently by steps, which is safe under the D6 contract because the
+  // engine's serial phases order the write before every subsequent step.
+  bool frozen_ = false;
 };
 
 using StabEngine = sim::Engine<Protocol>;

@@ -245,9 +245,20 @@ struct PublicState {
   bool in_phase_wave = false;
   bool in_done_wave = false;
   std::vector<NodeId> nbrs;  // sorted neighbor list (one step stale)
+  // Sorted targets of every structural reference (boundary, parent, succ,
+  // pred). Edge hygiene must not delete an edge its peer still counts as
+  // structural — the reference may be mid-flood (commit propagating) or a
+  // fault awaiting the peer's own detector; severing it would manufacture
+  // the dangling-reference configuration (I4) the protocol is supposed to
+  // repair. Published so the check is locally evaluable from either end.
+  std::vector<NodeId> structural;
 
   bool has_neighbor(NodeId v) const {
     return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  }
+
+  bool considers_structural(NodeId v) const {
+    return std::binary_search(structural.begin(), structural.end(), v);
   }
 
   /// Exact comparison drives the engine's dirty-snapshot propagation: a

@@ -42,8 +42,26 @@ class Rng {
   }
 
   /// Derive an independent stream, e.g. one per node.
+  ///
+  /// The stream id is avalanched through the SplitMix64 finalizer before it
+  /// touches the parent state. The original scheme combined the raw
+  /// `stream * kGolden` — but kGolden is also the generator's own state
+  /// increment, so all streams live on the one SplitMix64 orbit and that
+  /// scheme parked them at *id-proportional* lags: whenever the xor with the
+  /// parent state carried like an addition, nodes s and s + k replayed each
+  /// other's exact draw sequences k steps apart. Two surviving cluster
+  /// roots in that regime draw identical leader/follower coins and
+  /// identical epoch jitter forever — a matching livelock no jitter can
+  /// break (lollipop n=20 N=128 seed=3; tests/test_util.cpp pins the
+  /// decorrelation, tests/test_livelock_regression.cpp the convergence).
+  /// Avalanching makes the orbit offsets pseudorandom, so overlap within
+  /// any feasible run length is vanishingly unlikely.
   Rng split(std::uint64_t stream) {
-    Rng r(state_ ^ (stream * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+    std::uint64_t z = stream + 0x2545f4914f6cdd1dULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    Rng r(state_ ^ z);
     r.next_u64();
     return r;
   }

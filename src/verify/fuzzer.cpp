@@ -1,0 +1,183 @@
+#include "verify/fuzzer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace chs::verify {
+
+using campaign::JobResult;
+using campaign::Scenario;
+using campaign::StartMode;
+
+namespace {
+
+// Keeps the fuzz case streams disjoint from every engine / adversary
+// lineage (those split job seeds; this splits the fuzz seed).
+constexpr std::uint64_t kFuzzStreamSalt = 0xfa22'9b01'77c3'55e9ULL;
+
+const std::string& pick_target(util::Rng& rng) {
+  const auto& names = campaign::all_target_names();
+  return names[rng.next_below(names.size())];
+}
+
+std::string describe_failure(const JobResult& r,
+                             const FailureSignature& sig) {
+  switch (sig.kind) {
+    case FailureSignature::Kind::kOracleViolation:
+      return r.oracle_violation + " @ round " + std::to_string(r.oracle_round);
+    case FailureSignature::Kind::kNoConvergence:
+      return "not converged after " + std::to_string(r.rounds) + " timeline rounds";
+    case FailureSignature::Kind::kSetupFailure:
+      return "setup never stabilized (" + std::to_string(r.setup_rounds) +
+             " rounds)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Scenario generate_scenario(std::uint64_t case_index, util::Rng& rng) {
+  Scenario sc;
+  sc.name = "fuzz-" + std::to_string(case_index);
+  static const std::uint64_t kGuests[] = {32, 64, 128};
+  sc.n_guests = kGuests[rng.next_below(3)];
+  const std::size_t hosts = static_cast<std::size_t>(
+      4 + rng.next_below(std::min<std::uint64_t>(10, sc.n_guests / 2 - 3)));
+  sc.host_counts = {hosts};
+  const auto families = graph::all_families();
+  sc.families = {families[rng.next_below(families.size())]};
+  sc.seed_lo = 1 + rng.next_below(1000);
+  sc.seed_hi = sc.seed_lo + rng.next_below(2);  // 1 or 2 jobs
+  sc.target = pick_target(rng);
+  sc.delay = rng.next_below(5) == 0 ? 2 : 1;
+  sc.start = rng.next_below(5) < 2 ? StartMode::kCold : StartMode::kConverged;
+  sc.max_rounds = 200000;
+  const std::uint64_t n_events = rng.next_below(4);  // 0..3
+  for (std::uint64_t e = 0; e < n_events; ++e) {
+    const std::uint64_t round = rng.next_below(150);
+    const std::uint64_t what = rng.next_below(20);
+    if (what < 9) {
+      sc.churn_at(round,
+                  1 + rng.next_below(std::min<std::uint64_t>(3, hosts - 2)));
+    } else if (what < 16) {
+      sc.fault_at(round, 1 + rng.next_below(2));
+    } else {
+      sc.retarget_at(round, pick_target(rng));
+    }
+  }
+  if (rng.next_below(5) < 2) {
+    const std::uint64_t begin = rng.next_below(100);
+    sc.loss(begin, begin + 10 + rng.next_below(80),
+            static_cast<double>(1 + rng.next_below(9)) / 10.0);
+  }
+  if (rng.next_below(10) < 3) {
+    const std::uint64_t begin = rng.next_below(100);
+    sc.partition(begin, begin + 10 + rng.next_below(60));
+  }
+  if (rng.next_below(4) == 0) {
+    // A paired whole-network stall, placed after every destructive event
+    // (those draw rounds < 150): a frozen network changes no state, so a
+    // clean configuration stays clean through the stall, and on thaw the
+    // protocol must absorb all the deadlines that expired mid-stall. An
+    // *unpaired* freeze, or one overlapping churn, is deliberately never
+    // generated — violations under an unrepaired stall are expected, not
+    // bugs (that combination is the oracle's own test fixture).
+    const std::uint64_t begin = 150 + rng.next_below(50);
+    sc.freeze_at(begin).thaw_at(begin + 1 + rng.next_below(40));
+  }
+  campaign::sort_events_by_round(sc.events);
+  CHS_CHECK_MSG(sc.validate().empty(), "fuzz grammar emitted invalid scenario");
+  return sc;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& opt) {
+  FuzzReport rep;
+  rep.seed = opt.seed;
+  rep.cases = opt.budget;
+  util::Rng root(opt.seed ^ kFuzzStreamSalt);
+  for (std::uint64_t i = 0; i < opt.budget; ++i) {
+    // Each case draws from its own split stream: extending the budget
+    // replays the identical case prefix.
+    util::Rng rng = root.split(i);
+    const Scenario sc = generate_scenario(i, rng);
+
+    campaign::RunOptions ro;
+    ro.jobs = opt.jobs;
+    ro.engine_workers = opt.engine_workers;
+    ro.probe = oracle_probe_factory(opt.oracle);
+    const campaign::CampaignReport report = campaign::run_campaign(sc, ro);
+
+    rep.jobs += report.jobs;
+    std::string outcome = "ok";
+    for (const JobResult& r : report.results) {
+      rep.events += r.events.size();
+      rep.oracle_rounds_checked += r.oracle_rounds_checked;
+    }
+    for (const JobResult& r : report.results) {
+      FailureSignature sig;
+      if (!job_failed(r, &sig)) continue;
+      FuzzFailure f;
+      f.case_index = i;
+      f.scenario = sc;
+      f.spec = r.spec;
+      f.signature = sig;
+      f.detail = describe_failure(r, sig);
+      outcome = std::string("FAIL ") + failure_kind_name(sig.kind);
+      if (opt.minimize) {
+        MinimizeOptions mopt;
+        mopt.oracle = opt.oracle;
+        mopt.engine_workers = opt.engine_workers;
+        mopt.max_probes = opt.max_probes;
+        f.minimized = minimize(sc, r.spec, sig, mopt);
+      }
+      rep.failures.push_back(std::move(f));
+      break;  // one failing job identifies the case; minimize just that one
+    }
+    rep.case_lines_.push_back(
+        "case " + std::to_string(i) + ": " + sc.name + " guests=" +
+        std::to_string(sc.n_guests) + " hosts=" + std::to_string(sc.host_counts[0]) +
+        " family=" + graph::family_name(sc.families[0]) + " target=" +
+        sc.target + " seeds=" + std::to_string(sc.seed_lo) + ".." +
+        std::to_string(sc.seed_hi) + " delay=" + std::to_string(sc.delay) + " start=" +
+        (sc.start == StartMode::kCold ? "cold" : "converged") + " events=" +
+        std::to_string(sc.events.size()) + " loss=" + std::to_string(sc.losses.size()) +
+        " partition=" + std::to_string(sc.partitions.size()) + " -> " + outcome);
+  }
+  return rep;
+}
+
+std::string FuzzReport::to_text() const {
+  std::string out;
+  out += "fuzz seed=" + std::to_string(seed) + " budget=" + std::to_string(cases) + ": " +
+         std::to_string(jobs) + " jobs, " + std::to_string(events) + " events, " +
+         std::to_string(oracle_rounds_checked) + " oracle-checked rounds, " +
+         std::to_string(failures.size()) + " failures\n";
+  for (const std::string& line : case_lines_) out += line + "\n";
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const FuzzFailure& f = failures[i];
+    out += "failure " + std::to_string(i) + ": case " + std::to_string(f.case_index) +
+           " job " + std::to_string(f.spec.index) + " (family=" +
+           graph::family_name(f.spec.family) + " hosts=" +
+           std::to_string(f.spec.n_hosts) + " seed=" + std::to_string(f.spec.seed) +
+           "): " + std::string(failure_kind_name(f.signature.kind)) + ": " +
+           f.detail + "\n";
+    if (f.minimized) {
+      out += "  minimized in " + std::to_string(f.minimized->probes) +
+             " probes (" + std::to_string(f.minimized->steps.size()) +
+             " accepted shrinks); repro:\n";
+      std::string scn = f.minimized->scenario.to_text();
+      std::size_t pos = 0;
+      while (pos < scn.size()) {
+        const std::size_t nl = scn.find('\n', pos);
+        out += "    " + scn.substr(pos, nl - pos) + "\n";
+        pos = nl + 1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace chs::verify

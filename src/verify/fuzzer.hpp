@@ -1,0 +1,77 @@
+// Scenario fuzzer (DESIGN.md D8).
+//
+// The north star asks for "as many scenarios as you can imagine"; the
+// fuzzer imagines them mechanically. A seeded grammar over the campaign
+// Scenario builder generates random-but-valid adversarial timelines —
+// churn bursts, state wipes, loss windows, partitions, mid-run retargets,
+// over randomized initial families, host counts, guest spaces, targets,
+// and asynchrony — and fans each one out through the existing campaign
+// runner with the invariant oracle armed on every job. Any failing job
+// (oracle violation, non-convergence, setup failure) is optionally shrunk
+// to a minimal .scn repro by the delta-debugging minimizer.
+//
+// Everything is deterministic in (seed, budget): case i draws from a
+// dedicated stream split from the fuzz seed, so reports are byte-identical
+// at any --jobs / --workers value, and extending the budget replays the
+// same prefix of cases.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "verify/minimize.hpp"
+#include "verify/oracle.hpp"
+
+namespace chs::verify {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t budget = 16;  // scenarios to generate and run
+  std::size_t jobs = 1;       // campaign job threads per case
+  std::size_t engine_workers = 1;
+  OracleConfig oracle;        // armed on every job of every case
+  bool minimize = false;      // shrink failures to minimal repros
+  std::uint64_t max_probes = 128;  // minimizer budget per failure
+};
+
+/// One failing job of one generated case.
+struct FuzzFailure {
+  std::uint64_t case_index = 0;
+  campaign::Scenario scenario;  // as generated
+  campaign::JobSpec spec;       // the failing job of its sweep
+  FailureSignature signature;
+  std::string detail;           // violation message / failure description
+  std::optional<MinimizeResult> minimized;
+};
+
+struct FuzzReport {
+  std::uint64_t seed = 0;
+  std::uint64_t cases = 0;
+  std::uint64_t jobs = 0;            // total jobs across all cases
+  std::uint64_t events = 0;          // timeline events exercised
+  std::uint64_t oracle_rounds_checked = 0;
+  std::vector<FuzzFailure> failures;
+
+  /// Deterministic human-readable report: one line per case, then a
+  /// detailed block (with the minimized .scn body, when present) per
+  /// failure. Byte-identical at any parallelism settings.
+  std::string to_text() const;
+
+ private:
+  friend FuzzReport run_fuzz(const FuzzOptions&);
+  std::vector<std::string> case_lines_;
+};
+
+/// The seeded grammar: one random-but-valid scenario. Generated scenarios
+/// always pass Scenario::validate() and expand to at most two jobs, so a
+/// fuzz case stays cheap. Deterministic in the rng state.
+campaign::Scenario generate_scenario(std::uint64_t case_index, util::Rng& rng);
+
+/// Generate `budget` scenarios, run each through the campaign runner with
+/// the oracle armed, collect failures, optionally minimize them.
+FuzzReport run_fuzz(const FuzzOptions& opt);
+
+}  // namespace chs::verify

@@ -1,0 +1,179 @@
+#include "verify/oracle.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <span>
+
+#include "graph/analysis.hpp"
+#include "util/check.hpp"
+
+namespace chs::verify {
+
+using graph::NodeId;
+using graph::NodeIndex;
+
+InvariantOracle::InvariantOracle(core::StabEngine& eng, OracleConfig cfg)
+    : eng_(&eng), cfg_(cfg) {
+  CHS_CHECK(cfg_.stride >= 1);
+  pending_mark_.assign(eng.graph().size(), 0);
+  eng.set_round_observer(
+      [this](std::uint64_t round, std::span<const NodeIndex> dirty,
+             std::span<const sim::EdgeDelta> deltas) {
+        on_round(round, dirty, deltas);
+      });
+  // Full check at attach: the incremental scheme below re-checks only what
+  // changes, so it is exact only relative to a verified base state.
+  ++rounds_checked_;
+  const auto& g = eng.graph();
+  ++connectivity_rebuilds_;
+  if (g.size() > 1 && !graph::is_connected(g)) {
+    record(eng.round(), "I1: network disconnected", stabilizer::kNone);
+    return;
+  }
+  for (NodeId id : g.ids()) {
+    ++hosts_checked_;
+    std::string v = core::check_host_invariants(eng, id);
+    if (!v.empty()) {
+      record(eng.round(), std::move(v), id);
+      return;
+    }
+  }
+}
+
+InvariantOracle::~InvariantOracle() { detach(); }
+
+void InvariantOracle::detach() {
+  if (!eng_) return;
+  // Flush the final partial stride window: with stride > 1 a violation in
+  // the last rounds of a run would otherwise still be sitting in the
+  // pending set, and the run would be reported clean. Only violations
+  // that appear *and heal* strictly between samples may be missed.
+  if (!violation_ && (!pending_.empty() || deletions_pending_)) {
+    evaluate(eng_->round());
+  }
+  eng_->set_round_observer({});
+  eng_ = nullptr;
+}
+
+void InvariantOracle::mark_pending(NodeIndex i) {
+  if (!pending_mark_[i]) {
+    pending_mark_[i] = 1;
+    pending_.push_back(i);
+  }
+}
+
+void InvariantOracle::on_round(std::uint64_t round,
+                               std::span<const NodeIndex> dirty,
+                               std::span<const sim::EdgeDelta> deltas) {
+  if (violation_) return;  // verdict reached; stay dormant until detached
+  for (NodeIndex i : dirty) mark_pending(i);
+  for (const sim::EdgeDelta& d : deltas) {
+    // Either endpoint's structural references (I4) may have gained or lost
+    // their backing edge; state-only invariants are unaffected.
+    mark_pending(eng_->graph().index_of(d.u));
+    mark_pending(eng_->graph().index_of(d.v));
+    if (d.removed) deletions_pending_ = true;
+  }
+  if (++rounds_since_check_ >= cfg_.stride) evaluate(round);
+}
+
+void InvariantOracle::evaluate(std::uint64_t round) {
+  rounds_since_check_ = 0;
+  ++rounds_checked_;
+  const auto& g = eng_->graph();
+  if (deletions_pending_) {
+    // Additions cannot disconnect a connected graph; only rounds that
+    // applied a deletion pay the O(V + E) recompute.
+    deletions_pending_ = false;
+    ++connectivity_rebuilds_;
+    if (g.size() > 1 && !graph::is_connected(g)) {
+      record(round, "I1: network disconnected", stabilizer::kNone);
+      return;
+    }
+  }
+  // Ascending host order keeps the first-violation verdict deterministic
+  // whatever order the pending set accumulated in.
+  std::sort(pending_.begin(), pending_.end());
+  for (NodeIndex i : pending_) {
+    ++hosts_checked_;
+    std::string v = core::check_host_invariants(*eng_, g.id_of(i));
+    if (!v.empty()) {
+      record(round, std::move(v), g.id_of(i));
+      break;
+    }
+  }
+  for (NodeIndex i : pending_) pending_mark_[i] = 0;
+  pending_.clear();
+}
+
+void InvariantOracle::record(std::uint64_t round, std::string what,
+                             NodeId focus) {
+  Violation v;
+  v.round = round;
+  v.what = std::move(what);
+  if (cfg_.hard_fail) v.trace = capture_trace(focus);
+  violation_ = std::move(v);
+}
+
+std::string InvariantOracle::capture_trace(NodeId focus) const {
+  const auto& g = eng_->graph();
+  std::ostringstream out;
+  out << "round " << eng_->round() << ": " << g.size() << " hosts, "
+      << g.num_edges() << " edges\n";
+  // The violating host first, then its neighborhood, capped at trace_hosts.
+  std::vector<NodeId> hosts;
+  if (focus != stabilizer::kNone && g.contains(focus)) {
+    hosts.push_back(focus);
+    for (NodeId nb : g.neighbors(focus)) {
+      if (hosts.size() >= cfg_.trace_hosts) break;
+      hosts.push_back(nb);
+    }
+  } else {
+    for (NodeId id : g.ids()) {
+      if (hosts.size() >= cfg_.trace_hosts) break;
+      hosts.push_back(id);
+    }
+  }
+  for (NodeId id : hosts) {
+    const stabilizer::HostState& st = eng_->state(id);
+    out << "  host " << id << ": phase=" << stabilizer::phase_name(st.phase)
+        << " cluster=" << st.cluster << " range=[" << st.lo << "," << st.hi
+        << ")";
+    out << " succ=";
+    if (st.succ == stabilizer::kNone) out << "-"; else out << st.succ;
+    out << " pred=";
+    if (st.pred == stabilizer::kNone) out << "-"; else out << st.pred;
+    out << " deg=" << g.degree(id) << " resets=" << st.resets << " nbrs=";
+    bool first = true;
+    for (NodeId nb : g.neighbors(id)) {
+      if (!first) out << ",";
+      out << nb;
+      first = false;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void OracleProbe::finish(campaign::JobResult& out) {
+  out.oracle_armed = true;
+  if (oracle_) {
+    // Detach before reading the verdict: the detach flushes the final
+    // partial stride window, which can itself surface the violation. (It
+    // must happen here regardless — the engine dies with the job frame.)
+    oracle_->detach();
+    out.oracle_rounds_checked = oracle_->rounds_checked();
+    if (oracle_->violation()) {
+      out.oracle_violation = oracle_->violation()->what;
+      out.oracle_round = oracle_->violation()->round;
+    }
+  }
+}
+
+campaign::ProbeFactory oracle_probe_factory(OracleConfig cfg) {
+  return [cfg](const campaign::JobSpec&) {
+    return std::make_unique<OracleProbe>(cfg);
+  };
+}
+
+}  // namespace chs::verify

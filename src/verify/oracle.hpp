@@ -1,0 +1,140 @@
+// Online invariant oracle (DESIGN.md D8).
+//
+// The paper's invariants I1–I5 (core/invariants.hpp) are universally
+// quantified over rounds; the property tests check them by rebuilding the
+// god's-eye view after every round of hand-picked runs, which is O(n) per
+// round and far too slow to arm by default. The oracle instead rides the
+// engine's end-of-round observer (sim::Engine::set_round_observer) and
+// re-evaluates *only what could have changed*:
+//
+//   * I2/I3/I5 are functions of one host's own state — re-checked only for
+//     hosts in the round's dirty-snapshot set (stepped or externally
+//     mutated; unstepped hosts cannot change state, so this is exact);
+//   * I4 additionally depends on the host's incident edges — endpoints of
+//     every applied edge mutation join the re-check set;
+//   * I1 (connectivity) is maintained incrementally: edge additions cannot
+//     disconnect, so the O(V + E) recompute runs only after rounds that
+//     applied at least one deletion.
+//
+// A configurable stride trades latency for cost: with stride k the pending
+// re-check set accumulates across k rounds and is evaluated against the
+// state at the sampled round (violations that appear *and* heal strictly
+// between samples are not observed). In the hard-failure mode the first
+// violation also captures a trace of the offending round — the violating
+// host, its neighborhood state, and the incident edges — and, through
+// OracleProbe, aborts the campaign job that armed it.
+//
+// Attaching runs one full check (all hosts + connectivity) so the
+// incremental scheme starts from a verified base. The oracle is a
+// read-only observer: it never perturbs the simulation, composes with the
+// delivery filter and the D6 shard merge, and its verdicts are
+// bit-for-bit identical at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "core/invariants.hpp"
+#include "core/network.hpp"
+
+namespace chs::verify {
+
+struct OracleConfig {
+  /// Evaluate every stride-th observed round (1 = every round).
+  std::uint64_t stride = 1;
+  /// Capture the offending round's trace and report failure upward
+  /// (OracleProbe::failed aborts the job). When false the oracle records
+  /// the first violation and goes dormant, letting the run complete.
+  bool hard_fail = true;
+  /// Context hosts included in a captured trace.
+  std::size_t trace_hosts = 8;
+};
+
+struct Violation {
+  std::uint64_t round = 0;  // engine round the violation was observed at
+  std::string what;         // e.g. "I4: host 7 succ -> 12 without an edge"
+  std::string trace;        // offending-round context (hard_fail mode only)
+};
+
+class InvariantOracle {
+ public:
+  /// Attaches to the engine (installs the round observer) and runs the
+  /// initial full check. The oracle must be detached — or destroyed —
+  /// before the engine is.
+  explicit InvariantOracle(core::StabEngine& eng, OracleConfig cfg = {});
+  ~InvariantOracle();
+
+  InvariantOracle(const InvariantOracle&) = delete;
+  InvariantOracle& operator=(const InvariantOracle&) = delete;
+
+  /// Evaluate any pending partial stride window, then uninstall the engine
+  /// observer; the oracle keeps its verdict.
+  void detach();
+  bool armed() const { return eng_ != nullptr; }
+
+  /// First violation observed, if any.
+  const std::optional<Violation>& violation() const { return violation_; }
+
+  /// Sampled rounds actually evaluated (stride-thinned; includes the
+  /// attach-time full check).
+  std::uint64_t rounds_checked() const { return rounds_checked_; }
+  /// Per-host invariant evaluations performed — the oracle's work measure;
+  /// compare against rounds * n for the naive rebuild.
+  std::uint64_t hosts_checked() const { return hosts_checked_; }
+  /// O(V + E) connectivity recomputations (deletion rounds only).
+  std::uint64_t connectivity_rebuilds() const { return connectivity_rebuilds_; }
+
+ private:
+  void on_round(std::uint64_t round,
+                std::span<const graph::NodeIndex> dirty,
+                std::span<const sim::EdgeDelta> deltas);
+  void evaluate(std::uint64_t round);
+  void record(std::uint64_t round, std::string what, graph::NodeId focus);
+  std::string capture_trace(graph::NodeId focus) const;
+  void mark_pending(graph::NodeIndex i);
+
+  core::StabEngine* eng_ = nullptr;
+  OracleConfig cfg_;
+  std::vector<graph::NodeIndex> pending_;      // hosts awaiting re-check
+  std::vector<std::uint8_t> pending_mark_;
+  bool deletions_pending_ = false;             // I1 recompute needed
+  std::uint64_t rounds_since_check_ = 0;
+  std::uint64_t rounds_checked_ = 0;
+  std::uint64_t hosts_checked_ = 0;
+  std::uint64_t connectivity_rebuilds_ = 0;
+  std::optional<Violation> violation_;
+};
+
+/// campaign::JobProbe adapter: arms an InvariantOracle on each job's engine
+/// for its whole lifetime (setup phase included) and annotates the
+/// JobResult's oracle_* fields. With hard_fail the first violation aborts
+/// the job. One probe serves one job; run_campaign's ProbeFactory makes one
+/// per job:
+///
+///   campaign::RunOptions opts;
+///   opts.probe = verify::oracle_probe_factory(cfg);
+class OracleProbe final : public campaign::JobProbe {
+ public:
+  explicit OracleProbe(OracleConfig cfg = {}) : cfg_(cfg) {}
+
+  void attach(core::StabEngine& eng) override { oracle_.emplace(eng, cfg_); }
+  bool failed() const override {
+    return cfg_.hard_fail && oracle_ && oracle_->violation().has_value();
+  }
+  void finish(campaign::JobResult& out) override;
+
+  const std::optional<InvariantOracle>& oracle() const { return oracle_; }
+
+ private:
+  OracleConfig cfg_;
+  std::optional<InvariantOracle> oracle_;
+};
+
+/// ProbeFactory arming every job of a campaign with the given config.
+campaign::ProbeFactory oracle_probe_factory(OracleConfig cfg = {});
+
+}  // namespace chs::verify

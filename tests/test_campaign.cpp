@@ -9,6 +9,7 @@
 #include "graph/analysis.hpp"
 #include "sim/engine.hpp"
 #include "util/log.hpp"
+#include "verify/oracle.hpp"
 
 namespace chs {
 namespace {
@@ -109,6 +110,81 @@ TEST(Scenario, RejectsOverflowingNumbers) {
       campaign::parse_scenario("max-rounds 18446744073709551615\n", &error);
   ASSERT_TRUE(sc.has_value()) << error;
   EXPECT_EQ(sc->max_rounds, ~std::uint64_t{0});
+}
+
+TEST(Scenario, TextFormatRoundTripIsIdentity) {
+  // The minimizer emits repros via Scenario::to_text; parse -> serialize ->
+  // parse must be the identity or committed .scn repros drift.
+  const char* text = R"(
+name round-trip
+guests 64
+hosts 12 16
+families random_tree line
+seeds 3 7
+target hypercube
+delay 2
+start cold
+max-rounds 5000
+at 0 churn 3
+at 10 freeze
+at 20 thaw
+at 40 fault 2
+at 120 retarget chord
+loss 10 30 0.25
+loss 40 60 0.1
+partition 60 90
+)";
+  std::string error;
+  const auto sc = campaign::parse_scenario(text, &error);
+  ASSERT_TRUE(sc.has_value()) << error;
+  const std::string serialized = sc->to_text();
+  const auto again = campaign::parse_scenario(serialized, &error);
+  ASSERT_TRUE(again.has_value()) << error << "\n" << serialized;
+  EXPECT_EQ(*again, *sc);
+  // And a second round trip is byte-stable.
+  EXPECT_EQ(again->to_text(), serialized);
+}
+
+TEST(Scenario, RoundTripPreservesAwkwardRates) {
+  // Rates that are not exactly representable must still round-trip to the
+  // identical double (shortest-exact formatting in to_text).
+  for (const char* rate : {"0.1", "0.3333333333333333", "0.05", "1", "0"}) {
+    const std::string text =
+        std::string("loss 10 30 ") + rate + "\nmax-rounds 100\n";
+    std::string error;
+    const auto sc = campaign::parse_scenario(text, &error);
+    ASSERT_TRUE(sc.has_value()) << error;
+    const auto again = campaign::parse_scenario(sc->to_text(), &error);
+    ASSERT_TRUE(again.has_value()) << error;
+    EXPECT_EQ(again->losses[0].rate, sc->losses[0].rate) << rate;
+  }
+}
+
+TEST(Scenario, ValidateRejectsNamesTheTextFormatCannotCarry) {
+  // A name with whitespace or '#' would serialize into a line
+  // parse_scenario rejects or truncates, breaking the round trip the
+  // minimizer's .scn output depends on.
+  Scenario sc;
+  sc.n_guests = 64;
+  sc.host_counts = {8};
+  sc.name = "my test";
+  EXPECT_NE(sc.validate(), "");
+  sc.name = "a#b";
+  EXPECT_NE(sc.validate(), "");
+  sc.name = "ok-name.v2";
+  EXPECT_EQ(sc.validate(), "");
+}
+
+TEST(Scenario, ParsesFreezeAndThawEvents) {
+  std::string error;
+  const auto sc =
+      campaign::parse_scenario("at 5 freeze\nat 9 thaw\n", &error);
+  ASSERT_TRUE(sc.has_value()) << error;
+  ASSERT_EQ(sc->events.size(), 2u);
+  EXPECT_EQ(sc->events[0].kind, EventKind::kFreeze);
+  EXPECT_EQ(sc->events[1].kind, EventKind::kThaw);
+  // Extra arguments are a parse error, like everywhere else.
+  EXPECT_FALSE(campaign::parse_scenario("at 5 freeze 2\n", &error));
 }
 
 TEST(CampaignReport, JsonEscapesScenarioNames) {
@@ -300,6 +376,59 @@ TEST(RunJob, BuilderEventsOutOfOrderStillApplyInRoundOrder) {
   EXPECT_TRUE(r.events[0].recovered);
   EXPECT_TRUE(r.events[1].recovered);
   EXPECT_LT(r.rounds, sc.max_rounds);
+}
+
+// --- fault composition -----------------------------------------------------
+
+// Overlapping adversarial primitives compose: the run must stay invariant-
+// clean (oracle armed for the whole job, setup included), reconverge, and
+// stay bit-for-bit identical at any engine worker count while every fault
+// class is simultaneously active.
+
+bool same_result(const campaign::JobResult& a, const campaign::JobResult& b);
+
+campaign::JobResult run_probed(const Scenario& sc, std::size_t workers) {
+  verify::OracleProbe probe;
+  return campaign::run_job(sc, campaign::expand_jobs(sc)[0], workers, &probe);
+}
+
+TEST(FaultComposition, LossWindowOverlappingChurnBurstStaysOracleClean) {
+  util::set_log_level(util::LogLevel::kError);
+  Scenario sc = tiny_scenario();
+  // The churn burst lands inside a lossy window: re-attachment and the
+  // detector resets must survive 40% message loss.
+  sc.loss(0, 200, 0.4).churn_at(50, 3);
+  const auto base = run_probed(sc, 1);
+  EXPECT_TRUE(base.oracle_armed);
+  EXPECT_EQ(base.oracle_violation, "") << "@ round " << base.oracle_round;
+  EXPECT_TRUE(base.converged);
+  EXPECT_GT(base.messages_dropped, 0u);
+  for (std::size_t workers : {2u, 8u}) {
+    const auto wide = run_probed(sc, workers);
+    EXPECT_TRUE(same_result(base, wide)) << "workers=" << workers;
+    EXPECT_EQ(wide.oracle_violation, "");
+    EXPECT_EQ(wide.oracle_rounds_checked, base.oracle_rounds_checked);
+  }
+}
+
+TEST(FaultComposition, PartitionSpanningRetargetStaysOracleClean) {
+  util::set_log_level(util::LogLevel::kError);
+  Scenario sc = tiny_scenario();
+  // The retarget fires while the network is bipartitioned: both halves
+  // rebuild toward the new target with cross-traffic cut, then heal.
+  sc.partition(0, 150).retarget_at(60, "hypercube");
+  const auto base = run_probed(sc, 1);
+  EXPECT_TRUE(base.oracle_armed);
+  EXPECT_EQ(base.oracle_violation, "") << "@ round " << base.oracle_round;
+  EXPECT_TRUE(base.converged);
+  EXPECT_GT(base.messages_dropped, 0u);
+  ASSERT_EQ(base.events.size(), 1u);
+  EXPECT_TRUE(base.events[0].recovered);
+  for (std::size_t workers : {2u, 8u}) {
+    const auto wide = run_probed(sc, workers);
+    EXPECT_TRUE(same_result(base, wide)) << "workers=" << workers;
+    EXPECT_EQ(wide.oracle_violation, "");
+  }
 }
 
 // --- determinism -----------------------------------------------------------

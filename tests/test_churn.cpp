@@ -194,6 +194,58 @@ TEST(ChurnSchedule, DeterministicAcrossEngineWorkerCounts) {
   }
 }
 
+TEST(ChurnBurst, RedrawExhaustionFallsBackDeterministically) {
+  // With max_attempts = 0 the random redraw never runs: the burst must
+  // come from the deterministic peel (lowest-id non-cut host each step),
+  // keep the survivors connected, and never abort — the cap exists so an
+  // adversarial graph cannot spin the fuzzer or kill a campaign job.
+  auto eng = converged(5, 16);
+  util::Rng rng(3);
+  const auto& before = eng->graph().ids();
+  const std::size_t n = before.size();
+  const auto pairs = core::churn_burst(*eng, 4, rng, /*max_attempts=*/0);
+  ASSERT_EQ(pairs.size(), 4u);
+  std::set<NodeId> victims;
+  for (const auto& [victim, anchor] : pairs) {
+    victims.insert(victim);
+    EXPECT_NE(victim, anchor);
+  }
+  EXPECT_EQ(victims.size(), 4u);
+  // Anchors are survivors, and the surviving subgraph stayed connected
+  // (victims hang off survivors by their single rejoin edge).
+  for (const auto& [victim, anchor] : pairs) {
+    EXPECT_EQ(victims.count(anchor), 0u);
+  }
+  EXPECT_TRUE(graph::is_connected(eng->graph()));
+  EXPECT_EQ(eng->graph().size(), n);
+  // The peel is deterministic and rng-free: a second engine in the same
+  // state yields the identical victim set under any rng seed (anchors do
+  // still draw from the rng).
+  auto eng2 = converged(5, 16);
+  util::Rng rng2(12345);
+  std::set<NodeId> victims2;
+  for (const auto& [victim, anchor] : core::churn_burst(*eng2, 4, rng2, 0)) {
+    (void)anchor;
+    victims2.insert(victim);
+  }
+  EXPECT_EQ(victims2, victims);
+}
+
+TEST(ChurnBurst, FallbackRecoversOnAStarTopology) {
+  // A star is all cut vertices around the hub: the peel must never pick
+  // the hub while leaves remain, and stabilization must still recover.
+  std::vector<NodeId> ids{1, 5, 9, 13, 17, 21, 25, 29};
+  Params p;
+  p.n_guests = kGuests;
+  auto eng = core::make_engine(graph::make_star(ids), p, 2);
+  CHS_CHECK(core::run_to_convergence(*eng, 100000).converged);
+  util::Rng rng(7);
+  const auto pairs = core::churn_burst(*eng, 3, rng, 0);
+  EXPECT_EQ(pairs.size(), 3u);
+  EXPECT_TRUE(graph::is_connected(eng->graph()));
+  EXPECT_TRUE(core::run_to_convergence(*eng, 200000).converged);
+}
+
 TEST(ChurnSchedule, AnchorsNeverPointIntoTheVictimSet) {
   auto eng = converged(11, 24);
   core::ChurnSchedule sched;

@@ -91,6 +91,44 @@ TEST(Rng, SplitStreamsAreIndependent) {
   EXPECT_EQ(same, 0);
 }
 
+TEST(Rng, SplitStreamsAreNotShiftedCopies) {
+  // Regression for the matching livelock (lollipop n=20 N=128 seed=3):
+  // split() used to combine the raw `stream * kGolden`, where kGolden is
+  // also SplitMix64's own state increment — all streams live on the one
+  // orbit, and that scheme parked ids s and s + k exactly k steps apart
+  // whenever the xor with the parent state carried like an addition. Seed
+  // 3 with ids 42 and 54 (the two surviving cluster roots) was such a
+  // pair: stream 54 replayed stream 42's exact draws 12 steps later, so
+  // both roots flipped identical leader/follower coins and drew identical
+  // epoch jitter forever, and no merge could ever form. Splits must not
+  // be lag-correlated for any small id delta.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 7ULL, 41ULL}) {
+    util::Rng root(seed);
+    for (std::uint64_t a : {0ULL, 1ULL, 42ULL, 54ULL, 100ULL}) {
+      for (std::uint64_t delta : {1ULL, 2ULL, 12ULL, 32ULL}) {
+        auto sa = root.split(a);
+        auto sb = root.split(a + delta);
+        std::uint64_t da[96], db[96];
+        for (int i = 0; i < 96; ++i) {
+          da[i] = sa.next_u64();
+          db[i] = sb.next_u64();
+        }
+        for (int lag = 0; lag <= 64; ++lag) {
+          bool ab = true, ba = true;
+          for (int i = 0; i + lag < 96; ++i) {
+            ab = ab && da[i + lag] == db[i];
+            ba = ba && db[i + lag] == da[i];
+          }
+          EXPECT_FALSE(ab) << "seed " << seed << " ids " << a << "/"
+                           << a + delta << " lag " << lag;
+          EXPECT_FALSE(ba) << "seed " << seed << " ids " << a << "/"
+                           << a + delta << " lag " << lag;
+        }
+      }
+    }
+  }
+}
+
 TEST(Rng, BernoulliRoughlyFair) {
   util::Rng r(1);
   int heads = 0;

@@ -12,6 +12,15 @@
 //                   [--fail-frac 0.2] [--delay 1] [--seed 1]
 //   chordsim campaign <scenario-file> [--jobs 1] [--workers 1]
 //                   [--json PATH] [--csv] [--quiet]
+//   chordsim fuzz   [--budget 16] [--seed 1] [--stride 1] [--minimize]
+//                   [--jobs 1] [--workers 1] [--repro-dir DIR] [--quiet]
+//
+// `fuzz` generates `--budget` random-but-valid adversarial scenarios from a
+// seeded grammar, runs each through the campaign runner with the online
+// invariant oracle armed (checking I1-I5 every `--stride` rounds), and, with
+// `--minimize`, shrinks any failure to a minimal .scn repro (written into
+// `--repro-dir` when given). The report is byte-identical for any
+// `--jobs`/`--workers` values, like campaign reports.
 //
 // `run` stabilizes an Avatar(target) network from the chosen initial
 // topology and prints the convergence metrics (optionally a per-round phase
@@ -46,6 +55,7 @@
 #include "routing/protocol.hpp"
 #include "util/bitops.hpp"
 #include "util/log.hpp"
+#include "verify/fuzzer.hpp"
 
 using namespace chs;
 
@@ -372,6 +382,50 @@ int cmd_campaign(const Args& a) {
   return report.converged_jobs == report.jobs ? 0 : 1;
 }
 
+int cmd_fuzz(const Args& a) {
+  util::set_log_level(util::LogLevel::kError);
+  verify::FuzzOptions opt;
+  opt.seed = a.get_u64("seed", 1);
+  opt.budget = a.get_u64("budget", 16);
+  opt.jobs = std::max<std::size_t>(1, a.get_u64("jobs", 1));
+  opt.engine_workers = std::max<std::size_t>(1, a.get_u64("workers", 1));
+  opt.oracle.stride = std::max<std::uint64_t>(1, a.get_u64("stride", 1));
+  // --repro-dir exists to collect minimized .scn files; without
+  // minimization there would be nothing to write, so it implies --minimize.
+  opt.minimize = a.has("minimize") || a.has("repro-dir");
+  const auto report = verify::run_fuzz(opt);
+  if (!a.has("quiet")) {
+    std::fputs(report.to_text().c_str(), stdout);
+  } else {
+    // Even --quiet reports failures; silence is reserved for clean runs.
+    for (std::size_t i = 0; i < report.failures.size(); ++i) {
+      std::printf("failure %zu: case %llu: %s\n", i,
+                  static_cast<unsigned long long>(
+                      report.failures[i].case_index),
+                  report.failures[i].detail.c_str());
+    }
+  }
+  if (a.has("repro-dir")) {
+    for (const auto& f : report.failures) {
+      if (!f.minimized) continue;
+      const std::string path = std::string(a.get("repro-dir", ".")) + "/" +
+                               f.minimized->scenario.name + ".scn";
+      std::FILE* out = std::fopen(path.c_str(), "wb");
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        return 2;
+      }
+      const std::string text = f.minimized->scenario.to_text();
+      std::fwrite(text.data(), 1, text.size(), out);
+      std::fclose(out);
+      if (!a.has("quiet")) {
+        std::printf("wrote %s\n", path.c_str());
+      }
+    }
+  }
+  return report.failures.empty() ? 0 : 1;
+}
+
 // Flags shared by every engine-building subcommand.
 #define CHS_ENGINE_FLAGS "n", "N", "family", "seed", "target", "delay", \
                          "max-rounds", "workers", "fast-forward"
@@ -381,7 +435,7 @@ int cmd_campaign(const Args& a) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: chordsim run|route|churn|dot|kv|campaign "
+                 "usage: chordsim run|route|churn|dot|kv|campaign|fuzz "
                  "[--key value ...]\n");
     return 2;
   }
@@ -413,6 +467,12 @@ int main(int argc, char** argv) {
     static const char* const kFlags[] = {"jobs", "workers", "json", "csv",
                                          "quiet", nullptr};
     return cmd_campaign(parse(argc, argv, 2, kFlags, 1));
+  }
+  if (cmd == "fuzz") {
+    static const char* const kFlags[] = {"budget", "seed",    "stride",
+                                         "minimize", "jobs",  "workers",
+                                         "repro-dir", "quiet", nullptr};
+    return cmd_fuzz(parse(argc, argv, 2, kFlags));
   }
   std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
   return 2;
