@@ -19,6 +19,8 @@
 #include "core/network.hpp"
 #include "dht/kvstore.hpp"
 #include "graph/generators.hpp"
+#include "persist/fields.hpp"
+#include "persist/io.hpp"
 #include "stabilizer/guest_model.hpp"
 #include "topology/cbt.hpp"
 #include "topology/target.hpp"
@@ -273,6 +275,51 @@ void BM_OracleRound(benchmark::State& state) {
 }
 BENCHMARK(BM_OracleRound)->Arg(0)->Arg(1)->Arg(16)
     ->Unit(benchmark::kMillisecond);
+
+// Checkpoint/restore (DESIGN.md D9) on the busy 10k-host state: the
+// serialization load is 10k full HostStates (finger interval maps
+// included), snapshots, RNG streams, calendars, and topology. Checkpointing
+// is pull-based — there is no hook in step_round, so the checkpoint-off hot
+// path is byte-for-byte the PR 2 engine (the CI bench smoke pins
+// BM_EngineBusyRound and BM_OracleRound/0 against drift).
+void BM_CheckpointWrite(benchmark::State& state) {
+  auto& eng = quiescent_engine(chs::sim::StepMode::kAll);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    chs::persist::Writer w(chs::persist::BlobKind::kEngine);
+    eng.checkpoint(w);
+    bytes = w.bytes().size();
+    benchmark::DoNotOptimize(w.bytes().data());
+  }
+  state.counters["blob_bytes"] = static_cast<double>(bytes);
+  state.counters["hosts"] = kQuiescentHosts;
+}
+BENCHMARK(BM_CheckpointWrite)->Unit(benchmark::kMillisecond);
+
+void BM_RestoreRead(benchmark::State& state) {
+  auto& eng = quiescent_engine(chs::sim::StepMode::kAll);
+  chs::persist::Writer w(chs::persist::BlobKind::kEngine);
+  eng.checkpoint(w);
+  const std::vector<std::uint8_t> blob = w.take();
+  // Restore target: same recipe, never run (restore overwrites wholesale).
+  chs::util::Rng rng(1);
+  auto ids = chs::graph::sample_ids(kQuiescentHosts, kQuiescentGuests, rng);
+  chs::core::Params p;
+  p.n_guests = kQuiescentGuests;
+  auto target = chs::core::make_engine(
+      chs::core::scaffold_graph(std::move(ids), kQuiescentGuests), p, 1);
+  target->metrics().set_trace_recording(false);
+  for (auto _ : state) {
+    chs::persist::Reader r(blob);
+    bool ok = r.expect_header(chs::persist::BlobKind::kEngine).ok;
+    ok = ok && target->restore(r).ok;
+    if (!ok) state.SkipWithError("restore failed");
+    benchmark::DoNotOptimize(target->round());
+  }
+  state.counters["blob_bytes"] = static_cast<double>(blob.size());
+  state.counters["hosts"] = kQuiescentHosts;
+}
+BENCHMARK(BM_RestoreRead)->Unit(benchmark::kMillisecond);
 
 // Idle fast-forward: a two-node network where node 0 self-clocks every
 // 1000 rounds. With set_idle_fast_forward(true) each step_round() call

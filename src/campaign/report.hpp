@@ -68,6 +68,10 @@ struct JobResult {
 
 struct CampaignReport {
   std::string scenario;
+  /// Set when RunOptions::halt_after_checkpoints abandoned the run mid-way
+  /// (results are partial; resume from the checkpoint file). Never
+  /// serialized — JSON/CSV bytes are untouched by the checkpoint layer.
+  bool halted = false;
   std::size_t jobs = 0;
   std::size_t converged_jobs = 0;
   std::size_t events_total = 0;

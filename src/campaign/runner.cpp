@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
 #include <utility>
 
 #include "core/churn.hpp"
 #include "core/network.hpp"
+#include "persist/fields.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -27,6 +30,11 @@ constexpr std::uint64_t kLossStreamSalt = 0x517c'c1b7'2722'0a95ULL;
 /// sides) and the loss stream (per-delivery drop draws). Both are owned by
 /// the job thread and only ever touched from the engine's serial phases,
 /// so determinism is independent of every worker-count knob.
+///
+/// Checkpoint note (DESIGN.md D9): `sides` is pre-drawn in the constructor
+/// from a fresh event stream, so it is a pure function of (seed, scenario,
+/// ids) — a resumed job reconstructs the Adversary and then overwrites only
+/// the two RNG states, which restores every future draw exactly.
 struct Adversary {
   util::Rng ev_rng;
   util::Rng loss_rng;
@@ -102,8 +110,366 @@ void apply_event(core::StabEngine& eng, const TimelineEvent& ev,
   }
 }
 
-
 }  // namespace
+
+// --- JobRunner --------------------------------------------------------------
+
+struct JobRunner::Impl {
+  enum class Stage : std::uint8_t { kSetup = 0, kTimeline = 1, kFinished = 2 };
+
+  Scenario sc;  // owned copy: the runner may outlive a minimizer candidate
+  JobSpec spec;
+  JobProbe* probe = nullptr;
+  std::unique_ptr<core::StabEngine> eng;
+  std::vector<TimelineEvent> events;  // sorted by round (stable)
+  std::uint64_t t_end = 0;
+
+  Stage stage = Stage::kSetup;
+  std::uint64_t setup_rounds = 0;
+  JobResult out;
+  // Timeline state (live once stage == kTimeline).
+  std::optional<Adversary> adv;
+  std::uint64_t r0 = 0;        // engine round the timeline started at
+  std::uint64_t t = 0;         // current timeline round
+  std::uint64_t next_event = 0;
+  std::uint64_t executed = 0;
+  std::vector<std::uint64_t> pending;  // indices into out.events
+  // Timeline-phase metric baselines.
+  std::uint64_t msg0 = 0, drop0 = 0, adds0 = 0, dels0 = 0, resets0 = 0;
+  bool probe_finished = false;
+
+  bool probe_failed() const { return probe && probe->failed(); }
+
+  void install_filter() {
+    if (sc.losses.empty() && sc.partitions.empty()) return;
+    Adversary* a = &*adv;
+    const Scenario* s = &sc;
+    const std::uint64_t start = r0;
+    eng->set_delivery_filter([a, s, start](NodeId from, NodeId to,
+                                           std::uint64_t round) {
+      const std::uint64_t rel = round - start;
+      // Partition cuts are checked first; a cut message consumes no loss
+      // draw, so the loss stream's draw sequence is well-defined.
+      for (std::size_t w = 0; w < s->partitions.size(); ++w) {
+        const auto& win = s->partitions[w];
+        if (rel >= win.begin && rel < win.end &&
+            a->in_side_a(w, from) != a->in_side_a(w, to)) {
+          return false;
+        }
+      }
+      for (const LossWindow& win : s->losses) {
+        if (rel >= win.begin && rel < win.end &&
+            a->loss_rng.next_double() < win.rate) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+
+  void begin_timeline() {
+    // Timeline-phase baselines. Resets are saturated at finish because a
+    // state wipe zeroes the victim's reset counter.
+    msg0 = eng->metrics().messages();
+    drop0 = eng->metrics().messages_dropped();
+    adds0 = eng->metrics().edge_adds();
+    dels0 = eng->metrics().edge_dels();
+    resets0 = core::total_resets(*eng);
+    adv.emplace(spec.seed, sc, eng->graph().ids());
+    r0 = eng->round();
+    install_filter();
+    stage = Stage::kTimeline;
+  }
+
+  void finish_timeline() {
+    eng->set_delivery_filter({});  // adversary state dies with this runner
+    out.converged = core::is_converged(*eng);
+    out.rounds = executed;
+    out.messages = eng->metrics().messages() - msg0;
+    out.messages_dropped = eng->metrics().messages_dropped() - drop0;
+    out.edge_adds = eng->metrics().edge_adds() - adds0;
+    out.edge_dels = eng->metrics().edge_dels() - dels0;
+    const std::uint64_t resets1 = core::total_resets(*eng);
+    out.resets = resets1 > resets0 ? resets1 - resets0 : 0;
+    out.peak_degree = eng->metrics().peak_max_degree();
+    out.degree_expansion = eng->metrics().degree_expansion(eng->graph());
+    out.degree_trace = eng->metrics().max_degree_trace();
+    stage = Stage::kFinished;
+  }
+};
+
+JobRunner::JobRunner(const Scenario& sc, const JobSpec& spec,
+                     std::size_t engine_workers, JobProbe* probe)
+    : impl_(std::make_unique<Impl>()) {
+  CHS_CHECK_MSG(sc.validate().empty(), "scenario failed validation");
+  Impl& im = *impl_;
+  im.sc = sc;
+  im.spec = spec;
+  im.probe = probe;
+  im.out.spec = spec;
+
+  // Initial configuration: same (seed -> ids -> family) recipe as the
+  // experiment sweeps, so a campaign job is comparable to a sweep point.
+  util::Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 13);
+  auto ids = graph::sample_ids(spec.n_hosts, sc.n_guests, rng);
+  graph::Graph g = graph::make_family(spec.family, ids, rng);
+
+  core::Params params;
+  params.n_guests = sc.n_guests;
+  params.target = *target_by_name(sc.target);
+  params.delay_slack = sc.delay;
+  im.eng = core::make_engine(std::move(g), params, spec.seed);
+  im.eng->set_max_message_delay(sc.delay);
+  if (engine_workers > 1) im.eng->set_worker_threads(engine_workers);
+  if (probe) probe->attach(*im.eng);
+
+  // Apply in round order whatever order the events were declared in
+  // (parse_scenario pre-sorts; builder chains need not be monotone).
+  im.events = sc.events;
+  sort_events_by_round(im.events);
+  im.t_end = sc.timeline_end();
+
+  if (sc.start == StartMode::kConverged) {
+    im.stage = Impl::Stage::kSetup;
+  } else {
+    im.out.setup_converged = true;
+    im.begin_timeline();
+  }
+}
+
+JobRunner::~JobRunner() {
+  // The engine dies with impl_; a probe the caller owns must not keep an
+  // observer installed on it (TSan-caught: an abandoned mid-run job whose
+  // OracleProbe detached at probe destruction — after the engine was gone).
+  if (impl_ && impl_->probe) impl_->probe->abandon();
+}
+
+bool JobRunner::finished() const {
+  return impl_->stage == Impl::Stage::kFinished;
+}
+
+core::StabEngine& JobRunner::engine() { return *impl_->eng; }
+
+std::uint64_t JobRunner::engine_round() const { return impl_->eng->round(); }
+
+bool JobRunner::in_timeline() const {
+  return impl_->stage != Impl::Stage::kSetup;
+}
+
+std::uint64_t JobRunner::timeline_round() const { return impl_->t; }
+
+bool JobRunner::step() {
+  Impl& im = *impl_;
+  switch (im.stage) {
+    case Impl::Stage::kSetup: {
+      // The abort hook semantics of run_to_convergence: invariants must
+      // hold during stabilization too, so a hard-failing probe ends setup.
+      if (im.probe_failed() || core::is_converged(*im.eng) ||
+          im.setup_rounds >= im.sc.max_rounds) {
+        im.out.setup_converged = core::is_converged(*im.eng);
+        im.out.setup_rounds = im.setup_rounds;
+        if (!im.out.setup_converged) {  // nothing to attack; report failure
+          im.stage = Impl::Stage::kFinished;
+          return false;
+        }
+        im.begin_timeline();
+        return true;
+      }
+      im.eng->step_round();
+      ++im.setup_rounds;
+      return true;
+    }
+    case Impl::Stage::kTimeline: {
+      while (im.next_event < im.events.size() &&
+             im.events[im.next_event].round == im.t) {
+        apply_event(*im.eng, im.events[im.next_event], *im.adv);
+        im.out.events.push_back(
+            EventOutcome{im.events[im.next_event].kind, im.t, 0, false});
+        im.pending.push_back(im.out.events.size() - 1);
+        ++im.next_event;
+      }
+      // The O(hosts + edges) convergence scan runs only when its answer can
+      // matter: to end the job (everything applied, every window closed,
+      // nothing awaiting recovery) or to timestamp recoveries below. Gap
+      // rounds spent waiting for a future event or window skip it entirely.
+      if (im.next_event == im.events.size() && im.t >= im.t_end &&
+          im.pending.empty() && core::is_converged(*im.eng)) {
+        im.finish_timeline();
+        return false;
+      }
+      if (im.t >= im.sc.max_rounds) {  // budget exhausted
+        im.finish_timeline();
+        return false;
+      }
+      if (im.probe_failed()) {  // oracle hard failure
+        im.finish_timeline();
+        return false;
+      }
+      im.eng->step_round();
+      ++im.executed;
+      if (!im.pending.empty() && core::is_converged(*im.eng)) {
+        for (std::uint64_t p : im.pending) {
+          im.out.events[p].recovered = true;
+          im.out.events[p].recovery_rounds =
+              im.t + 1 - im.out.events[p].round;
+        }
+        im.pending.clear();
+      }
+      ++im.t;
+      return true;
+    }
+    case Impl::Stage::kFinished:
+      return false;
+  }
+  return false;
+}
+
+void JobRunner::run(const RoundHook& hook) {
+  while (step()) {
+    if (hook && !hook(*this)) return;
+  }
+}
+
+JobResult JobRunner::result() {
+  Impl& im = *impl_;
+  CHS_CHECK_MSG(im.stage == Impl::Stage::kFinished,
+                "JobRunner::result() before the job finished");
+  if (im.probe && !im.probe_finished) {
+    im.probe->finish(im.out);
+    im.probe_finished = true;
+  }
+  return im.out;
+}
+
+void JobRunner::checkpoint(persist::Writer& w) {
+  Impl& im = *impl_;
+  w.begin_section(persist::tag4("JOBR"));
+  w(im.spec);
+  w(im.stage);
+  w(im.setup_rounds);
+  w(im.out);
+  w(im.r0);
+  w(im.t);
+  w(im.next_event);
+  w(im.executed);
+  w(im.pending);
+  w(im.msg0);
+  w(im.drop0);
+  w(im.adds0);
+  w(im.dels0);
+  w(im.resets0);
+  const bool has_adv = im.adv.has_value();
+  w(has_adv);
+  if (has_adv) {
+    // `sides` is reconstructed deterministically; only the stream states
+    // are true dynamic state.
+    w(im.adv->ev_rng);
+    w(im.adv->loss_rng);
+  }
+  const bool has_probe = im.probe != nullptr;
+  w(has_probe);
+  w.end_section();
+
+  w.begin_section(persist::tag4("ENGB"));
+  persist::Writer ew(persist::BlobKind::kEngine);
+  im.eng->checkpoint(ew);
+  w(ew.bytes());
+  w.end_section();
+
+  w.begin_section(persist::tag4("PROB"));
+  if (im.probe) im.probe->checkpoint(w);
+  w.end_section();
+}
+
+persist::Status JobRunner::restore(persist::Reader& r) {
+  Impl& im = *impl_;
+  if (auto s = r.validate_sections(); !s.ok) return s;
+
+  if (auto s = r.open_section(persist::tag4("JOBR")); !s.ok) return s;
+  JobSpec spec_in;
+  r(spec_in);
+  if (r.ok() && (spec_in.index != im.spec.index ||
+                 spec_in.family != im.spec.family ||
+                 spec_in.n_hosts != im.spec.n_hosts ||
+                 spec_in.seed != im.spec.seed)) {
+    return persist::Status::failure("checkpoint is for a different job");
+  }
+  r(im.stage);
+  r(im.setup_rounds);
+  r(im.out);
+  r(im.r0);
+  r(im.t);
+  r(im.next_event);
+  r(im.executed);
+  r(im.pending);
+  r(im.msg0);
+  r(im.drop0);
+  r(im.adds0);
+  r(im.dels0);
+  r(im.resets0);
+  bool has_adv = false;
+  r(has_adv);
+  util::Rng ev_rng, loss_rng;
+  if (has_adv) {
+    r(ev_rng);
+    r(loss_rng);
+  }
+  bool has_probe = false;
+  r(has_probe);
+  if (r.ok() && has_probe != (im.probe != nullptr)) {
+    return persist::Status::failure(
+        "probe configuration differs from the checkpointed job");
+  }
+  if (auto s = r.close_section(); !s.ok) return s;
+  if (im.next_event > im.events.size()) {
+    return persist::Status::failure("event cursor out of range");
+  }
+  for (std::uint64_t p : im.pending) {
+    if (p >= im.out.events.size()) {
+      return persist::Status::failure("pending event index out of range");
+    }
+  }
+
+  if (auto s = r.open_section(persist::tag4("ENGB")); !s.ok) return s;
+  std::vector<std::uint8_t> blob;
+  r(blob);
+  if (auto s = r.close_section(); !s.ok) return s;
+  persist::Reader er(blob);
+  if (auto s = er.expect_header(persist::BlobKind::kEngine); !s.ok) return s;
+  if (auto s = im.eng->restore(er); !s.ok) return s;
+  if (auto s = er.expect_end(); !s.ok) return s;
+
+  if (auto s = r.open_section(persist::tag4("PROB")); !s.ok) return s;
+  if (im.probe) {
+    if (auto s = im.probe->restore(r); !s.ok) return s;
+  }
+  if (auto s = r.close_section(); !s.ok) return s;
+  if (!r.ok()) return r.status();
+
+  if (im.stage == Impl::Stage::kTimeline) {
+    // Rebuild the adversary (sides are a pure function of seed/scenario/
+    // ids), then restore the stream states so every future draw continues
+    // exactly where the snapshot left off. A finished-stage snapshot needs
+    // neither: the filter is uninstalled at finish.
+    if (!has_adv) {
+      return persist::Status::failure("timeline snapshot without adversary");
+    }
+    im.adv.emplace(im.spec.seed, im.sc, im.eng->graph().ids());
+    im.adv->ev_rng = ev_rng;
+    im.adv->loss_rng = loss_rng;
+    im.install_filter();
+  }
+  return {};
+}
+
+JobResult run_job(const Scenario& sc, const JobSpec& spec,
+                  std::size_t engine_workers, JobProbe* probe) {
+  JobRunner runner(sc, spec, engine_workers, probe);
+  runner.run();
+  return runner.result();
+}
+
+// --- campaign checkpoint file ------------------------------------------------
 
 std::vector<JobSpec> expand_jobs(const Scenario& sc) {
   std::vector<JobSpec> jobs;
@@ -119,155 +485,163 @@ std::vector<JobSpec> expand_jobs(const Scenario& sc) {
   return jobs;
 }
 
-JobResult run_job(const Scenario& sc, const JobSpec& spec,
-                  std::size_t engine_workers, JobProbe* probe) {
-  CHS_CHECK_MSG(sc.validate().empty(), "scenario failed validation");
-  JobResult out;
-  out.spec = spec;
-
-  // Initial configuration: same (seed -> ids -> family) recipe as the
-  // experiment sweeps, so a campaign job is comparable to a sweep point.
-  util::Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 13);
-  auto ids = graph::sample_ids(spec.n_hosts, sc.n_guests, rng);
-  graph::Graph g = graph::make_family(spec.family, ids, rng);
-
-  core::Params params;
-  params.n_guests = sc.n_guests;
-  params.target = *target_by_name(sc.target);
-  params.delay_slack = sc.delay;
-  auto eng = core::make_engine(std::move(g), params, spec.seed);
-  eng->set_max_message_delay(sc.delay);
-  if (engine_workers > 1) eng->set_worker_threads(engine_workers);
-  if (probe) probe->attach(*eng);
-
-  if (sc.start == StartMode::kConverged) {
-    // The abort hook lets a hard-failing probe end the setup phase too:
-    // invariants must hold during stabilization, not just the timeline.
-    const std::function<bool()> probe_failed = [probe] {
-      return probe && probe->failed();
-    };
-    const auto res =
-        core::run_to_convergence(*eng, sc.max_rounds, &probe_failed);
-    out.setup_converged = res.converged;
-    out.setup_rounds = res.rounds;
-    if (!res.converged) {  // nothing to attack; report the failure
-      if (probe) probe->finish(out);
-      return out;
+persist::Status write_campaign_checkpoint(
+    const std::string& path, const Scenario& sc,
+    const std::vector<JobCheckpoint>& jobs) {
+  persist::Writer w(persist::BlobKind::kCampaign);
+  w.begin_section(persist::tag4("SCEN"));
+  w(sc.to_text());
+  const std::uint64_t n = jobs.size();
+  w(n);
+  w.end_section();
+  for (const JobCheckpoint& jc : jobs) {
+    w.begin_section(persist::tag4("JOB "));
+    w(jc.state);
+    switch (jc.state) {
+      case JobCheckpoint::State::kPending:
+        break;
+      case JobCheckpoint::State::kInProgress:
+        w(jc.snapshot);
+        break;
+      case JobCheckpoint::State::kDone:
+        w(jc.result);
+        break;
     }
-  } else {
-    out.setup_converged = true;
+    w.end_section();
   }
-
-  // Timeline-phase baselines. total_resets is saturated below because a
-  // state wipe zeroes the victim's reset counter.
-  const std::uint64_t msg0 = eng->metrics().messages();
-  const std::uint64_t drop0 = eng->metrics().messages_dropped();
-  const std::uint64_t adds0 = eng->metrics().edge_adds();
-  const std::uint64_t dels0 = eng->metrics().edge_dels();
-  const std::uint64_t resets0 = core::total_resets(*eng);
-
-  Adversary adv(spec.seed, sc, eng->graph().ids());
-  const std::uint64_t r0 = eng->round();
-  if (!sc.losses.empty() || !sc.partitions.empty()) {
-    eng->set_delivery_filter([&adv, &sc, r0](NodeId from, NodeId to,
-                                             std::uint64_t round) {
-      const std::uint64_t t = round - r0;
-      // Partition cuts are checked first; a cut message consumes no loss
-      // draw, so the loss stream's draw sequence is well-defined.
-      for (std::size_t w = 0; w < sc.partitions.size(); ++w) {
-        const auto& win = sc.partitions[w];
-        if (t >= win.begin && t < win.end &&
-            adv.in_side_a(w, from) != adv.in_side_a(w, to)) {
-          return false;
-        }
-      }
-      for (const LossWindow& win : sc.losses) {
-        if (t >= win.begin && t < win.end &&
-            adv.loss_rng.next_double() < win.rate) {
-          return false;
-        }
-      }
-      return true;
-    });
-  }
-
-  // Drive the timeline: apply events due at t, then execute round t.
-  // The job ends when every event is applied, every window has closed, no
-  // event still awaits recovery, and the network is converged — or when
-  // the budget runs out.
-  struct Pending {
-    std::size_t event_index;  // into out.events
-  };
-  std::vector<Pending> pending;
-  // Apply in round order whatever order the events were declared in
-  // (parse_scenario pre-sorts; builder chains need not be monotone).
-  std::vector<TimelineEvent> events(sc.events);
-  sort_events_by_round(events);
-  const std::uint64_t t_end = sc.timeline_end();
-  std::size_t next_event = 0;
-  std::uint64_t executed = 0;
-  for (std::uint64_t t = 0;; ++t) {
-    while (next_event < events.size() && events[next_event].round == t) {
-      apply_event(*eng, events[next_event], adv);
-      out.events.push_back(EventOutcome{events[next_event].kind, t, 0,
-                                        false});
-      pending.push_back(Pending{out.events.size() - 1});
-      ++next_event;
-    }
-    // The O(hosts + edges) convergence scan runs only when its answer can
-    // matter: to end the job (everything applied, every window closed,
-    // nothing awaiting recovery) or to timestamp recoveries below. Gap
-    // rounds spent waiting for a future event or window skip it entirely.
-    if (next_event == events.size() && t >= t_end && pending.empty() &&
-        core::is_converged(*eng)) {
-      break;
-    }
-    if (t >= sc.max_rounds) break;  // budget exhausted
-    if (probe && probe->failed()) break;  // oracle hard failure
-    eng->step_round();
-    ++executed;
-    if (!pending.empty() && core::is_converged(*eng)) {
-      for (const Pending& p : pending) {
-        out.events[p.event_index].recovered = true;
-        out.events[p.event_index].recovery_rounds =
-            t + 1 - out.events[p.event_index].round;
-      }
-      pending.clear();
-    }
-  }
-  eng->set_delivery_filter({});  // adversary state dies with this frame
-
-  out.converged = core::is_converged(*eng);
-  out.rounds = executed;
-  out.messages = eng->metrics().messages() - msg0;
-  out.messages_dropped = eng->metrics().messages_dropped() - drop0;
-  out.edge_adds = eng->metrics().edge_adds() - adds0;
-  out.edge_dels = eng->metrics().edge_dels() - dels0;
-  const std::uint64_t resets1 = core::total_resets(*eng);
-  out.resets = resets1 > resets0 ? resets1 - resets0 : 0;
-  out.peak_degree = eng->metrics().peak_max_degree();
-  out.degree_expansion = eng->metrics().degree_expansion(eng->graph());
-  out.degree_trace = eng->metrics().max_degree_trace();
-  if (probe) probe->finish(out);
-  return out;
+  return persist::write_file(path, w.bytes());
 }
+
+persist::Status read_campaign_checkpoint(const std::string& path,
+                                         const Scenario& sc,
+                                         std::vector<JobCheckpoint>& out) {
+  std::vector<std::uint8_t> bytes;
+  if (auto s = persist::read_file(path, bytes); !s.ok) return s;
+  persist::Reader r(bytes);
+  if (auto s = r.expect_header(persist::BlobKind::kCampaign); !s.ok) return s;
+  if (auto s = r.validate_sections(); !s.ok) return s;
+  if (auto s = r.open_section(persist::tag4("SCEN")); !s.ok) return s;
+  std::string text;
+  std::uint64_t n = 0;
+  r(text);
+  r(n);
+  if (auto s = r.close_section(); !s.ok) return s;
+  if (r.ok() && text != sc.to_text()) {
+    return persist::Status::failure(
+        "checkpoint belongs to a different scenario (stale file?)");
+  }
+  if (r.ok() && n != sc.num_jobs()) {
+    return persist::Status::failure("checkpoint job count mismatch");
+  }
+  out.assign(static_cast<std::size_t>(n), {});
+  for (JobCheckpoint& jc : out) {
+    if (auto s = r.open_section(persist::tag4("JOB ")); !s.ok) return s;
+    r(jc.state);
+    switch (jc.state) {
+      case JobCheckpoint::State::kPending:
+        break;
+      case JobCheckpoint::State::kInProgress:
+        r(jc.snapshot);
+        break;
+      case JobCheckpoint::State::kDone:
+        r(jc.result);
+        break;
+      default:
+        return persist::Status::failure("unknown job state in checkpoint");
+    }
+    if (auto s = r.close_section(); !s.ok) return s;
+  }
+  if (auto s = r.expect_end(); !s.ok) return s;
+  return r.status();
+}
+
+// --- campaign runner ---------------------------------------------------------
 
 CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
   CHS_CHECK_MSG(sc.validate().empty(), "scenario failed validation");
   const std::vector<JobSpec> jobs = expand_jobs(sc);
   std::vector<JobResult> results(jobs.size());
 
+  const bool checkpointing = !opts.checkpoint_path.empty();
+  std::vector<JobCheckpoint> states(jobs.size());
+  if (!opts.resume_path.empty()) {
+    const auto s = read_campaign_checkpoint(opts.resume_path, sc, states);
+    CHS_CHECK_MSG(s.ok, s.error.c_str());
+  }
+
+  // Shared checkpoint-file state. Jobs only ever write their own slot, but
+  // every flush serializes all slots, so slot writes and flushes share one
+  // mutex; the job simulations themselves never touch it.
+  std::mutex mu;
+  std::uint64_t writes = 0;
+  std::atomic<bool> halted{false};
+  const auto commit_and_flush = [&](std::size_t i, JobCheckpoint jc) {
+    std::lock_guard<std::mutex> lock(mu);
+    states[i] = std::move(jc);
+    const auto s = write_campaign_checkpoint(opts.checkpoint_path, sc, states);
+    CHS_CHECK_MSG(s.ok, s.error.c_str());
+    ++writes;
+    if (opts.halt_after_checkpoints != 0 &&
+        writes >= opts.halt_after_checkpoints) {
+      halted.store(true, std::memory_order_relaxed);
+    }
+  };
+
   const auto run_one = [&](std::size_t i) {
+    if (states[i].state == JobCheckpoint::State::kDone) {
+      results[i] = states[i].result;  // resume: recorded result reused
+      return;
+    }
     std::unique_ptr<JobProbe> probe =
         opts.probe ? opts.probe(jobs[i]) : nullptr;
-    results[i] = run_job(sc, jobs[i], opts.engine_workers, probe.get());
+    JobRunner runner(sc, jobs[i], opts.engine_workers, probe.get());
+    if (states[i].state == JobCheckpoint::State::kInProgress) {
+      persist::Reader r(states[i].snapshot);
+      auto s = r.expect_header(persist::BlobKind::kJob);
+      if (s.ok) s = runner.restore(r);
+      if (s.ok) s = r.expect_end();
+      CHS_CHECK_MSG(s.ok, s.error.c_str());
+    }
+    JobRunner::RoundHook hook;
+    std::uint64_t last_snapshot_round = runner.engine_round();
+    if (checkpointing && opts.checkpoint_every > 0) {
+      hook = [&](JobRunner& jr) {
+        if (halted.load(std::memory_order_relaxed)) return false;
+        if (jr.engine_round() - last_snapshot_round >= opts.checkpoint_every) {
+          last_snapshot_round = jr.engine_round();
+          persist::Writer w(persist::BlobKind::kJob);
+          jr.checkpoint(w);
+          JobCheckpoint jc;
+          jc.state = JobCheckpoint::State::kInProgress;
+          jc.snapshot = w.take();
+          commit_and_flush(i, std::move(jc));
+        }
+        return !halted.load(std::memory_order_relaxed);
+      };
+    } else if (opts.halt_after_checkpoints != 0) {
+      hook = [&](JobRunner&) {
+        return !halted.load(std::memory_order_relaxed);
+      };
+    }
+    runner.run(hook);
+    if (!runner.finished()) return;  // halted mid-job; snapshot stands
+    results[i] = runner.result();
+    if (checkpointing) {
+      JobCheckpoint jc;
+      jc.state = JobCheckpoint::State::kDone;
+      jc.result = results[i];
+      commit_and_flush(i, std::move(jc));
+    }
   };
 
   const std::size_t k =
       std::min(std::max<std::size_t>(1, opts.jobs), std::max<std::size_t>(
                                                         1, jobs.size()));
   if (k == 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (halted.load(std::memory_order_relaxed)) break;
+      run_one(i);
+    }
   } else {
     // Dynamic claiming balances wildly uneven job lengths; determinism is
     // untouched because each job is self-contained and lands in its own
@@ -275,6 +649,7 @@ CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
     std::atomic<std::size_t> next{0};
     const auto work = [&]() {
       for (;;) {
+        if (halted.load(std::memory_order_relaxed)) return;
         const std::size_t i = next.fetch_add(1);
         if (i >= jobs.size()) return;
         run_one(i);
@@ -286,7 +661,9 @@ CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
     work();  // the caller participates
     for (std::thread& th : threads) th.join();
   }
-  return make_report(sc, std::move(results));
+  CampaignReport report = make_report(sc, std::move(results));
+  report.halted = halted.load(std::memory_order_relaxed);
+  return report;
 }
 
 }  // namespace chs::campaign

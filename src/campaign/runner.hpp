@@ -19,10 +19,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "campaign/report.hpp"
 #include "campaign/scenario.hpp"
+#include "persist/io.hpp"
 
 namespace chs::campaign {
 
@@ -43,17 +45,79 @@ class JobProbe {
   virtual void attach(core::StabEngine& eng) = 0;
   virtual bool failed() const = 0;
   virtual void finish(JobResult& out) = 0;
+
+  /// Checkpoint/resume (DESIGN.md D9): a probe with internal incremental
+  /// state serializes it here so a resumed job reports the same probe
+  /// verdict and counters as the uninterrupted run. The writes land inside
+  /// a section JobRunner::checkpoint owns; stateless probes keep the
+  /// default no-ops. restore() runs after attach() and after the engine
+  /// state is restored, on a freshly constructed probe.
+  virtual void checkpoint(persist::Writer& w) const { (void)w; }
+  virtual persist::Status restore(persist::Reader& r) {
+    (void)r;
+    return {};
+  }
+
+  /// The runner owning this probe is going away — drop every reference
+  /// into its engine NOW (the engine dies with the runner). Invoked by
+  /// ~JobRunner for jobs abandoned mid-run (a campaign halt, a minimizer
+  /// time-travel capture); must be idempotent with finish().
+  virtual void abandon() {}
 };
 
 /// Factory invoked once per job, on the job's thread, before the engine is
 /// built. May return nullptr to leave a job unprobed.
 using ProbeFactory = std::function<std::unique_ptr<JobProbe>(const JobSpec&)>;
 
-/// Execute one job: build the initial configuration, optionally stabilize
-/// (StartMode::kConverged), then drive the timeline — applying round-indexed
-/// events and maintaining the loss/partition delivery filter — until every
-/// event and window has passed and the network has reconverged, or the
-/// round budget runs out. The scenario must validate() clean.
+/// One job as a resumable state machine (DESIGN.md D9): build the initial
+/// configuration, optionally stabilize (StartMode::kConverged), then drive
+/// the timeline — applying round-indexed events and maintaining the
+/// loss/partition delivery filter — until every event and window has passed
+/// and the network has reconverged, or the round budget runs out. run_job
+/// is the one-shot wrapper; this class exists so the campaign runner can
+/// snapshot a job mid-flight and the minimizer can time-travel into one.
+///
+/// checkpoint() serializes the engine blob plus the loop state (stage,
+/// timeline cursor, adversary RNG streams, partial JobResult, probe state);
+/// restore() expects a freshly constructed runner with the same scenario,
+/// spec, and probe configuration, and resumes bit-for-bit: the finished
+/// job's result is byte-identical to the uninterrupted run's.
+class JobRunner {
+ public:
+  JobRunner(const Scenario& sc, const JobSpec& spec,
+            std::size_t engine_workers = 1, JobProbe* probe = nullptr);
+  ~JobRunner();
+  JobRunner(const JobRunner&) = delete;
+  JobRunner& operator=(const JobRunner&) = delete;
+
+  /// Advance one engine round (or one phase transition). False once done.
+  bool step();
+  bool finished() const;
+
+  /// Invoked between rounds while run() drives the job; return false to
+  /// pause (the runner stays resumable in-process or via checkpoint()).
+  using RoundHook = std::function<bool(JobRunner&)>;
+  void run(const RoundHook& hook = {});
+
+  core::StabEngine& engine();
+  std::uint64_t engine_round() const;
+  /// True once the setup phase is over and the adversarial timeline drives.
+  bool in_timeline() const;
+  /// Timeline rounds begun (0 during setup).
+  std::uint64_t timeline_round() const;
+
+  /// Final result; valid once finished() (detaches/annotates the probe).
+  JobResult result();
+
+  void checkpoint(persist::Writer& w);
+  persist::Status restore(persist::Reader& r);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Execute one job start to finish. Exactly JobRunner{...}.run() + result().
 JobResult run_job(const Scenario& sc, const JobSpec& spec,
                   std::size_t engine_workers = 1, JobProbe* probe = nullptr);
 
@@ -61,10 +125,55 @@ struct RunOptions {
   std::size_t jobs = 1;            // parallel job-runner threads
   std::size_t engine_workers = 1;  // Engine::set_worker_threads per job
   ProbeFactory probe;              // optional per-job verification probe
+
+  // --- checkpoint/resume (DESIGN.md D9) ---
+  /// When set, the campaign maintains a checkpoint file at this path:
+  /// rewritten (atomically) whenever a job completes, and — with
+  /// checkpoint_every > 0 — whenever a running job crosses that many engine
+  /// rounds since its last snapshot. Jobs checkpoint independently; the
+  /// final report's bytes are identical to a run without checkpointing.
+  ///
+  /// Cost model: every flush re-serializes the WHOLE file (all jobs'
+  /// snapshots) under one mutex — the price of a single atomically
+  /// renamed resume file. With J parallel jobs snapshotting every R
+  /// rounds, checkpoint I/O per interval is O(J^2 x snapshot size), so
+  /// pick R large enough that snapshots are rare next to round cost
+  /// (campaign-scale engines snapshot in tens of KB; a 10k-host engine is
+  /// ~26 MB — see BM_CheckpointWrite — and wants a sparse cadence).
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 0;
+  /// When set, load this checkpoint first: done jobs keep their recorded
+  /// results, in-progress jobs resume from their snapshots, pending jobs
+  /// run from scratch. The file must belong to the same scenario (verified
+  /// against Scenario::to_text) or the load fails loudly.
+  std::string resume_path;
+  /// Test/CI hook: abandon the campaign (CampaignReport::halted) after this
+  /// many checkpoint-file writes, leaving a genuinely mid-run file behind
+  /// for a --resume equivalence check. 0 = never halt.
+  std::uint64_t halt_after_checkpoints = 0;
 };
 
+/// Per-job slot of a campaign checkpoint file.
+struct JobCheckpoint {
+  enum class State : std::uint8_t { kPending = 0, kInProgress = 1, kDone = 2 };
+  State state = State::kPending;
+  std::vector<std::uint8_t> snapshot;  // kInProgress: a BlobKind::kJob blob
+  JobResult result;                    // kDone
+};
+
+/// Serialize/load a campaign checkpoint (BlobKind::kCampaign). The scenario
+/// text is embedded and verified on load so a stale file from a different
+/// scenario fails loudly instead of resuming nonsense.
+persist::Status write_campaign_checkpoint(const std::string& path,
+                                          const Scenario& sc,
+                                          const std::vector<JobCheckpoint>& jobs);
+persist::Status read_campaign_checkpoint(const std::string& path,
+                                         const Scenario& sc,
+                                         std::vector<JobCheckpoint>& out);
+
 /// Run the whole campaign. The report (and its JSON/CSV serializations) is
-/// byte-identical for any RunOptions — parallelism trades wall clock only.
+/// byte-identical for any RunOptions — parallelism and checkpointing trade
+/// wall clock and durability only.
 CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts = {});
 
 }  // namespace chs::campaign

@@ -62,6 +62,15 @@ class Graph {
   /// Structural equality of vertex sets and edge sets.
   bool same_topology(const Graph& other) const;
 
+  /// Checkpoint/restore (DESIGN.md D9): the edge set is distributed state in
+  /// the overlay model, so the whole adjacency round-trips exactly.
+  template <typename A>
+  void persist_fields(A& a) {
+    a(ids_);
+    a(adj_);
+    a(num_edges_);
+  }
+
  private:
   std::vector<NodeId> ids_;               // sorted
   std::vector<std::vector<NodeId>> adj_;  // adj_[i] sorted by id

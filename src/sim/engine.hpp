@@ -52,11 +52,13 @@
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "persist/io.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler.hpp"
@@ -628,6 +630,10 @@ class Engine {
     return delayed_.size() + holds_.size() + wakeups_.size();
   }
 
+  /// Held self-messages currently scheduled (D2 pacing); the persist tests
+  /// use this to pin checkpoints that land on a pending multi-round hold.
+  std::size_t pending_holds() const { return holds_.size(); }
+
   std::size_t peak_bucket_occupancy() const {
     return std::max({delayed_.peak_bucket_occupancy(),
                      holds_.peak_bucket_occupancy(),
@@ -646,16 +652,241 @@ class Engine {
     return {round_ - start, done(*this)};
   }
 
+  // --- checkpoint / deterministic resume (DESIGN.md D9) ---------------------
+
+  /// Serialize the complete dynamic simulation state: round counter, the
+  /// three calendars (due rounds and FIFO order verbatim), mailbox arenas,
+  /// topology, every per-node protocol and delay RNG stream, node states and
+  /// public snapshots, the active set, and RunMetrics. A run restored from
+  /// this blob continues with traces, metrics, and derived report bytes
+  /// bit-for-bit identical to the uninterrupted run, at any worker count.
+  ///
+  /// Must be called between rounds (outside step_round). Wall-clock and
+  /// debug configuration — worker threads, idle fast-forward, delivery
+  /// filter, round observer, edge-delete tracing — is deliberately *not*
+  /// state and is neither saved nor touched by restore: it belongs to the
+  /// process hosting the run, not to the run.
+  ///
+  /// If the protocol declares `persist_fields(A&)`, its between-round
+  /// dynamic knobs (e.g. the stabilizer's frozen flag) ride along; protocol
+  /// *configuration* (Params, target) is the caller's job — restore onto an
+  /// engine rebuilt with the same recipe.
+  void checkpoint(persist::Writer& w) {
+    CHS_CHECK_MSG(pending_adds_.empty() && pending_deletes_.empty(),
+                  "checkpoint must be taken between rounds");
+    w.begin_section(persist::tag4("GRPH"));
+    w(graph_);
+    w.end_section();
+    w.begin_section(persist::tag4("ENGN"));
+    w(round_);
+    w(round_actions_);
+    w(quiescent_streak_);
+    w(step_mode_);
+    w(max_delay_);
+    w(root_rng_);
+    w(rngs_);
+    w(delay_rngs_);
+    w(woken_);
+    w(stepped_);
+    w(dirty_);
+    w.end_section();
+    w.begin_section(persist::tag4("CALS"));
+    w(delayed_);
+    w(holds_);
+    w(wakeups_);
+    w.end_section();
+    w.begin_section(persist::tag4("MAIL"));
+    w(mail_);
+    w.end_section();
+    w.begin_section(persist::tag4("STAT"));
+    w(states_);
+    w.end_section();
+    w.begin_section(persist::tag4("PUBS"));
+    w(publics_);
+    w.end_section();
+    w.begin_section(persist::tag4("METR"));
+    w(metrics_);
+    w.end_section();
+    w.begin_section(persist::tag4("PROT"));
+    if constexpr (requires(persist::Writer& a) { protocol_.persist_fields(a); }) {
+      w(protocol_);
+    }
+    w.end_section();
+  }
+
+  /// Restore a checkpoint taken by checkpoint() onto this engine. The
+  /// engine must have been built with the same recipe (same host-id set and
+  /// protocol configuration); everything dynamic is overwritten wholesale —
+  /// including the public snapshots, so no republish (which would wake every
+  /// node and perturb the active set) happens.
+  ///
+  /// All section CRCs are verified before any member mutates; corrupt,
+  /// truncated, or stale blobs return a failed Status naming the problem and
+  /// leave the engine untouched. The caller owns the header: a typical
+  /// sequence is `Reader r(bytes); r.expect_header(BlobKind::kEngine);
+  /// eng.restore(r);`.
+  persist::Status restore(persist::Reader& r) {
+    if (auto s = r.validate_sections(); !s.ok) return s;
+
+    graph::Graph g;
+    if (auto s = r.open_section(persist::tag4("GRPH")); !s.ok) return s;
+    r(g);
+    if (auto s = r.close_section(); !s.ok) return s;
+    if (g.ids() != graph_.ids()) {
+      return persist::Status::failure(
+          "checkpoint host set does not match this engine");
+    }
+    const std::size_t n = graph_.size();
+
+    std::uint64_t round = 0, round_actions = 0, quiescent_streak = 0;
+    StepMode step_mode = StepMode::kAll;
+    std::uint32_t max_delay = 1;
+    util::Rng root_rng;
+    std::vector<util::Rng> rngs, delay_rngs;
+    std::vector<NodeIndex> woken, stepped, dirty;
+    if (auto s = r.open_section(persist::tag4("ENGN")); !s.ok) return s;
+    r(round);
+    r(round_actions);
+    r(quiescent_streak);
+    r(step_mode);
+    r(max_delay);
+    r(root_rng);
+    r(rngs);
+    r(delay_rngs);
+    r(woken);
+    r(stepped);
+    r(dirty);
+    if (auto s = r.close_section(); !s.ok) return s;
+
+    CalendarQueue<SendEvent> delayed;
+    CalendarQueue<HoldEvent> holds;
+    CalendarQueue<NodeIndex> wakeups;
+    if (auto s = r.open_section(persist::tag4("CALS")); !s.ok) return s;
+    r(delayed);
+    r(holds);
+    r(wakeups);
+    if (auto s = r.close_section(); !s.ok) return s;
+
+    MailboxPool<Message> mail;
+    if (auto s = r.open_section(persist::tag4("MAIL")); !s.ok) return s;
+    r(mail);
+    if (auto s = r.close_section(); !s.ok) return s;
+
+    std::vector<NodeState> states;
+    if (auto s = r.open_section(persist::tag4("STAT")); !s.ok) return s;
+    r(states);
+    if (auto s = r.close_section(); !s.ok) return s;
+
+    std::vector<PublicState> publics;
+    if (auto s = r.open_section(persist::tag4("PUBS")); !s.ok) return s;
+    r(publics);
+    if (auto s = r.close_section(); !s.ok) return s;
+
+    RunMetrics metrics;
+    if (auto s = r.open_section(persist::tag4("METR")); !s.ok) return s;
+    r(metrics);
+    if (auto s = r.close_section(); !s.ok) return s;
+
+    if (!r.ok()) return r.status();
+    if (rngs.size() != n || delay_rngs.size() != n || states.size() != n ||
+        publics.size() != n) {
+      return persist::Status::failure("checkpoint node-count mismatch");
+    }
+    // Every restored node index must be in range before commit: the CRCs
+    // reject corruption, but a stale blob with a valid checksum must fail
+    // with a Status here, not index out of bounds in the next round.
+    bool indices_ok = true;
+    for (const auto* idxs : {&woken, &stepped, &dirty}) {
+      for (NodeIndex i : *idxs) indices_ok &= i < n;
+    }
+    delayed.for_each_event([&](const SendEvent& e) { indices_ok &= e.to < n; });
+    holds.for_each_event([&](const HoldEvent& e) { indices_ok &= e.to < n; });
+    wakeups.for_each_event([&](const NodeIndex& i) { indices_ok &= i < n; });
+    if (!indices_ok) {
+      return persist::Status::failure("node index out of range");
+    }
+    if (!mail.consistent_for(n)) {
+      return persist::Status::failure("mailbox arena inconsistent");
+    }
+
+    // Protocol dynamic knobs: staged in a copy when the protocol type
+    // allows it, so a layout mismatch in this last section cannot leave
+    // half-read knobs behind on an otherwise-untouched engine.
+    std::optional<P> staged_protocol;
+    if (auto s = r.open_section(persist::tag4("PROT")); !s.ok) return s;
+    if constexpr (requires(persist::Reader& a) { protocol_.persist_fields(a); }) {
+      if constexpr (std::copy_constructible<P> &&
+                    std::is_copy_assignable_v<P>) {
+        staged_protocol.emplace(protocol_);
+        r(*staged_protocol);
+      } else {
+        r(protocol_);  // non-copyable protocol: reads in place
+      }
+    }
+    if (auto s = r.close_section(); !s.ok) return s;
+    if (!r.ok()) return r.status();
+
+    // --- commit -------------------------------------------------------------
+    if (staged_protocol) protocol_ = std::move(*staged_protocol);
+    graph_ = std::move(g);
+    round_ = round;
+    round_actions_ = round_actions;
+    quiescent_streak_ = quiescent_streak;
+    step_mode_ = step_mode;
+    max_delay_ = max_delay;
+    root_rng_ = root_rng;
+    rngs_ = std::move(rngs);
+    delay_rngs_ = std::move(delay_rngs);
+    woken_ = std::move(woken);
+    stepped_ = std::move(stepped);
+    dirty_ = std::move(dirty);
+    delayed_ = std::move(delayed);
+    holds_ = std::move(holds);
+    wakeups_ = std::move(wakeups);
+    mail_ = std::move(mail);
+    states_ = std::move(states);
+    publics_ = std::move(publics);
+    metrics_ = std::move(metrics);
+    woken_mark_.assign(n, 0);
+    for (NodeIndex i : woken_) woken_mark_[i] = 1;
+    dirty_mark_.assign(n, 0);
+    for (NodeIndex i : dirty_) dirty_mark_[i] = 1;
+    topo_changed_ = false;
+    pending_adds_.clear();
+    pending_deletes_.clear();
+    pending_delete_sites_.clear();
+    observed_deltas_.clear();
+    // Derived per-node caches (e.g. the stabilizer's fragment geometry) are
+    // recomputed rather than serialized: they are pure functions of the
+    // restored state, and recomputation cannot drift from it.
+    if constexpr (requires(NodeState& st) { protocol_.on_restore(st); }) {
+      for (NodeState& st : states_) protocol_.on_restore(st);
+    }
+    return {};
+  }
+
  private:
   friend class NodeCtx<P>;
 
   struct HoldEvent {
     NodeIndex to;
     Message msg;
+
+    template <typename A>
+    void persist_fields(A& a) {
+      a(to);
+      a(msg);
+    }
   };
   struct SendEvent {
     NodeIndex to;
     Envelope<Message> env;
+
+    template <typename A>
+    void persist_fields(A& a) {
+      a(to);
+      a(env);
+    }
   };
   /// Per-shard scratch for the parallel phases: the action buffer filled
   /// while stepping, the wake list collected while publishing, and the

@@ -28,6 +28,12 @@ template <typename M>
 struct Envelope {
   graph::NodeId from;
   M msg;
+
+  template <typename A>
+  void persist_fields(A& a) {
+    a(from);
+    a(msg);
+  }
 };
 
 template <typename M>
@@ -69,6 +75,28 @@ class MailboxPool {
       touched_mark_[i] = 0;
     }
     touched_.clear();
+  }
+
+  /// Checkpoint/restore (DESIGN.md D9). Between rounds every box is empty
+  /// (end_round is the single clear point), but the pool round-trips its
+  /// full structure anyway so the restored arena is exactly the live one.
+  template <typename A>
+  void persist_fields(A& a) {
+    a(boxes_);
+    a(touched_mark_);
+    a(touched_);
+    a(delivered_this_round_);
+  }
+
+  /// Restore-side structural check (Engine::restore, before commit): the
+  /// arena must be sized for n nodes with every touched index in range,
+  /// or the next deliver() would index out of bounds.
+  bool consistent_for(std::size_t n) const {
+    if (boxes_.size() != n || touched_mark_.size() != n) return false;
+    for (graph::NodeIndex i : touched_) {
+      if (i >= n) return false;
+    }
+    return true;
   }
 
  private:

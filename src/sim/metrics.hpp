@@ -75,6 +75,29 @@ class RunMetrics {
     if (!on) trace_.clear();
   }
 
+  /// Checkpoint/restore (DESIGN.md D9): every counter, peak, and the full
+  /// per-round trace round-trip, so a resumed run's final RunMetrics — and
+  /// any report derived from it — is bit-for-bit the uninterrupted run's.
+  template <typename A>
+  void persist_fields(A& a) {
+    a(messages_);
+    a(messages_dropped_);
+    a(edge_adds_);
+    a(edge_dels_);
+    a(rounds_);
+    a(nodes_stepped_);
+    a(last_nodes_stepped_);
+    a(snapshots_published_);
+    a(rounds_fast_forwarded_);
+    a(peak_pending_events_);
+    a(peak_bucket_occupancy_);
+    a(initial_max_degree_);
+    a(peak_max_degree_);
+    a(cached_max_degree_);
+    a(trace_recording_);
+    a(trace_);
+  }
+
  private:
   std::uint64_t messages_ = 0;
   std::uint64_t messages_dropped_ = 0;

@@ -90,10 +90,47 @@ class CalendarQueue {
   std::size_t bucket_count() const { return buckets_.size(); }
   std::size_t peak_bucket_occupancy() const { return peak_bucket_occupancy_; }
 
+  /// Read-only visit of every pending event, in unspecified order. Used by
+  /// Engine::restore to range-check restored node indices before commit.
+  template <typename F>
+  void for_each_event(F&& fn) const {
+    for (const auto& b : buckets_) {
+      for (const auto& e : b) fn(e.ev);
+    }
+  }
+
+  /// Checkpoint/restore (DESIGN.md D9). The bucket layout is serialized
+  /// verbatim — bucket count, per-bucket entry order, horizon — because the
+  /// drain order the determinism contract pins *is* that layout: two events
+  /// sharing a bucket across laps must come back in the same relative order
+  /// they were scheduled in, even mid-lap.
+  template <typename A>
+  void persist_fields(A& a) {
+    a(max_buckets_);
+    a(horizon_);
+    a(size_);
+    a(peak_bucket_occupancy_);
+    a(buckets_);
+    if constexpr (A::kIsReader) {
+      // A corrupt-but-CRC-valid blob cannot smuggle a non-power-of-two ring
+      // in: the mask arithmetic depends on it.
+      if (buckets_.empty() || (buckets_.size() & (buckets_.size() - 1)) != 0) {
+        a.fail("calendar bucket count is not a power of two");
+        buckets_.assign(64, {});
+      }
+    }
+  }
+
  private:
   struct Entry {
     std::uint64_t due;
     Event ev;
+
+    template <typename A>
+    void persist_fields(A& a) {
+      a(due);
+      a(ev);
+    }
   };
 
   static std::size_t ceil_pow2(std::size_t v) {

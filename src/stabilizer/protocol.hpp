@@ -75,6 +75,19 @@ class Protocol {
   std::uint32_t num_waves() const { return num_waves_; }
   GuestId guest_root() const { return cbt_.root(); }
 
+  /// Checkpoint/restore (DESIGN.md D9): the only dynamic protocol-level
+  /// state is the stall switch — params_, cbt_, and num_waves_ are
+  /// configuration, rebuilt by whoever reconstructs the engine.
+  template <typename A>
+  void persist_fields(A& a) {
+    a(frozen_);
+  }
+
+  /// Post-restore fixup invoked by Engine::restore for every host: the
+  /// fragment geometry is a pure function of the restored range and is
+  /// recomputed instead of serialized, so it can never drift from it.
+  void on_restore(HostState& st) const { recompute_fragments(st); }
+
   // --- sim::Engine interface (protocol.cpp) ---
   void init_node(NodeId id, HostState& st, util::Rng& rng);
   void publish(const HostState& st, PublicState& pub);

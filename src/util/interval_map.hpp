@@ -23,6 +23,13 @@ class IntervalMap {
     std::uint64_t lo;  // inclusive
     std::uint64_t hi;  // exclusive
     V value;
+
+    template <typename A>
+    void persist_fields(A& a) {
+      a(lo);
+      a(hi);
+      a(value);
+    }
   };
 
   /// Insert [lo, hi) -> value, overwriting any overlapped portions of
@@ -99,6 +106,13 @@ class IntervalMap {
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
   const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Checkpoint/restore (DESIGN.md D9): the canonical (sorted, disjoint,
+  /// coalesced) entry vector is the whole state.
+  template <typename A>
+  void persist_fields(A& a) {
+    a(entries_);
+  }
 
   /// True iff every point of [lo, hi) is covered by some interval.
   bool covers(std::uint64_t lo, std::uint64_t hi) const {

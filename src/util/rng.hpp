@@ -16,6 +16,17 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed) : state_(seed ^ kGolden) {}
 
+  /// Serialization only (persist/io.hpp): a default-constructed generator is
+  /// Rng(0) and is expected to be overwritten by persist_fields immediately.
+  Rng() : Rng(0) {}
+
+  /// Checkpoint/restore (DESIGN.md D9): the entire generator is one word of
+  /// state, so a restored stream continues bit-for-bit.
+  template <typename A>
+  void persist_fields(A& a) {
+    a(state_);
+  }
+
   /// Next raw 64-bit value (SplitMix64).
   std::uint64_t next_u64() {
     std::uint64_t z = (state_ += kGolden);

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "persist/fields.hpp"
 #include "util/check.hpp"
 
 namespace chs::verify {
@@ -21,6 +22,17 @@ constexpr std::uint64_t kFuzzStreamSalt = 0xfa22'9b01'77c3'55e9ULL;
 const std::string& pick_target(util::Rng& rng) {
   const auto& names = campaign::all_target_names();
   return names[rng.next_below(names.size())];
+}
+
+persist::Status write_fuzz_checkpoint(const std::string& path,
+                                      std::uint64_t next_case,
+                                      const FuzzReport& partial) {
+  persist::Writer w(persist::BlobKind::kFuzz);
+  w.begin_section(persist::tag4("FUZZ"));
+  w(next_case);
+  w(partial);
+  w.end_section();
+  return persist::write_file(path, w.bytes());
 }
 
 std::string describe_failure(const JobResult& r,
@@ -93,12 +105,45 @@ Scenario generate_scenario(std::uint64_t case_index, util::Rng& rng) {
   return sc;
 }
 
+persist::Status read_fuzz_checkpoint(const std::string& path,
+                                     std::uint64_t expect_seed,
+                                     FuzzResume& out) {
+  std::vector<std::uint8_t> bytes;
+  if (auto s = persist::read_file(path, bytes); !s.ok) return s;
+  persist::Reader r(bytes);
+  if (auto s = r.expect_header(persist::BlobKind::kFuzz); !s.ok) return s;
+  if (auto s = r.validate_sections(); !s.ok) return s;
+  if (auto s = r.open_section(persist::tag4("FUZZ")); !s.ok) return s;
+  r(out.next_case);
+  r(out.partial);
+  if (auto s = r.close_section(); !s.ok) return s;
+  if (auto s = r.expect_end(); !s.ok) return s;
+  if (!r.ok()) return r.status();
+  if (out.partial.seed != expect_seed) {
+    return persist::Status::failure(
+        "fuzz checkpoint was recorded under seed " +
+        std::to_string(out.partial.seed) + ", not " +
+        std::to_string(expect_seed));
+  }
+  return {};
+}
+
 FuzzReport run_fuzz(const FuzzOptions& opt) {
   FuzzReport rep;
+  std::uint64_t start_case = 0;
+  if (!opt.resume_path.empty()) {
+    FuzzResume rs;
+    const auto s = read_fuzz_checkpoint(opt.resume_path, opt.seed, rs);
+    CHS_CHECK_MSG(s.ok, s.error.c_str());
+    CHS_CHECK_MSG(rs.next_case <= opt.budget,
+                  "fuzz checkpoint already covers the requested budget");
+    rep = std::move(rs.partial);
+    start_case = rs.next_case;
+  }
   rep.seed = opt.seed;
   rep.cases = opt.budget;
   util::Rng root(opt.seed ^ kFuzzStreamSalt);
-  for (std::uint64_t i = 0; i < opt.budget; ++i) {
+  for (std::uint64_t i = start_case; i < opt.budget; ++i) {
     // Each case draws from its own split stream: extending the budget
     // replays the identical case prefix.
     util::Rng rng = root.split(i);
@@ -145,6 +190,12 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
         (sc.start == StartMode::kCold ? "cold" : "converged") + " events=" +
         std::to_string(sc.events.size()) + " loss=" + std::to_string(sc.losses.size()) +
         " partition=" + std::to_string(sc.partitions.size()) + " -> " + outcome);
+    if (!opt.checkpoint_path.empty()) {
+      // Case-granular durability: the file always holds a complete prefix,
+      // so an interrupted soak resumes at the next case, never mid-case.
+      const auto s = write_fuzz_checkpoint(opt.checkpoint_path, i + 1, rep);
+      CHS_CHECK_MSG(s.ok, s.error.c_str());
+    }
   }
   return rep;
 }

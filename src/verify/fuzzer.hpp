@@ -35,6 +35,17 @@ struct FuzzOptions {
   OracleConfig oracle;        // armed on every job of every case
   bool minimize = false;      // shrink failures to minimal repros
   std::uint64_t max_probes = 128;  // minimizer budget per failure
+
+  // --- checkpoint/resume (DESIGN.md D9), case-granular ---
+  /// When set, rewrite this file (atomically) after every completed case:
+  /// the report prefix accumulated so far plus the next case index.
+  std::string checkpoint_path;
+  /// When set, load the file and continue from the recorded case. The fuzz
+  /// seed must match (cases split per-index streams from it); the budget
+  /// may grow — an interrupted `--budget 64` run resumed at case k replays
+  /// exactly the remaining case sequence, and the final report is
+  /// byte-identical to the uninterrupted run's.
+  std::string resume_path;
 };
 
 /// One failing job of one generated case.
@@ -45,6 +56,16 @@ struct FuzzFailure {
   FailureSignature signature;
   std::string detail;           // violation message / failure description
   std::optional<MinimizeResult> minimized;
+
+  template <typename A>
+  void persist_fields(A& a) {
+    a(case_index);
+    a(scenario);
+    a(spec);
+    a(signature);
+    a(detail);
+    a(minimized);
+  }
 };
 
 struct FuzzReport {
@@ -60,10 +81,37 @@ struct FuzzReport {
   /// failure. Byte-identical at any parallelism settings.
   std::string to_text() const;
 
+  /// Checkpoint/restore (DESIGN.md D9): everything to_text() reads — the
+  /// per-case lines included — round-trips, so a resumed run's final report
+  /// is byte-identical to the uninterrupted one's.
+  template <typename A>
+  void persist_fields(A& a) {
+    a(seed);
+    a(cases);
+    a(jobs);
+    a(events);
+    a(oracle_rounds_checked);
+    a(failures);
+    a(case_lines_);
+  }
+
  private:
   friend FuzzReport run_fuzz(const FuzzOptions&);
   std::vector<std::string> case_lines_;
 };
+
+/// A partially completed fuzz run, as stored by checkpoint_path.
+struct FuzzResume {
+  std::uint64_t next_case = 0;  // first case NOT yet executed
+  FuzzReport partial;           // report prefix over cases [0, next_case)
+};
+
+/// Load and validate a fuzz checkpoint. Fails loudly on corrupt files and
+/// on a seed mismatch (the case sequence is a function of the seed, so
+/// resuming under a different one would splice two unrelated runs).
+persist::Status read_fuzz_checkpoint(const std::string& path,
+                                     std::uint64_t expect_seed,
+                                     FuzzResume& out);
 
 /// The seeded grammar: one random-but-valid scenario. Generated scenarios
 /// always pass Scenario::validate() and expand to at most two jobs, so a

@@ -58,6 +58,13 @@ struct Violation {
   std::uint64_t round = 0;  // engine round the violation was observed at
   std::string what;         // e.g. "I4: host 7 succ -> 12 without an edge"
   std::string trace;        // offending-round context (hard_fail mode only)
+
+  template <typename A>
+  void persist_fields(A& a) {
+    a(round);
+    a(what);
+    a(trace);
+  }
 };
 
 class InvariantOracle {
@@ -87,6 +94,23 @@ class InvariantOracle {
   std::uint64_t hosts_checked() const { return hosts_checked_; }
   /// O(V + E) connectivity recomputations (deletion rounds only).
   std::uint64_t connectivity_rebuilds() const { return connectivity_rebuilds_; }
+
+  /// Checkpoint/restore (DESIGN.md D9): the pending re-check set, stride
+  /// phase, counters, and verdict round-trip so a resumed job reports
+  /// oracle_* fields byte-identical to the uninterrupted run. Restored onto
+  /// a freshly attached oracle whose engine state was itself restored — the
+  /// attach-time full check's counters are overwritten here.
+  template <typename A>
+  void persist_fields(A& a) {
+    a(pending_);
+    a(pending_mark_);
+    a(deletions_pending_);
+    a(rounds_since_check_);
+    a(rounds_checked_);
+    a(hosts_checked_);
+    a(connectivity_rebuilds_);
+    a(violation_);
+  }
 
  private:
   void on_round(std::uint64_t round,
@@ -126,6 +150,28 @@ class OracleProbe final : public campaign::JobProbe {
     return cfg_.hard_fail && oracle_ && oracle_->violation().has_value();
   }
   void finish(campaign::JobResult& out) override;
+
+  void abandon() override {
+    // Uninstall the engine observer while the engine still exists; the
+    // verdict (and a detach-time stride flush) is kept. Idempotent — a
+    // second detach, or one after finish(), is a no-op.
+    if (oracle_) oracle_->detach();
+  }
+
+  void checkpoint(persist::Writer& w) const override {
+    const bool armed = oracle_.has_value();
+    w(armed);
+    if (armed) w(*oracle_);
+  }
+  persist::Status restore(persist::Reader& r) override {
+    bool armed = false;
+    r(armed);
+    if (armed != oracle_.has_value()) {
+      return persist::Status::failure("oracle arming state mismatch");
+    }
+    if (armed) r(*oracle_);
+    return r.status();
+  }
 
   const std::optional<InvariantOracle>& oracle() const { return oracle_; }
 

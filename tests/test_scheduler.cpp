@@ -83,6 +83,33 @@ TEST(CalendarQueue, LapFilteringBeyondMaxBuckets) {
   EXPECT_EQ(q.peak_bucket_occupancy(), 4u);  // 2, 6, 10, 102 share a bucket
 }
 
+TEST(CalendarQueue, LapSharingPinsSchedulingOrderWithinASharedBucket) {
+  // Beyond the bucket-ring cap, events from different laps *and* events of
+  // the same due round interleave in one bucket. The determinism contract
+  // (DESIGN.md D5) is FIFO per due round in scheduling order, regardless of
+  // how many laps apart the entries were scheduled — pin it directly.
+  CalendarQueue<int> q(2, 4);
+  ASSERT_LE(q.bucket_count(), 4u);
+  // Bucket (due & 3) == 2 receives due rounds 2, 6, 10, 14: schedule their
+  // events interleaved so bucket order != due order != scheduling order of
+  // any single round.
+  q.schedule(6, 60);
+  q.schedule(2, 20);
+  q.schedule(10, 100);
+  q.schedule(6, 61);
+  q.schedule(2, 21);
+  q.schedule(14, 140);
+  q.schedule(6, 62);
+  std::vector<std::pair<std::uint64_t, int>> got;
+  for (std::uint64_t r = 0; r <= 14; ++r) {
+    q.drain_due(r, [&](int v) { got.emplace_back(r, v); });
+  }
+  const std::vector<std::pair<std::uint64_t, int>> want = {
+      {2, 20}, {2, 21}, {6, 60}, {6, 61}, {6, 62}, {10, 100}, {14, 140}};
+  EXPECT_EQ(got, want);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(Mailbox, DeliverInspectClear) {
   MailboxPool<int> mail;
   mail.init(3);

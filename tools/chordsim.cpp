@@ -12,8 +12,23 @@
 //                   [--fail-frac 0.2] [--delay 1] [--seed 1]
 //   chordsim campaign <scenario-file> [--jobs 1] [--workers 1]
 //                   [--json PATH] [--csv] [--quiet]
+//                   [--checkpoint FILE] [--checkpoint-every R]
+//                   [--resume FILE] [--halt-after-checkpoints N]
 //   chordsim fuzz   [--budget 16] [--seed 1] [--stride 1] [--minimize]
 //                   [--jobs 1] [--workers 1] [--repro-dir DIR] [--quiet]
+//                   [--checkpoint FILE] [--resume FILE]
+//   chordsim describe <checkpoint-file>
+//
+// Checkpoint/resume (DESIGN.md D9): `campaign --checkpoint FILE` maintains
+// an atomically rewritten checkpoint (add `--checkpoint-every R` for
+// mid-job engine snapshots every R rounds); `--resume FILE` continues an
+// interrupted run — completed jobs keep their recorded results, in-progress
+// jobs resume mid-simulation — and the final report bytes are identical to
+// an uninterrupted run. `fuzz --checkpoint/--resume` does the same at case
+// granularity. `describe` dumps a checkpoint's header and section framing
+// (sizes, CRC verdicts) for debugging. `--halt-after-checkpoints N` is the
+// CI equivalence hook: abandon the campaign (exit 3) after N checkpoint
+// writes, leaving a genuinely mid-run file for a --resume diff.
 //
 // `fuzz` generates `--budget` random-but-valid adversarial scenarios from a
 // seeded grammar, runs each through the campaign runner with the online
@@ -52,6 +67,7 @@
 #include "dht/kvstore.hpp"
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
+#include "persist/io.hpp"
 #include "routing/protocol.hpp"
 #include "util/bitops.hpp"
 #include "util/log.hpp"
@@ -328,7 +344,9 @@ int cmd_kv(const Args& a) {
 int cmd_campaign(const Args& a) {
   if (a.positional.empty()) {
     std::fprintf(stderr, "usage: chordsim campaign <scenario-file> "
-                 "[--jobs k] [--workers k] [--json PATH] [--csv] [--quiet]\n");
+                 "[--jobs k] [--workers k] [--json PATH] [--csv] [--quiet] "
+                 "[--checkpoint FILE] [--checkpoint-every R] [--resume FILE] "
+                 "[--halt-after-checkpoints N]\n");
     return 2;
   }
   std::string error;
@@ -343,6 +361,14 @@ int cmd_campaign(const Args& a) {
   campaign::RunOptions opts;
   opts.jobs = std::max<std::size_t>(1, a.get_u64("jobs", 1));
   opts.engine_workers = std::max<std::size_t>(1, a.get_u64("workers", 1));
+  opts.checkpoint_path = a.get("checkpoint", "");
+  opts.checkpoint_every = a.get_u64("checkpoint-every", 0);
+  opts.resume_path = a.get("resume", "");
+  opts.halt_after_checkpoints = a.get_u64("halt-after-checkpoints", 0);
+  if (opts.checkpoint_every != 0 && opts.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--checkpoint-every needs --checkpoint FILE\n");
+    return 2;
+  }
   if (!a.has("quiet")) {
     std::printf("campaign %s: %zu jobs (%zu families x %zu host counts x "
                 "%llu seeds), jobs=%zu workers=%zu\n",
@@ -352,6 +378,14 @@ int cmd_campaign(const Args& a) {
                 opts.jobs, opts.engine_workers);
   }
   const auto report = campaign::run_campaign(*sc, opts);
+  if (report.halted) {
+    // Deliberately abandoned mid-run (--halt-after-checkpoints): the
+    // partial report is meaningless, the checkpoint file is the product.
+    std::fprintf(stderr,
+                 "halted after checkpoint; resume with --resume %s\n",
+                 opts.checkpoint_path.c_str());
+    return 3;
+  }
   if (!a.has("quiet")) {
     report.to_table().print();
     std::printf("\n");
@@ -390,6 +424,8 @@ int cmd_fuzz(const Args& a) {
   opt.jobs = std::max<std::size_t>(1, a.get_u64("jobs", 1));
   opt.engine_workers = std::max<std::size_t>(1, a.get_u64("workers", 1));
   opt.oracle.stride = std::max<std::uint64_t>(1, a.get_u64("stride", 1));
+  opt.checkpoint_path = a.get("checkpoint", "");
+  opt.resume_path = a.get("resume", "");
   // --repro-dir exists to collect minimized .scn files; without
   // minimization there would be nothing to write, so it implies --minimize.
   opt.minimize = a.has("minimize") || a.has("repro-dir");
@@ -426,6 +462,21 @@ int cmd_fuzz(const Args& a) {
   return report.failures.empty() ? 0 : 1;
 }
 
+int cmd_describe(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "usage: chordsim describe <checkpoint-file>\n");
+    return 2;
+  }
+  std::vector<std::uint8_t> bytes;
+  const auto s = persist::read_file(a.positional[0], bytes);
+  if (!s.ok) {
+    std::fprintf(stderr, "%s\n", s.error.c_str());
+    return 2;
+  }
+  std::fputs(persist::describe(bytes).c_str(), stdout);
+  return 0;
+}
+
 // Flags shared by every engine-building subcommand.
 #define CHS_ENGINE_FLAGS "n", "N", "family", "seed", "target", "delay", \
                          "max-rounds", "workers", "fast-forward"
@@ -435,8 +486,8 @@ int cmd_fuzz(const Args& a) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: chordsim run|route|churn|dot|kv|campaign|fuzz "
-                 "[--key value ...]\n");
+                 "usage: chordsim run|route|churn|dot|kv|campaign|fuzz|"
+                 "describe [--key value ...]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -464,15 +515,21 @@ int main(int argc, char** argv) {
     return cmd_kv(parse(argc, argv, 2, kFlags));
   }
   if (cmd == "campaign") {
-    static const char* const kFlags[] = {"jobs", "workers", "json", "csv",
-                                         "quiet", nullptr};
+    static const char* const kFlags[] = {
+        "jobs", "workers", "json", "csv", "quiet", "checkpoint",
+        "checkpoint-every", "resume", "halt-after-checkpoints", nullptr};
     return cmd_campaign(parse(argc, argv, 2, kFlags, 1));
   }
   if (cmd == "fuzz") {
-    static const char* const kFlags[] = {"budget", "seed",    "stride",
-                                         "minimize", "jobs",  "workers",
-                                         "repro-dir", "quiet", nullptr};
+    static const char* const kFlags[] = {
+        "budget",    "seed",  "stride",     "minimize", "jobs",
+        "workers",   "quiet", "repro-dir",  "checkpoint", "resume",
+        nullptr};
     return cmd_fuzz(parse(argc, argv, 2, kFlags));
+  }
+  if (cmd == "describe") {
+    static const char* const kFlags[] = {nullptr};
+    return cmd_describe(parse(argc, argv, 2, kFlags, 1));
   }
   std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
   return 2;
