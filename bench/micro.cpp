@@ -11,6 +11,7 @@
 //     jumped wholesale instead of iterated (BM_EngineIdleGap).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <thread>
 
@@ -165,36 +166,78 @@ BENCHMARK(BM_GuestModelRunAll)->Arg(8)->Arg(10)->Arg(12);
 
 // --- engine round loop -----------------------------------------------------
 
-// A converged (quiescent) Avatar(Chord) network of 10k hosts over 16384
-// guests. Built once per step mode and reused across iterations: stepping a
-// converged network changes nothing, so every iteration measures the same
-// thing — the fixed per-round cost of the engine itself.
+// A converged (quiescent) Avatar(Chord) network. Built once and reused
+// across iterations: stepping a converged network changes nothing, so every
+// iteration measures the same thing — the fixed per-round cost of the
+// engine itself. The default 10k hosts over 16384 guests is the historical
+// headline configuration; the scale ladder below pushes the same recipe to
+// 100k and 1M hosts.
 constexpr std::size_t kQuiescentHosts = 10000;
 constexpr std::uint64_t kQuiescentGuests = 16384;
 
-chs::core::StabEngine& quiescent_engine(chs::sim::StepMode mode) {
+std::uint64_t guests_for(std::size_t hosts) {
+  if (hosts == kQuiescentHosts) return kQuiescentGuests;  // headline recipe
+  std::uint64_t g = 1;
+  while (g < hosts + hosts / 3) g <<= 1;  // next pow2 >= ~1.3x hosts
+  return g;
+}
+
+std::unique_ptr<chs::core::StabEngine> build_quiescent(std::size_t hosts) {
   using chs::core::StabEngine;
-  static std::unique_ptr<StabEngine> cache[2];
+  chs::util::set_log_level(chs::util::LogLevel::kError);
+  const std::uint64_t guests = guests_for(hosts);
+  chs::util::Rng rng(1);
+  auto ids = chs::graph::sample_ids(hosts, guests, rng);
+  chs::core::Params p;
+  p.n_guests = guests;
+  auto slot = chs::core::make_engine(chs::core::scaffold_graph(ids, guests),
+                                     p, 1);
+  chs::core::install_chord_built_upto(
+      *slot, static_cast<std::int32_t>(slot->protocol().num_waves()) - 1,
+      &ids);
+  slot->run_until(
+      [](StabEngine& e) { return e.quiescent_streak() >= 8; }, 5000);
+  // Drain the stale-wakeup tail left over from the active phase so the
+  // steady state is the true converged cost.
+  while (slot->pending_events() != 0) slot->step_round();
+  // Unbounded iteration count ahead: stop the per-round degree trace.
+  slot->metrics().set_trace_recording(false);
+  return slot;
+}
+
+chs::core::StabEngine& quiescent_engine(chs::sim::StepMode mode) {
+  static std::unique_ptr<chs::core::StabEngine> cache[2];
   auto& slot = cache[mode == chs::sim::StepMode::kActiveSet ? 1 : 0];
   if (!slot) {
-    chs::util::set_log_level(chs::util::LogLevel::kError);
-    chs::util::Rng rng(1);
-    auto ids = chs::graph::sample_ids(kQuiescentHosts, kQuiescentGuests, rng);
-    chs::core::Params p;
-    p.n_guests = kQuiescentGuests;
-    slot = chs::core::make_engine(
-        chs::core::scaffold_graph(ids, kQuiescentGuests), p, 1);
-    chs::core::install_chord_built_upto(
-        *slot, static_cast<std::int32_t>(slot->protocol().num_waves()) - 1, &ids);
-    slot->run_until(
-        [](StabEngine& e) { return e.quiescent_streak() >= 8; }, 5000);
-    // Drain the stale-wakeup tail left over from the active phase so the
-    // steady state is the true converged cost.
-    while (slot->pending_events() != 0) slot->step_round();
-    // Unbounded iteration count ahead: stop the per-round degree trace.
-    slot->metrics().set_trace_recording(false);
+    slot = build_quiescent(kQuiescentHosts);
     slot->set_step_mode(mode);
     slot->step_round();  // absorb the wake_all a mode switch performs
+  }
+  return *slot;
+}
+
+// Scale-ladder engines are too large to keep several alive at once (a
+// 1M-host engine is GBs), so this cache holds exactly one host count and
+// rebuilds on change — register ladder args grouped by host count.
+chs::core::StabEngine& scale_engine(std::size_t hosts,
+                                    chs::sim::StepMode mode) {
+  static std::unique_ptr<chs::core::StabEngine> slot;
+  static std::size_t cached_hosts = 0;
+  static chs::sim::StepMode cached_mode = chs::sim::StepMode::kActiveSet;
+  const bool rebuilt = !slot || cached_hosts != hosts;
+  if (rebuilt) {
+    slot.reset();  // free the previous ladder rung before building the next
+    slot = build_quiescent(hosts);
+    cached_hosts = hosts;
+  }
+  // A fresh engine is in the protocol's preferred mode (kActiveSet for the
+  // stabilizer — set in the Engine constructor, not the field default), so
+  // the requested mode must be forced after every rebuild: assuming kAll
+  // would leave the busy rungs measuring empty active-set rounds.
+  if (rebuilt || cached_mode != mode) {
+    slot->set_step_mode(mode);
+    slot->step_round();  // absorb the wake_all a mode switch performs
+    cached_mode = mode;
   }
   return *slot;
 }
@@ -219,15 +262,19 @@ void BM_EngineQuiescentRound(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineQuiescentRound)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
-// Busy-phase round cost vs worker count: StepMode::kAll on the converged
-// 10k-host network steps all 10,000 hosts through the full protocol step
+// Busy-phase round cost vs worker count and host count: StepMode::kAll on
+// a converged network steps every host through the full protocol step
 // every round — the stable stand-in for the stabilization rounds that
-// dominate e1/e2/e8 wall clock. Arg: worker threads (1 = sequential
-// engine). Traces are identical at every arg; only wall clock may differ,
-// and it only improves when physical cores exist (BENCH_micro.json records
-// num_cpus — on a 1-vCPU host the sweep measures pool overhead instead).
+// dominate e1/e2/e8 wall clock. Args: {worker threads, hosts} (1 worker =
+// sequential engine). Traces are identical at every worker count; only
+// wall clock may differ, and it only improves when physical cores exist
+// (BENCH_micro.json records num_cpus — on a 1-vCPU host the sweep measures
+// pool overhead instead).
 void BM_EngineBusyRound(benchmark::State& state) {
-  auto& eng = quiescent_engine(chs::sim::StepMode::kAll);
+  const std::size_t hosts = static_cast<std::size_t>(state.range(1));
+  auto& eng = hosts == kQuiescentHosts
+                  ? quiescent_engine(chs::sim::StepMode::kAll)
+                  : scale_engine(hosts, chs::sim::StepMode::kAll);
   eng.set_worker_threads(static_cast<std::size_t>(state.range(0)));
   const std::uint64_t stepped0 = eng.metrics().nodes_stepped();
   std::uint64_t rounds = 0;
@@ -236,12 +283,17 @@ void BM_EngineBusyRound(benchmark::State& state) {
     ++rounds;
   }
   eng.set_worker_threads(1);
+  eng.record_live_bytes();
   state.counters["stepped_per_round"] = benchmark::Counter(
       static_cast<double>(eng.metrics().nodes_stepped() - stepped0) /
       static_cast<double>(rounds == 0 ? 1 : rounds));
-  state.counters["hosts"] = kQuiescentHosts;
+  state.counters["hosts"] = static_cast<double>(hosts);
+  state.counters["bytes_per_host"] =
+      static_cast<double>(eng.metrics().bytes_per_host());
 }
-BENCHMARK(BM_EngineBusyRound)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+BENCHMARK(BM_EngineBusyRound)
+    ->Args({1, 10000})->Args({2, 10000})->Args({4, 10000})->Args({8, 10000})
+    ->Args({4, 100000})
     ->Unit(benchmark::kMicrosecond);
 
 // Online invariant oracle (DESIGN.md D8) riding the busy round: StepMode
@@ -320,6 +372,60 @@ void BM_RestoreRead(benchmark::State& state) {
   state.counters["hosts"] = kQuiescentHosts;
 }
 BENCHMARK(BM_RestoreRead)->Unit(benchmark::kMillisecond);
+
+// Incremental checkpoint (DESIGN.md D10) riding the quiescent active-set
+// network: each iteration steps one (empty) round and serializes a delta.
+// With nothing stepped, the delta is the fixed framing — engine scalars,
+// empty calendars, metrics — not the 10k hosts; blob_bytes vs
+// BM_CheckpointWrite's is the payoff the D10 design promises (the CI bench
+// smoke asserts >= 10x).
+void BM_DeltaCheckpointWrite(benchmark::State& state) {
+  auto& eng = quiescent_engine(chs::sim::StepMode::kActiveSet);
+  const auto base = eng.checkpoint_blob();  // chain head for the deltas
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    eng.step_round();
+    const auto delta = eng.checkpoint_delta_blob();
+    bytes = delta.size();
+    benchmark::DoNotOptimize(delta.data());
+  }
+  state.counters["blob_bytes"] = static_cast<double>(bytes);
+  state.counters["base_bytes"] = static_cast<double>(base.size());
+  state.counters["hosts"] = kQuiescentHosts;
+}
+BENCHMARK(BM_DeltaCheckpointWrite)->Unit(benchmark::kMicrosecond);
+
+// Scale ladder (ROADMAP: million-host engine): round cost and resident
+// bytes per host at 10k / 100k / 1M hosts, quiescent and busy. Args:
+// {0 = busy (StepMode::kAll), 1 = quiescent (kActiveSet); hosts}. Rungs
+// are grouped by host count because scale_engine keeps only one alive.
+// The 1M rungs take minutes to build and GBs of RAM; CI filters them out
+// and they are recorded from the committed BENCH_micro.json runs instead.
+void BM_EngineScaleRound(benchmark::State& state) {
+  const auto mode = state.range(0) == 0 ? chs::sim::StepMode::kAll
+                                        : chs::sim::StepMode::kActiveSet;
+  const std::size_t hosts = static_cast<std::size_t>(state.range(1));
+  auto& eng = hosts == kQuiescentHosts ? quiescent_engine(mode)
+                                       : scale_engine(hosts, mode);
+  const std::uint64_t stepped0 = eng.metrics().nodes_stepped();
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    eng.step_round();
+    ++rounds;
+  }
+  eng.record_live_bytes();
+  state.counters["stepped_per_round"] = benchmark::Counter(
+      static_cast<double>(eng.metrics().nodes_stepped() - stepped0) /
+      static_cast<double>(rounds == 0 ? 1 : rounds));
+  state.counters["hosts"] = static_cast<double>(hosts);
+  state.counters["bytes_per_host"] =
+      static_cast<double>(eng.metrics().bytes_per_host());
+}
+BENCHMARK(BM_EngineScaleRound)
+    ->Args({0, 10000})->Args({1, 10000})
+    ->Args({0, 100000})->Args({1, 100000})
+    ->Args({0, 1000000})->Args({1, 1000000})
+    ->Unit(benchmark::kMillisecond);
 
 // Idle fast-forward: a two-node network where node 0 self-clocks every
 // 1000 rounds. With set_idle_fast_forward(true) each step_round() call
@@ -435,3 +541,26 @@ void BM_FitPower(benchmark::State& state) {
 BENCHMARK(BM_FitPower);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main) so the build type lands in the
+// JSON context: every committed BENCH_micro.json must come from a Release
+// build — debug numbers are 5-20x off and poison any comparison. The CI
+// bench smoke asserts context.build_type == "release".
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("build_type", "release");
+#else
+  benchmark::AddCustomContext("build_type", "debug");
+  std::fprintf(stderr,
+               "================================================================\n"
+               "WARNING: bench_micro built WITHOUT NDEBUG (debug/assert build).\n"
+               "Numbers below are meaningless for comparison; rebuild with\n"
+               "-DCMAKE_BUILD_TYPE=Release before recording BENCH_micro.json.\n"
+               "================================================================\n");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

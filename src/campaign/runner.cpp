@@ -196,6 +196,14 @@ struct JobRunner::Impl {
     out.degree_trace = eng->metrics().max_degree_trace();
     stage = Stage::kFinished;
   }
+
+  // Checkpoint plumbing shared by the full and delta paths (defined below,
+  // next to JobRunner::checkpoint/restore).
+  void write_loop_state(persist::Writer& w);
+  persist::Status read_loop_state(persist::Reader& r, util::Rng& ev_rng,
+                                  util::Rng& loss_rng, bool& has_adv);
+  persist::Status finish_restore(bool has_adv, const util::Rng& ev_rng,
+                                 const util::Rng& loss_rng);
 };
 
 JobRunner::JobRunner(const Scenario& sc, const JobSpec& spec,
@@ -341,39 +349,130 @@ JobResult JobRunner::result() {
   return im.out;
 }
 
-void JobRunner::checkpoint(persist::Writer& w) {
-  Impl& im = *impl_;
+// The full and delta snapshots share everything but the engine payload:
+// JOBR carries the loop state (small, rewritten verbatim in both), ENGB a
+// self-contained kEngine blob, ENGD a kEngineDelta blob extending the
+// engine's checkpoint chain (DESIGN.md D10).
+
+void JobRunner::Impl::write_loop_state(persist::Writer& w) {
   w.begin_section(persist::tag4("JOBR"));
-  w(im.spec);
-  w(im.stage);
-  w(im.setup_rounds);
-  w(im.out);
-  w(im.r0);
-  w(im.t);
-  w(im.next_event);
-  w(im.executed);
-  w(im.pending);
-  w(im.msg0);
-  w(im.drop0);
-  w(im.adds0);
-  w(im.dels0);
-  w(im.resets0);
-  const bool has_adv = im.adv.has_value();
+  w(spec);
+  w(stage);
+  w(setup_rounds);
+  w(out);
+  w(r0);
+  w(t);
+  w(next_event);
+  w(executed);
+  w(pending);
+  w(msg0);
+  w(drop0);
+  w(adds0);
+  w(dels0);
+  w(resets0);
+  const bool has_adv = adv.has_value();
   w(has_adv);
   if (has_adv) {
     // `sides` is reconstructed deterministically; only the stream states
     // are true dynamic state.
-    w(im.adv->ev_rng);
-    w(im.adv->loss_rng);
+    w(adv->ev_rng);
+    w(adv->loss_rng);
   }
-  const bool has_probe = im.probe != nullptr;
+  const bool has_probe = probe != nullptr;
   w(has_probe);
   w.end_section();
+}
+
+persist::Status JobRunner::Impl::read_loop_state(persist::Reader& r,
+                                                 util::Rng& ev_rng,
+                                                 util::Rng& loss_rng,
+                                                 bool& has_adv) {
+  if (auto s = r.open_section(persist::tag4("JOBR")); !s.ok) return s;
+  JobSpec spec_in;
+  r(spec_in);
+  if (r.ok() && (spec_in.index != spec.index ||
+                 spec_in.family != spec.family ||
+                 spec_in.n_hosts != spec.n_hosts ||
+                 spec_in.seed != spec.seed)) {
+    return persist::Status::failure("checkpoint is for a different job");
+  }
+  r(stage);
+  r(setup_rounds);
+  r(out);
+  r(r0);
+  r(t);
+  r(next_event);
+  r(executed);
+  r(pending);
+  r(msg0);
+  r(drop0);
+  r(adds0);
+  r(dels0);
+  r(resets0);
+  has_adv = false;
+  r(has_adv);
+  if (has_adv) {
+    r(ev_rng);
+    r(loss_rng);
+  }
+  bool has_probe = false;
+  r(has_probe);
+  if (r.ok() && has_probe != (probe != nullptr)) {
+    return persist::Status::failure(
+        "probe configuration differs from the checkpointed job");
+  }
+  if (auto s = r.close_section(); !s.ok) return s;
+  if (next_event > events.size()) {
+    return persist::Status::failure("event cursor out of range");
+  }
+  for (std::uint64_t p : pending) {
+    if (p >= out.events.size()) {
+      return persist::Status::failure("pending event index out of range");
+    }
+  }
+  return {};
+}
+
+persist::Status JobRunner::Impl::finish_restore(bool has_adv,
+                                                const util::Rng& ev_rng,
+                                                const util::Rng& loss_rng) {
+  if (stage == Stage::kTimeline) {
+    // Rebuild the adversary (sides are a pure function of seed/scenario/
+    // ids), then restore the stream states so every future draw continues
+    // exactly where the snapshot left off. A finished-stage snapshot needs
+    // neither: the filter is uninstalled at finish.
+    if (!has_adv) {
+      return persist::Status::failure("timeline snapshot without adversary");
+    }
+    adv.emplace(spec.seed, sc, eng->graph().ids());
+    adv->ev_rng = ev_rng;
+    adv->loss_rng = loss_rng;
+    install_filter();
+  }
+  return {};
+}
+
+void JobRunner::checkpoint(persist::Writer& w) {
+  Impl& im = *impl_;
+  im.write_loop_state(w);
 
   w.begin_section(persist::tag4("ENGB"));
-  persist::Writer ew(persist::BlobKind::kEngine);
-  im.eng->checkpoint(ew);
-  w(ew.bytes());
+  // checkpoint_blob makes this snapshot the engine's chain head, so a
+  // checkpoint_delta taken later extends exactly these bytes.
+  w(im.eng->checkpoint_blob());
+  w.end_section();
+
+  w.begin_section(persist::tag4("PROB"));
+  if (im.probe) im.probe->checkpoint(w);
+  w.end_section();
+}
+
+void JobRunner::checkpoint_delta(persist::Writer& w) {
+  Impl& im = *impl_;
+  im.write_loop_state(w);
+
+  w.begin_section(persist::tag4("ENGD"));
+  w(im.eng->checkpoint_delta_blob());
   w.end_section();
 
   w.begin_section(persist::tag4("PROB"));
@@ -385,59 +484,17 @@ persist::Status JobRunner::restore(persist::Reader& r) {
   Impl& im = *impl_;
   if (auto s = r.validate_sections(); !s.ok) return s;
 
-  if (auto s = r.open_section(persist::tag4("JOBR")); !s.ok) return s;
-  JobSpec spec_in;
-  r(spec_in);
-  if (r.ok() && (spec_in.index != im.spec.index ||
-                 spec_in.family != im.spec.family ||
-                 spec_in.n_hosts != im.spec.n_hosts ||
-                 spec_in.seed != im.spec.seed)) {
-    return persist::Status::failure("checkpoint is for a different job");
-  }
-  r(im.stage);
-  r(im.setup_rounds);
-  r(im.out);
-  r(im.r0);
-  r(im.t);
-  r(im.next_event);
-  r(im.executed);
-  r(im.pending);
-  r(im.msg0);
-  r(im.drop0);
-  r(im.adds0);
-  r(im.dels0);
-  r(im.resets0);
   bool has_adv = false;
-  r(has_adv);
   util::Rng ev_rng, loss_rng;
-  if (has_adv) {
-    r(ev_rng);
-    r(loss_rng);
-  }
-  bool has_probe = false;
-  r(has_probe);
-  if (r.ok() && has_probe != (im.probe != nullptr)) {
-    return persist::Status::failure(
-        "probe configuration differs from the checkpointed job");
-  }
-  if (auto s = r.close_section(); !s.ok) return s;
-  if (im.next_event > im.events.size()) {
-    return persist::Status::failure("event cursor out of range");
-  }
-  for (std::uint64_t p : im.pending) {
-    if (p >= im.out.events.size()) {
-      return persist::Status::failure("pending event index out of range");
-    }
+  if (auto s = im.read_loop_state(r, ev_rng, loss_rng, has_adv); !s.ok) {
+    return s;
   }
 
   if (auto s = r.open_section(persist::tag4("ENGB")); !s.ok) return s;
   std::vector<std::uint8_t> blob;
   r(blob);
   if (auto s = r.close_section(); !s.ok) return s;
-  persist::Reader er(blob);
-  if (auto s = er.expect_header(persist::BlobKind::kEngine); !s.ok) return s;
-  if (auto s = im.eng->restore(er); !s.ok) return s;
-  if (auto s = er.expect_end(); !s.ok) return s;
+  if (auto s = im.eng->restore_blob(blob); !s.ok) return s;
 
   if (auto s = r.open_section(persist::tag4("PROB")); !s.ok) return s;
   if (im.probe) {
@@ -446,20 +503,38 @@ persist::Status JobRunner::restore(persist::Reader& r) {
   if (auto s = r.close_section(); !s.ok) return s;
   if (!r.ok()) return r.status();
 
-  if (im.stage == Impl::Stage::kTimeline) {
-    // Rebuild the adversary (sides are a pure function of seed/scenario/
-    // ids), then restore the stream states so every future draw continues
-    // exactly where the snapshot left off. A finished-stage snapshot needs
-    // neither: the filter is uninstalled at finish.
-    if (!has_adv) {
-      return persist::Status::failure("timeline snapshot without adversary");
-    }
-    im.adv.emplace(im.spec.seed, im.sc, im.eng->graph().ids());
-    im.adv->ev_rng = ev_rng;
-    im.adv->loss_rng = loss_rng;
-    im.install_filter();
+  return im.finish_restore(has_adv, ev_rng, loss_rng);
+}
+
+persist::Status JobRunner::restore_delta(persist::Reader& r) {
+  Impl& im = *impl_;
+  if (auto s = r.validate_sections(); !s.ok) return s;
+
+  bool has_adv = false;
+  util::Rng ev_rng, loss_rng;
+  if (auto s = im.read_loop_state(r, ev_rng, loss_rng, has_adv); !s.ok) {
+    return s;
   }
-  return {};
+
+  if (auto s = r.open_section(persist::tag4("ENGD")); !s.ok) return s;
+  std::vector<std::uint8_t> blob;
+  r(blob);
+  if (auto s = r.close_section(); !s.ok) return s;
+  // Verifies the parent content hash against the engine's chain head; a
+  // delta applied out of order (or to the wrong base) fails here without
+  // mutating the engine. The loop state read above is small and rewritten
+  // whole by the next snapshot, so a failed job restore is simply retried
+  // from scratch by the caller.
+  if (auto s = im.eng->restore_delta_blob(blob); !s.ok) return s;
+
+  if (auto s = r.open_section(persist::tag4("PROB")); !s.ok) return s;
+  if (im.probe) {
+    if (auto s = im.probe->restore(r); !s.ok) return s;
+  }
+  if (auto s = r.close_section(); !s.ok) return s;
+  if (!r.ok()) return r.status();
+
+  return im.finish_restore(has_adv, ev_rng, loss_rng);
 }
 
 JobResult run_job(const Scenario& sc, const JobSpec& spec,
@@ -502,6 +577,7 @@ persist::Status write_campaign_checkpoint(
         break;
       case JobCheckpoint::State::kInProgress:
         w(jc.snapshot);
+        w(jc.deltas);
         break;
       case JobCheckpoint::State::kDone:
         w(jc.result);
@@ -542,6 +618,7 @@ persist::Status read_campaign_checkpoint(const std::string& path,
         break;
       case JobCheckpoint::State::kInProgress:
         r(jc.snapshot);
+        r(jc.deltas);
         break;
       case JobCheckpoint::State::kDone:
         r(jc.result);
@@ -575,9 +652,7 @@ CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
   std::mutex mu;
   std::uint64_t writes = 0;
   std::atomic<bool> halted{false};
-  const auto commit_and_flush = [&](std::size_t i, JobCheckpoint jc) {
-    std::lock_guard<std::mutex> lock(mu);
-    states[i] = std::move(jc);
+  const auto flush_locked = [&]() {
     const auto s = write_campaign_checkpoint(opts.checkpoint_path, sc, states);
     CHS_CHECK_MSG(s.ok, s.error.c_str());
     ++writes;
@@ -585,6 +660,19 @@ CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
         writes >= opts.halt_after_checkpoints) {
       halted.store(true, std::memory_order_relaxed);
     }
+  };
+  const auto commit_and_flush = [&](std::size_t i, JobCheckpoint jc) {
+    std::lock_guard<std::mutex> lock(mu);
+    states[i] = std::move(jc);
+    flush_locked();
+  };
+  // Append one delta to job i's chain; the base snapshot and earlier deltas
+  // stand (resume replays base + deltas in order).
+  const auto commit_delta_and_flush = [&](std::size_t i,
+                                          std::vector<std::uint8_t> delta) {
+    std::lock_guard<std::mutex> lock(mu);
+    states[i].deltas.push_back(std::move(delta));
+    flush_locked();
   };
 
   const auto run_one = [&](std::size_t i) {
@@ -601,20 +689,54 @@ CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
       if (s.ok) s = runner.restore(r);
       if (s.ok) s = r.expect_end();
       CHS_CHECK_MSG(s.ok, s.error.c_str());
+      // Replay the delta chain on top of the base, oldest first. Each
+      // restore_delta verifies its parent content hash, so a reordered or
+      // truncated-in-the-middle chain fails loudly here.
+      for (const auto& d : states[i].deltas) {
+        persist::Reader dr(d);
+        s = dr.expect_header(persist::BlobKind::kJobDelta);
+        if (s.ok) s = runner.restore_delta(dr);
+        if (s.ok) s = dr.expect_end();
+        CHS_CHECK_MSG(s.ok, s.error.c_str());
+      }
     }
     JobRunner::RoundHook hook;
     std::uint64_t last_snapshot_round = runner.engine_round();
+    // Delta-chain policy (DESIGN.md D10): the first mid-job snapshot is a
+    // full base; later ones are deltas until the chain reaches kMaxChain
+    // blobs or the deltas' summed size passes half the base — then rebase.
+    // A resumed job inherits its on-disk chain and keeps extending it.
+    constexpr std::size_t kMaxChain = 8;
+    std::size_t chain_len = states[i].deltas.size();
+    std::uint64_t base_bytes = states[i].snapshot.size();
+    std::uint64_t delta_bytes = 0;
+    for (const auto& d : states[i].deltas) delta_bytes += d.size();
     if (checkpointing && opts.checkpoint_every > 0) {
-      hook = [&](JobRunner& jr) {
+      hook = [&, i](JobRunner& jr) {
         if (halted.load(std::memory_order_relaxed)) return false;
         if (jr.engine_round() - last_snapshot_round >= opts.checkpoint_every) {
           last_snapshot_round = jr.engine_round();
-          persist::Writer w(persist::BlobKind::kJob);
-          jr.checkpoint(w);
-          JobCheckpoint jc;
-          jc.state = JobCheckpoint::State::kInProgress;
-          jc.snapshot = w.take();
-          commit_and_flush(i, std::move(jc));
+          const bool delta_ok = jr.engine().has_checkpoint_base() &&
+                                chain_len < kMaxChain &&
+                                delta_bytes <= base_bytes / 2;
+          if (delta_ok) {
+            persist::Writer w(persist::BlobKind::kJobDelta);
+            jr.checkpoint_delta(w);
+            std::vector<std::uint8_t> d = w.take();
+            ++chain_len;
+            delta_bytes += d.size();
+            commit_delta_and_flush(i, std::move(d));
+          } else {
+            persist::Writer w(persist::BlobKind::kJob);
+            jr.checkpoint(w);
+            JobCheckpoint jc;
+            jc.state = JobCheckpoint::State::kInProgress;
+            jc.snapshot = w.take();
+            chain_len = 0;
+            delta_bytes = 0;
+            base_bytes = jc.snapshot.size();
+            commit_and_flush(i, std::move(jc));  // empty deltas: chain reset
+          }
         }
         return !halted.load(std::memory_order_relaxed);
       };

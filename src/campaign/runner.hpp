@@ -112,6 +112,17 @@ class JobRunner {
   void checkpoint(persist::Writer& w);
   persist::Status restore(persist::Reader& r);
 
+  /// Incremental snapshot (DESIGN.md D10): the same loop state as
+  /// checkpoint(), but the engine payload is a kEngineDelta blob covering
+  /// only the nodes touched since the previous checkpoint/checkpoint_delta
+  /// of this runner. Requires a prior full checkpoint (or restore) so the
+  /// engine has a chain head; restore_delta() must be applied to a runner
+  /// already restored to the parent snapshot — the engine verifies the
+  /// parent content hash and fails loudly on a mismatched or out-of-order
+  /// delta, leaving the runner untouched.
+  void checkpoint_delta(persist::Writer& w);
+  persist::Status restore_delta(persist::Reader& r);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
@@ -135,11 +146,13 @@ struct RunOptions {
   ///
   /// Cost model: every flush re-serializes the WHOLE file (all jobs'
   /// snapshots) under one mutex — the price of a single atomically
-  /// renamed resume file. With J parallel jobs snapshotting every R
-  /// rounds, checkpoint I/O per interval is O(J^2 x snapshot size), so
-  /// pick R large enough that snapshots are rare next to round cost
-  /// (campaign-scale engines snapshot in tens of KB; a 10k-host engine is
-  /// ~26 MB — see BM_CheckpointWrite — and wants a sparse cadence).
+  /// renamed resume file. Mid-job snapshots after the first are
+  /// *incremental* (DESIGN.md D10): a kJobDelta blob covering only the
+  /// hosts touched since the previous snapshot, chained by content hash,
+  /// so a mostly-quiescent large engine pays KBs per flush instead of its
+  /// full ~26 MB at 10k hosts (BM_CheckpointWrite / BM_DeltaCheckpointWrite).
+  /// The runner rebases to a fresh full snapshot when the chain reaches
+  /// 8 deltas or their summed size passes half the base.
   std::string checkpoint_path;
   std::uint64_t checkpoint_every = 0;
   /// When set, load this checkpoint first: done jobs keep their recorded
@@ -153,11 +166,17 @@ struct RunOptions {
   std::uint64_t halt_after_checkpoints = 0;
 };
 
-/// Per-job slot of a campaign checkpoint file.
+/// Per-job slot of a campaign checkpoint file. An in-progress job is a
+/// *chain*: one full BlobKind::kJob base snapshot plus zero or more
+/// BlobKind::kJobDelta blobs, each covering only what changed since its
+/// predecessor (DESIGN.md D10). Resume replays the base, then every delta in
+/// order; the runner rebases (fresh full snapshot, chain cleared) when the
+/// chain grows long or the deltas stop paying for themselves.
 struct JobCheckpoint {
   enum class State : std::uint8_t { kPending = 0, kInProgress = 1, kDone = 2 };
   State state = State::kPending;
   std::vector<std::uint8_t> snapshot;  // kInProgress: a BlobKind::kJob blob
+  std::vector<std::vector<std::uint8_t>> deltas;  // kInProgress: kJobDelta chain
   JobResult result;                    // kDone
 };
 

@@ -63,6 +63,16 @@ std::uint32_t crc32(const void* data, std::size_t len) {
   return c ^ 0xffffffffu;
 }
 
+std::uint64_t content_hash(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
 const char* blob_kind_name(BlobKind k) {
   switch (k) {
     case BlobKind::kEngine: return "engine";
@@ -70,6 +80,8 @@ const char* blob_kind_name(BlobKind k) {
     case BlobKind::kCampaign: return "campaign";
     case BlobKind::kFuzz: return "fuzz";
     case BlobKind::kRaw: return "raw";
+    case BlobKind::kEngineDelta: return "engine-delta";
+    case BlobKind::kJobDelta: return "job-delta";
   }
   return "?";
 }

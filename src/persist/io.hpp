@@ -46,6 +46,18 @@ namespace chs::persist {
 /// CRC-32 (IEEE 802.3 polynomial, the zlib one) over `len` bytes.
 std::uint32_t crc32(const void* data, std::size_t len);
 
+/// 64-bit FNV-1a content hash. Used to chain incremental checkpoints: every
+/// engine delta blob records the hash of the blob it extends (base or prior
+/// delta), so a delta applied out of order — or against the wrong base —
+/// fails loudly instead of silently merging divergent states. Not a CRC
+/// replacement: sections keep their CRCs for corruption detection; the
+/// content hash is an identity, not an integrity, check.
+std::uint64_t content_hash(const void* data, std::size_t len);
+
+inline std::uint64_t content_hash(const std::vector<std::uint8_t>& bytes) {
+  return content_hash(bytes.data(), bytes.size());
+}
+
 /// Outcome of a restore/validate/load operation. Loud by construction: the
 /// error string names what failed (bad magic, CRC mismatch, stale scenario).
 struct Status {
@@ -65,11 +77,15 @@ enum class BlobKind : std::uint32_t {
   kCampaign = 3,  // a campaign: per-job done/in-progress/pending states
   kFuzz = 4,      // a fuzz run: completed-case prefix of the report
   kRaw = 5,       // free-form (tests)
+  kEngineDelta = 6,  // engine sections touched since a base blob (chained)
+  kJobDelta = 7,     // job loop state + one engine delta (campaign chains)
 };
 
 const char* blob_kind_name(BlobKind k);
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: engine-delta blob kind, RunMetrics bytes_per_host field, campaign
+// checkpoint delta chains.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Section tag from a 4-char mnemonic: tag4("ENGN").
 constexpr std::uint32_t tag4(const char (&s)[5]) {

@@ -62,6 +62,7 @@
 #include "sim/mailbox.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/worker_pool.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -158,6 +159,7 @@ class NodeCtx {
   using Message = typename P::Message;
   using NodeState = typename P::NodeState;
   using PublicState = typename P::PublicState;
+  using SnapshotView = typename detail::snapshot_store_t<P>::View;
 
   NodeId self() const { return self_; }
   std::uint64_t round() const { return round_; }
@@ -175,14 +177,15 @@ class NodeCtx {
     return std::binary_search(neighbors_->begin(), neighbors_->end(), v);
   }
 
-  /// Previous-round public state of neighbor v; null if v is not a neighbor.
-  /// The last lookup is memoized: protocols typically probe the same
-  /// neighbor from several checks within one step, and the repeat costs two
-  /// binary searches without the cache.
-  const PublicState* view(NodeId v) const {
+  /// Previous-round public state of neighbor v; a false-y view (null
+  /// pointer for the default store, invalid PublicView for arena stores) if
+  /// v is not a neighbor. The last lookup is memoized: protocols typically
+  /// probe the same neighbor from several checks within one step, and the
+  /// repeat costs two binary searches without the cache.
+  SnapshotView view(NodeId v) const {
     if (v == view_cache_id_) return view_cache_;
-    const PublicState* p =
-        is_neighbor(v) ? engine_->public_state_ptr(v) : nullptr;
+    SnapshotView p =
+        is_neighbor(v) ? engine_->snapshot_view(v) : SnapshotView{};
     view_cache_id_ = v;
     view_cache_ = p;
     return p;
@@ -260,7 +263,7 @@ class NodeCtx {
   Engine<P>* engine_ = nullptr;
   ActionBuffer<Message>* acts_ = nullptr;
   mutable NodeId view_cache_id_ = ~NodeId{0};
-  mutable const PublicState* view_cache_ = nullptr;
+  mutable SnapshotView view_cache_{};
 };
 
 template <typename P>
@@ -269,15 +272,17 @@ class Engine {
   using Message = typename P::Message;
   using NodeState = typename P::NodeState;
   using PublicState = typename P::PublicState;
+  using Store = detail::snapshot_store_t<P>;
 
   Engine(graph::Graph g, P protocol, std::uint64_t seed)
       : graph_(std::move(g)), protocol_(std::move(protocol)), root_rng_(seed) {
     const std::size_t n = graph_.size();
     states_.resize(n);
-    publics_.resize(n);
+    store_.init(n);
     mail_.init(n);
     woken_mark_.assign(n, 0);
     dirty_mark_.assign(n, 0);
+    ckpt_dirty_mark_.assign(n, 0);
     rngs_.reserve(n);
     delay_rngs_.reserve(n);
     slots_.resize(1);
@@ -356,7 +361,7 @@ class Engine {
   /// full-strength fallback after arbitrary external mutation.
   void republish() {
     for (NodeIndex i = 0; i < graph_.size(); ++i) {
-      protocol_.publish(states_[i], publics_[i]);
+      store_.publish_now(protocol_, states_[i], i);
     }
     metrics_.count_snapshots(graph_.size());
     wake_all();
@@ -368,7 +373,7 @@ class Engine {
   /// other node's state changed, without the O(n) sweep.
   void republish(NodeId id) {
     const NodeIndex i = graph_.index_of(id);
-    protocol_.publish(states_[i], publics_[i]);
+    store_.publish_now(protocol_, states_[i], i);
     metrics_.count_snapshots(1);
     wake(i);
     for (NodeId nb : graph_.neighbors(id)) wake(graph_.index_of(nb));
@@ -378,7 +383,7 @@ class Engine {
   /// Both endpoints are re-activated so they observe the delta.
   bool inject_edge(NodeId u, NodeId v) {
     if (!graph_.add_edge(u, v)) return false;
-    topo_changed_ = true;
+    topo_changed_ = ckpt_topo_changed_ = true;
     wake(graph_.index_of(u));
     wake(graph_.index_of(v));
     record_delta(u, v, false);
@@ -386,7 +391,7 @@ class Engine {
   }
   bool inject_edge_removal(NodeId u, NodeId v) {
     if (!graph_.remove_edge(u, v)) return false;
-    topo_changed_ = true;
+    topo_changed_ = ckpt_topo_changed_ = true;
     wake(graph_.index_of(u));
     wake(graph_.index_of(v));
     record_delta(u, v, true);
@@ -532,7 +537,7 @@ class Engine {
       const auto& [u, v] = pending_deletes_[di];
       if (graph_.remove_edge(u, v)) {
         metrics_.count_edge_del();
-        topo_changed_ = true;
+        topo_changed_ = ckpt_topo_changed_ = true;
         wake(graph_.index_of(u));
         wake(graph_.index_of(v));
         record_delta(u, v, true);
@@ -543,7 +548,7 @@ class Engine {
     for (const auto& [u, v] : pending_adds_) {
       if (graph_.add_edge(u, v)) {
         metrics_.count_edge_add();
-        topo_changed_ = true;
+        topo_changed_ = ckpt_topo_changed_ = true;
         wake(graph_.index_of(u));
         wake(graph_.index_of(v));
         record_delta(u, v, false);
@@ -560,30 +565,33 @@ class Engine {
     std::sort(dirty_.begin(), dirty_.end());
     if (!dirty_.empty()) {
       const std::size_t shards = shard_count(dirty_.size());
+      store_.begin_publish(shards);
       const auto publish_range = [&](std::size_t b, std::size_t e,
-                                     WorkerSlot& slot) {
+                                     std::size_t s) {
+        WorkerSlot& slot = slots_[s];
         for (std::size_t k = b; k < e; ++k) {
           const NodeIndex i = dirty_[k];
           dirty_mark_[i] = 0;
           if (step_mode_ == StepMode::kActiveSet) {
-            publish_and_collect(i, slot);
+            publish_and_collect(i, slot, s);
           } else {
-            protocol_.publish(states_[i], publics_[i]);
+            store_.publish(protocol_, states_[i], i, s);
           }
         }
       };
       if (shards == 1) {
-        publish_range(0, dirty_.size(), slots_[0]);
+        publish_range(0, dirty_.size(), 0);
       } else {
         pool_.run(shards, [&](std::size_t s) {
           const auto [b, e] = shard_range(dirty_.size(), shards, s);
-          publish_range(b, e, slots_[s]);
+          publish_range(b, e, s);
         });
       }
       for (std::size_t s = 0; s < shards; ++s) {
         for (NodeIndex i : slots_[s].wake) wake(i);
         slots_[s].wake.clear();
       }
+      store_.finish_publish();
       metrics_.count_snapshots(dirty_.size());
       // dirty_ is cleared at the end of the round (the marks are already
       // zeroed above): the round observer reads it first.
@@ -600,6 +608,12 @@ class Engine {
                       std::span<const EdgeDelta>(observed_deltas_));
       observed_deltas_.clear();
     }
+    // Fold this round's dirty set into the incremental-checkpoint touched
+    // set (DESIGN.md D10) before it is cleared. Stepped nodes are a subset
+    // of dirty_, so this also covers every per-node RNG advance: protocol
+    // streams draw only inside step(), delay streams only for senders, and
+    // both imply the node stepped — and was marked dirty — this round.
+    for (NodeIndex i : dirty_) ckpt_mark(i);
     dirty_.clear();
     topo_changed_ = false;
     if (round_actions_ == 0 && deliveries == 0 && !holds_pending()) {
@@ -702,7 +716,7 @@ class Engine {
     w(states_);
     w.end_section();
     w.begin_section(persist::tag4("PUBS"));
-    w(publics_);
+    store_.save(w);  // canonical per-node layout, store-independent
     w.end_section();
     w.begin_section(persist::tag4("METR"));
     w(metrics_);
@@ -845,7 +859,8 @@ class Engine {
     wakeups_ = std::move(wakeups);
     mail_ = std::move(mail);
     states_ = std::move(states);
-    publics_ = std::move(publics);
+    store_.init(n);
+    for (NodeIndex i = 0; i < n; ++i) store_.store(i, publics[i]);
     metrics_ = std::move(metrics);
     woken_mark_.assign(n, 0);
     for (NodeIndex i : woken_) woken_mark_[i] = 1;
@@ -856,6 +871,13 @@ class Engine {
     pending_deletes_.clear();
     pending_delete_sites_.clear();
     observed_deltas_.clear();
+    // The blob this reader came from is unknown here, so the incremental
+    // chain is broken: restore_blob() re-establishes it from the bytes.
+    ckpt_dirty_mark_.assign(n, 0);
+    ckpt_dirty_.clear();
+    ckpt_topo_changed_ = false;
+    last_ckpt_hash_ = 0;
+    has_ckpt_base_ = false;
     // Derived per-node caches (e.g. the stabilizer's fragment geometry) are
     // recomputed rather than serialized: they are pure functions of the
     // restored state, and recomputation cannot drift from it.
@@ -863,6 +885,335 @@ class Engine {
       for (NodeState& st : states_) protocol_.on_restore(st);
     }
     return {};
+  }
+
+  // --- incremental checkpoints (DESIGN.md D10) ------------------------------
+  //
+  // A delta blob serializes only what can have changed since the last blob
+  // in this engine's chain: the touched node set (states, RNG streams, and
+  // canonical snapshots of nodes stepped or externally mutated since), the
+  // topology only if it mutated, and the always-small sections (scalars,
+  // calendars, metrics, protocol knobs) in full. Each delta records the
+  // content hash of its parent blob; restore verifies the hash, so a delta
+  // applied against the wrong base — or out of order — fails loudly.
+  //
+  // Chain discipline: the *_blob helpers below maintain the chain head. A
+  // delta must be applied to an engine whose state exactly equals its
+  // parent blob's state (the normal flow: fresh engine, restore_blob(base),
+  // then restore_delta_blob for each delta in order). The raw Writer/Reader
+  // variants exist for embedding; they deliberately break the chain on the
+  // restore side because the blob's bytes (and hash) are unknown to them.
+
+  /// True once this engine has a chain head to extend with deltas.
+  bool has_checkpoint_base() const { return has_ckpt_base_; }
+
+  /// Full checkpoint as a self-contained kEngine blob; becomes the chain
+  /// head (deltas taken afterwards extend it).
+  std::vector<std::uint8_t> checkpoint_blob() {
+    persist::Writer w(persist::BlobKind::kEngine);
+    checkpoint(w);
+    std::vector<std::uint8_t> bytes = w.take();
+    note_ckpt_chain(bytes);
+    return bytes;
+  }
+
+  /// Incremental checkpoint as a kEngineDelta blob extending the current
+  /// chain head; becomes the new head. Requires a prior checkpoint_blob()
+  /// or restore_blob() on this engine.
+  std::vector<std::uint8_t> checkpoint_delta_blob() {
+    CHS_CHECK_MSG(has_ckpt_base_,
+                  "delta checkpoint without a base blob in the chain");
+    persist::Writer w(persist::BlobKind::kEngineDelta);
+    checkpoint_delta(w);
+    std::vector<std::uint8_t> bytes = w.take();
+    note_ckpt_chain(bytes);
+    return bytes;
+  }
+
+  /// Restore a full kEngine blob and make it the chain head.
+  persist::Status restore_blob(const std::vector<std::uint8_t>& bytes) {
+    persist::Reader r(bytes);
+    if (auto s = r.expect_header(persist::BlobKind::kEngine); !s.ok) return s;
+    if (auto s = restore(r); !s.ok) return s;
+    if (auto s = r.expect_end(); !s.ok) return s;
+    note_ckpt_chain(bytes);
+    return {};
+  }
+
+  /// Apply a delta blob. The engine's state must equal the parent blob's
+  /// state (enforced via the parent content hash against the chain head);
+  /// on success the delta becomes the new head. Corrupt or mismatched blobs
+  /// fail with a Status and leave the engine untouched.
+  persist::Status restore_delta_blob(const std::vector<std::uint8_t>& bytes) {
+    persist::Reader r(bytes);
+    if (auto s = r.expect_header(persist::BlobKind::kEngineDelta); !s.ok) {
+      return s;
+    }
+    if (auto s = restore_delta(r); !s.ok) return s;
+    if (auto s = r.expect_end(); !s.ok) return s;
+    note_ckpt_chain(bytes);
+    return {};
+  }
+
+  /// Raw-writer delta checkpoint (see the chain discipline note above).
+  void checkpoint_delta(persist::Writer& w) {
+    CHS_CHECK_MSG(pending_adds_.empty() && pending_deletes_.empty(),
+                  "checkpoint must be taken between rounds");
+    // External mutations still awaiting their publish round (state_mut
+    // between rounds) are part of the touched set too; dirty_ itself rides
+    // in DENG so the pending publish replays after restore.
+    for (NodeIndex i : dirty_) ckpt_mark(i);
+    std::sort(ckpt_dirty_.begin(), ckpt_dirty_.end());
+
+    w.begin_section(persist::tag4("DHDR"));
+    w(last_ckpt_hash_);
+    const std::uint64_t n = graph_.size();
+    w(n);
+    w.end_section();
+    w.begin_section(persist::tag4("DENG"));
+    w(round_);
+    w(round_actions_);
+    w(quiescent_streak_);
+    w(step_mode_);
+    w(max_delay_);
+    w(root_rng_);
+    w(woken_);
+    w(stepped_);
+    w(dirty_);
+    w.end_section();
+    w.begin_section(persist::tag4("DTOP"));
+    w(ckpt_topo_changed_);
+    if (ckpt_topo_changed_) w(graph_);
+    w.end_section();
+    w.begin_section(persist::tag4("DCAL"));
+    w(delayed_);
+    w(holds_);
+    w(wakeups_);
+    w.end_section();
+    w.begin_section(persist::tag4("DMAI"));
+    // Between rounds every box is empty (end_round is the single clear
+    // point); only the last round's delivery count survives.
+    w(mail_.delivered_this_round());
+    w.end_section();
+    w.begin_section(persist::tag4("DNOD"));
+    const std::uint64_t touched = ckpt_dirty_.size();
+    w(touched);
+    PublicState tmp;
+    for (NodeIndex i : ckpt_dirty_) {
+      w(i);
+      w(states_[i]);
+      w(rngs_[i]);
+      w(delay_rngs_[i]);
+      store_.materialize(i, tmp);  // canonical form, store-independent
+      w(tmp);
+    }
+    w.end_section();
+    w.begin_section(persist::tag4("DMET"));
+    w(metrics_);
+    w.end_section();
+    w.begin_section(persist::tag4("DPRO"));
+    if constexpr (requires(persist::Writer& a) { protocol_.persist_fields(a); }) {
+      w(protocol_);
+    }
+    w.end_section();
+  }
+
+  /// Raw-reader delta restore: fully staged, committed only after every
+  /// section read and range check passes — a failure of any kind leaves the
+  /// engine untouched. Breaks the chain head (the caller knows the bytes;
+  /// restore_delta_blob re-establishes it).
+  persist::Status restore_delta(persist::Reader& r) {
+    if (!has_ckpt_base_) {
+      return persist::Status::failure(
+          "delta restore without a base checkpoint");
+    }
+    if (auto s = r.validate_sections(); !s.ok) return s;
+
+    std::uint64_t parent = 0, n_in = 0;
+    if (auto s = r.open_section(persist::tag4("DHDR")); !s.ok) return s;
+    r(parent);
+    r(n_in);
+    if (auto s = r.close_section(); !s.ok) return s;
+    if (r.ok() && parent != last_ckpt_hash_) {
+      return persist::Status::failure(
+          "delta parent hash mismatch: blob does not extend this engine's "
+          "checkpoint chain");
+    }
+    const std::size_t n = graph_.size();
+    if (r.ok() && n_in != n) {
+      return persist::Status::failure("checkpoint node-count mismatch");
+    }
+
+    std::uint64_t round = 0, round_actions = 0, quiescent_streak = 0;
+    StepMode step_mode = StepMode::kAll;
+    std::uint32_t max_delay = 1;
+    util::Rng root_rng;
+    std::vector<NodeIndex> woken, stepped, dirty;
+    if (auto s = r.open_section(persist::tag4("DENG")); !s.ok) return s;
+    r(round);
+    r(round_actions);
+    r(quiescent_streak);
+    r(step_mode);
+    r(max_delay);
+    r(root_rng);
+    r(woken);
+    r(stepped);
+    r(dirty);
+    if (auto s = r.close_section(); !s.ok) return s;
+
+    bool topo = false;
+    graph::Graph g;
+    if (auto s = r.open_section(persist::tag4("DTOP")); !s.ok) return s;
+    r(topo);
+    if (topo) r(g);
+    if (auto s = r.close_section(); !s.ok) return s;
+    if (r.ok() && topo && g.ids() != graph_.ids()) {
+      return persist::Status::failure(
+          "checkpoint host set does not match this engine");
+    }
+
+    CalendarQueue<SendEvent> delayed;
+    CalendarQueue<HoldEvent> holds;
+    CalendarQueue<NodeIndex> wakeups;
+    if (auto s = r.open_section(persist::tag4("DCAL")); !s.ok) return s;
+    r(delayed);
+    r(holds);
+    r(wakeups);
+    if (auto s = r.close_section(); !s.ok) return s;
+
+    std::uint64_t delivered = 0;
+    if (auto s = r.open_section(persist::tag4("DMAI")); !s.ok) return s;
+    r(delivered);
+    if (auto s = r.close_section(); !s.ok) return s;
+
+    struct NodePatch {
+      NodeIndex i = 0;
+      NodeState st{};
+      util::Rng rng, delay_rng;
+      PublicState pub{};
+    };
+    std::vector<NodePatch> patches;
+    if (auto s = r.open_section(persist::tag4("DNOD")); !s.ok) return s;
+    std::uint64_t touched = 0;
+    r(touched);
+    for (std::uint64_t k = 0; k < touched && r.ok(); ++k) {
+      patches.emplace_back();
+      NodePatch& p = patches.back();
+      r(p.i);
+      r(p.st);
+      r(p.rng);
+      r(p.delay_rng);
+      r(p.pub);
+    }
+    if (auto s = r.close_section(); !s.ok) return s;
+
+    RunMetrics metrics;
+    if (auto s = r.open_section(persist::tag4("DMET")); !s.ok) return s;
+    r(metrics);
+    if (auto s = r.close_section(); !s.ok) return s;
+
+    std::optional<P> staged_protocol;
+    if (auto s = r.open_section(persist::tag4("DPRO")); !s.ok) return s;
+    if constexpr (requires(persist::Reader& a) { protocol_.persist_fields(a); }) {
+      if constexpr (std::copy_constructible<P> &&
+                    std::is_copy_assignable_v<P>) {
+        staged_protocol.emplace(protocol_);
+        r(*staged_protocol);
+      } else {
+        r(protocol_);  // non-copyable protocol: reads in place
+      }
+    }
+    if (auto s = r.close_section(); !s.ok) return s;
+    if (!r.ok()) return r.status();
+
+    bool indices_ok = true;
+    for (const auto* idxs : {&woken, &stepped, &dirty}) {
+      for (NodeIndex i : *idxs) indices_ok &= i < n;
+    }
+    for (const NodePatch& p : patches) indices_ok &= p.i < n;
+    delayed.for_each_event([&](const SendEvent& e) { indices_ok &= e.to < n; });
+    holds.for_each_event([&](const HoldEvent& e) { indices_ok &= e.to < n; });
+    wakeups.for_each_event([&](const NodeIndex& i) { indices_ok &= i < n; });
+    if (!indices_ok) {
+      return persist::Status::failure("node index out of range");
+    }
+
+    // --- commit -------------------------------------------------------------
+    if (staged_protocol) protocol_ = std::move(*staged_protocol);
+    if (topo) graph_ = std::move(g);
+    round_ = round;
+    round_actions_ = round_actions;
+    quiescent_streak_ = quiescent_streak;
+    step_mode_ = step_mode;
+    max_delay_ = max_delay;
+    root_rng_ = root_rng;
+    woken_ = std::move(woken);
+    stepped_ = std::move(stepped);
+    dirty_ = std::move(dirty);
+    delayed_ = std::move(delayed);
+    holds_ = std::move(holds);
+    wakeups_ = std::move(wakeups);
+    mail_.reset_empty(n, delivered);
+    for (NodePatch& p : patches) {
+      states_[p.i] = std::move(p.st);
+      rngs_[p.i] = p.rng;
+      delay_rngs_[p.i] = p.delay_rng;
+      store_.store(p.i, p.pub);
+    }
+    metrics_ = std::move(metrics);
+    woken_mark_.assign(n, 0);
+    for (NodeIndex i : woken_) woken_mark_[i] = 1;
+    dirty_mark_.assign(n, 0);
+    for (NodeIndex i : dirty_) dirty_mark_[i] = 1;
+    topo_changed_ = false;
+    pending_adds_.clear();
+    pending_deletes_.clear();
+    pending_delete_sites_.clear();
+    observed_deltas_.clear();
+    clear_ckpt_tracking();
+    has_ckpt_base_ = false;  // see restore_delta_blob
+    last_ckpt_hash_ = 0;
+    // Untouched nodes kept their state — and their derived caches — from the
+    // parent restore; only the patched ones need the post-restore fixup.
+    if constexpr (requires(NodeState& st) { protocol_.on_restore(st); }) {
+      for (const NodePatch& p : patches) protocol_.on_restore(states_[p.i]);
+    }
+    return {};
+  }
+
+  // --- memory accounting (DESIGN.md D10) ------------------------------------
+
+  /// Approximate resident bytes of the engine's dynamic structures: snapshot
+  /// store, node states (plus their heap, when NodeState exposes
+  /// live_bytes()), mailbox arenas, calendars, RNG streams, and the
+  /// active/dirty bookkeeping. Capacities, not sizes — this measures what the
+  /// process actually holds. O(n); call on demand, never per round.
+  std::size_t approx_live_bytes() const {
+    std::size_t b = store_.live_bytes() + mail_.live_bytes() +
+                    delayed_.live_bytes() + holds_.live_bytes() +
+                    wakeups_.live_bytes();
+    b += states_.capacity() * sizeof(NodeState);
+    if constexpr (requires(const NodeState& st) {
+                    { st.live_bytes() } -> std::convertible_to<std::size_t>;
+                  }) {
+      for (const NodeState& st : states_) b += st.live_bytes();
+    }
+    b += (rngs_.capacity() + delay_rngs_.capacity()) * sizeof(util::Rng);
+    b += (woken_.capacity() + stepped_.capacity() + dirty_.capacity() +
+          ckpt_dirty_.capacity()) *
+         sizeof(NodeIndex);
+    b += woken_mark_.capacity() + dirty_mark_.capacity() +
+         ckpt_dirty_mark_.capacity();
+    return b;
+  }
+
+  /// Sample approx_live_bytes() into RunMetrics::bytes_per_host. Explicit
+  /// call only (benchmarks, scale harnesses): capacities depend on the
+  /// worker-thread knob, so automatic sampling would leak wall-clock
+  /// configuration into checkpoint bytes.
+  void record_live_bytes() {
+    const std::size_t n = graph_.size();
+    metrics_.set_bytes_per_host(n == 0 ? 0 : approx_live_bytes() / n);
   }
 
  private:
@@ -902,8 +1253,8 @@ class Engine {
   // streams disjoint from root_rng_.split(id).
   static constexpr std::uint64_t kDelayStreamSalt = 0xd31a'57f3'0b5e'9c11ULL;
 
-  const PublicState* public_state_ptr(NodeId v) const {
-    return &publics_[graph_.index_of(v)];
+  typename Store::View snapshot_view(NodeId v) const {
+    return store_.view(graph_.index_of(v));
   }
 
   void wake(NodeIndex i) {
@@ -922,6 +1273,31 @@ class Engine {
       dirty_mark_[i] = 1;
       dirty_.push_back(i);
     }
+  }
+
+  /// Accumulate node i into the set touched since the last checkpoint blob
+  /// (full or delta) — the nodes a delta checkpoint must serialize.
+  void ckpt_mark(NodeIndex i) {
+    if (!ckpt_dirty_mark_[i]) {
+      ckpt_dirty_mark_[i] = 1;
+      ckpt_dirty_.push_back(i);
+    }
+  }
+
+  /// Reset the incremental-checkpoint tracking (the engine's state now
+  /// exactly matches the head of its blob chain — or the chain was broken).
+  void clear_ckpt_tracking() {
+    for (NodeIndex i : ckpt_dirty_) ckpt_dirty_mark_[i] = 0;
+    ckpt_dirty_.clear();
+    ckpt_topo_changed_ = false;
+  }
+
+  /// Record `bytes` as the new head of this engine's checkpoint chain: the
+  /// next delta extends it, identified by content hash.
+  void note_ckpt_chain(const std::vector<std::uint8_t>& bytes) {
+    last_ckpt_hash_ = persist::content_hash(bytes);
+    has_ckpt_base_ = true;
+    clear_ckpt_tracking();
   }
 
   /// Number of shards for a parallel phase over `items` units. One shard
@@ -993,19 +1369,12 @@ class Engine {
     buf.clear();
   }
 
-  /// Publish node i's snapshot; if it changed, collect its neighbors into
-  /// the shard's wake list (their next check_local / view reads see
-  /// different data). Protocols whose PublicState is not
-  /// equality-comparable conservatively treat every publish as a change.
-  void publish_and_collect(NodeIndex i, WorkerSlot& slot) {
-    bool changed = true;
-    if constexpr (std::equality_comparable<PublicState>) {
-      slot.scratch = publics_[i];
-      protocol_.publish(states_[i], publics_[i]);
-      changed = !(slot.scratch == publics_[i]);
-    } else {
-      protocol_.publish(states_[i], publics_[i]);
-    }
+  /// Publish node i's snapshot via the store; if it changed, collect its
+  /// neighbors into the shard's wake list (their next check_local / view
+  /// reads see different data).
+  void publish_and_collect(NodeIndex i, WorkerSlot& slot, std::size_t shard) {
+    const bool changed =
+        store_.publish_compare(protocol_, states_[i], i, slot.scratch, shard);
     if (changed) {
       for (NodeId nb : graph_.neighbors(graph_.id_of(i))) {
         slot.wake.push_back(graph_.index_of(nb));
@@ -1066,7 +1435,7 @@ class Engine {
   P protocol_;
   util::Rng root_rng_;
   std::vector<NodeState> states_;
-  std::vector<PublicState> publics_;
+  Store store_;  // public snapshots, behind the per-protocol store layout
   MailboxPool<Message> mail_;
   CalendarQueue<SendEvent> delayed_;
   CalendarQueue<HoldEvent> holds_;
@@ -1093,6 +1462,14 @@ class Engine {
   std::vector<NodeIndex> stepped_;  // nodes stepped in the current round
   std::vector<NodeIndex> dirty_;    // snapshots to publish this round
   std::vector<std::uint8_t> dirty_mark_;
+  // Incremental-checkpoint chain state (DESIGN.md D10): nodes touched since
+  // the last blob, whether topology changed since it, and the content hash
+  // identifying it (the parent of the next delta).
+  std::vector<NodeIndex> ckpt_dirty_;
+  std::vector<std::uint8_t> ckpt_dirty_mark_;
+  bool ckpt_topo_changed_ = false;
+  std::uint64_t last_ckpt_hash_ = 0;
+  bool has_ckpt_base_ = false;
   std::uint32_t max_delay_ = 1;
   std::uint64_t round_ = 0;
   std::uint64_t round_actions_ = 0;

@@ -88,6 +88,26 @@ class MailboxPool {
     a(delivered_this_round_);
   }
 
+  /// Delta-checkpoint restore (DESIGN.md D10): between rounds every box is
+  /// empty and no box is touched — end_round() is the single clear point —
+  /// so an engine delta records only `delivered` and rebuilds the arena.
+  /// Byte-equivalent to restoring the full structure: sizes and counters
+  /// match; only capacities (never serialized) differ.
+  void reset_empty(std::size_t n, std::uint64_t delivered) {
+    init(n);
+    delivered_this_round_ = delivered;
+  }
+
+  /// Approximate resident bytes of the arena (capacities, not sizes): the
+  /// bytes_per_host accounting. O(n) — call on demand, never per round.
+  std::size_t live_bytes() const {
+    std::size_t b = boxes_.capacity() * sizeof(boxes_[0]) +
+                    touched_mark_.capacity() +
+                    touched_.capacity() * sizeof(graph::NodeIndex);
+    for (const auto& box : boxes_) b += box.capacity() * sizeof(Envelope<M>);
+    return b;
+  }
+
   /// Restore-side structural check (Engine::restore, before commit): the
   /// arena must be sized for n nodes with every touched index in range,
   /// or the next deliver() would index out of bounds.

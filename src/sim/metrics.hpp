@@ -31,6 +31,14 @@ class RunMetrics {
   void observe_scheduler(std::size_t pending_events,
                          std::size_t peak_bucket_occupancy);
 
+  /// Resident-memory footprint per host, recorded on demand (never
+  /// automatically: capacities depend on the worker-count knob, and a
+  /// per-round sample would leak that knob into checkpoint bytes, breaking
+  /// the any-worker-count byte-identity rule). Engine::record_live_bytes is
+  /// the intended writer; 0 means "never sampled".
+  void set_bytes_per_host(std::uint64_t b) { bytes_per_host_ = b; }
+  std::uint64_t bytes_per_host() const { return bytes_per_host_; }
+
   void count_message() { ++messages_; }
   /// A network delivery suppressed by the engine's delivery filter
   /// (message-loss / partition fault injection — DESIGN.md D7).
@@ -93,6 +101,7 @@ class RunMetrics {
     a(peak_bucket_occupancy_);
     a(initial_max_degree_);
     a(peak_max_degree_);
+    a(bytes_per_host_);
     a(cached_max_degree_);
     a(trace_recording_);
     a(trace_);
@@ -112,6 +121,7 @@ class RunMetrics {
   std::size_t peak_bucket_occupancy_ = 0;
   std::size_t initial_max_degree_ = 0;
   std::size_t peak_max_degree_ = 0;
+  std::uint64_t bytes_per_host_ = 0;
   std::size_t cached_max_degree_ = 0;  // valid while the topology is unchanged
   bool trace_recording_ = true;
   std::vector<std::size_t> trace_;

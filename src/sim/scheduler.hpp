@@ -87,6 +87,15 @@ class CalendarQueue {
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Approximate resident bytes (bucket ring + entry capacities): the
+  /// bytes_per_host accounting. O(buckets) — call on demand, not per round.
+  std::size_t live_bytes() const {
+    std::size_t b = buckets_.capacity() * sizeof(buckets_[0]);
+    for (const auto& bucket : buckets_) b += bucket.capacity() * sizeof(Entry);
+    return b;
+  }
+
   std::size_t bucket_count() const { return buckets_.size(); }
   std::size_t peak_bucket_occupancy() const { return peak_bucket_occupancy_; }
 

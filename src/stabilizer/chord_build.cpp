@@ -188,7 +188,7 @@ bool Protocol::any_kept(std::uint64_t s0, std::uint64_t s1, std::uint32_t k) con
 void Protocol::apply_done_prune(Ctx& ctx) {
   HostState& st = ctx.state();
   const std::uint64_t n = params_.n_guests;
-  std::set<NodeId> needed;
+  util::FlatSet<NodeId> needed;
   for (const auto& [pos, host] : st.boundary_host) {
     (void)pos;
     needed.insert(host);
@@ -219,8 +219,8 @@ void Protocol::apply_done_prune(Ctx& ctx) {
   }
   for (NodeId v : ctx.neighbors()) {
     if (needed.count(v)) continue;
-    const auto* view = ctx.view(v);
-    if (view == nullptr) continue;
+    const auto view = ctx.view(v);
+    if (!view) continue;
     if (view->cluster != st.cluster) continue;  // detector's business
     // No connectivity certificate needed here: `needed` contains my whole
     // verified tree structure (boundary/parent/succ/pred), which is never

@@ -88,7 +88,7 @@ bool Protocol::check_local(Ctx& ctx) const {
   // --- 3. Neighbor consistency --------------------------------------------
   const bool merge_window =
       st.merge.stage != MergeStage::kNone || now < st.recent_until;
-  const auto cluster_ok = [&](const PublicState& v) {
+  const auto cluster_ok = [&](const auto& v) {
     if (v.cluster == st.cluster) return true;
     if (st.merge.stage != MergeStage::kNone &&
         (v.cluster == st.merge.peer_cluster || v.merging_with == st.cluster)) {
@@ -105,8 +105,8 @@ bool Protocol::check_local(Ctx& ctx) const {
                                     bool pos_in_their_range) {
     if (host == kNone || host == st.id) CHS_FAULT();
     if (!ctx.is_neighbor(host)) CHS_FAULT();
-    const PublicState* v = ctx.view(host);
-    if (v == nullptr) CHS_FAULT();
+    const auto v = ctx.view(host);
+    if (!v) CHS_FAULT();
     if (!cluster_ok(*v)) CHS_FAULT();
     if (!merge_window && pos_in_their_range &&
         (pos < v->lo || pos >= v->hi)) {
@@ -136,8 +136,8 @@ bool Protocol::check_local(Ctx& ctx) const {
   }
   if (st.succ != kNone) {
     if (!ctx.is_neighbor(st.succ)) CHS_FAULT();
-    const PublicState* v = ctx.view(st.succ);
-    if (v == nullptr || !cluster_ok(*v)) CHS_FAULT();
+    const auto v = ctx.view(st.succ);
+    if (!v || !cluster_ok(*v)) CHS_FAULT();
     if (!merge_window && v->id != st.hi) CHS_FAULT();  // ranges must tile
     // Ring reciprocity: my successor's pred pointer names me (same
     // stale-membership argument as the structural-map check above).
@@ -145,8 +145,8 @@ bool Protocol::check_local(Ctx& ctx) const {
   }
   if (st.pred != kNone) {
     if (!ctx.is_neighbor(st.pred)) CHS_FAULT();
-    const PublicState* v = ctx.view(st.pred);
-    if (v == nullptr || !cluster_ok(*v)) CHS_FAULT();
+    const auto v = ctx.view(st.pred);
+    if (!v || !cluster_ok(*v)) CHS_FAULT();
     if (!merge_window && v->hi != st.lo) CHS_FAULT();
     if (!merge_window && v->succ != st.id) CHS_FAULT();
   }
@@ -157,8 +157,8 @@ bool Protocol::check_local(Ctx& ctx) const {
   // exactly the "neighbor it would not have in the correct configuration".
   if (st.phase != Phase::kCbt) {
     for (NodeId v : ctx.neighbors()) {
-      const PublicState* view = ctx.view(v);
-      if (view == nullptr) continue;
+      const auto view = ctx.view(v);
+      if (!view) continue;
       if (!cluster_ok(*view)) CHS_FAULT();
       if (view->phase == st.phase) continue;
       const bool wave_explains = st.in_phase_wave || st.in_done_wave ||
@@ -183,8 +183,8 @@ bool Protocol::check_local(Ctx& ctx) const {
     // parent and child of each other at different tree positions.
     if (!st.in_phase_wave) {
       for (NodeId host : structural_neighbors(st)) {
-        const PublicState* v = ctx.view(host);
-        if (v == nullptr) CHS_FAULT();
+        const auto v = ctx.view(host);
+        if (!v) CHS_FAULT();
         if (v->phase == Phase::kCbt) continue;  // phase rule handled above
         const std::int64_t diff =
             static_cast<std::int64_t>(st.wave_k) - v->wave_k;

@@ -188,32 +188,42 @@ void Protocol::resolve_step(Ctx& ctx, GuestId pos) {
   s.resolved = true;
   observe_peer_id(st, s.peer);
 
-  const NodeId winner = avatar::zip_winner(pos, st.id, s.peer);
-  if (winner == st.id && s.parent_winner != kNone && s.parent_winner != st.id) {
-    f.new_parent[pos] = s.parent_winner;
+  // Creating child steps below inserts into f.steps, which may reallocate
+  // the flat table and invalidate `s`; snapshot the parent step's fields
+  // first and fold the waiting_done increments back in via a fresh lookup.
+  const CbtInterval iv = s.iv;
+  const NodeId peer = s.peer;
+  const NodeId parent_win = s.parent_winner;
+  const std::uint64_t peer_lo = s.peer_lo, peer_hi = s.peer_hi;
+  const NodeId peer_child_left = s.peer_child_left;
+  const NodeId peer_child_right = s.peer_child_right;
+
+  const NodeId winner = avatar::zip_winner(pos, st.id, peer);
+  if (winner == st.id && parent_win != kNone && parent_win != st.id) {
+    f.new_parent[pos] = parent_win;
   }
 
+  std::uint32_t waiting_add = 0;
   bool need_phase2 = false;
-  for (const CbtInterval civ : {s.iv.left(), s.iv.right()}) {
+  for (const CbtInterval civ : {iv.left(), iv.right()}) {
     if (civ.empty()) continue;
     const GuestId cm = civ.mid();
     const NodeId mc = child_candidate(st, cm);
-    const NodeId pc =
-        (civ.lo < pos) ? s.peer_child_left : s.peer_child_right;
+    const NodeId pc = (civ.lo < pos) ? peer_child_left : peer_child_right;
     if (mc == kNone || pc == kNone) {
       // Structure inconsistent with the claimed ranges: abort via detector.
       reset_to_singleton(ctx);
       return;
     }
-    const bool same_participants = (mc == st.id && pc == s.peer);
+    const bool same_participants = (mc == st.id && pc == peer);
     if (same_participants && contained(civ, st.lo, st.hi) &&
-        contained(civ, s.peer_lo, s.peer_hi) &&
-        avatar::zip_uniform_over(civ, st.id, s.peer)) {
-      const NodeId w = avatar::zip_winner(civ.lo, st.id, s.peer);
+        contained(civ, peer_lo, peer_hi) &&
+        avatar::zip_uniform_over(civ, st.id, peer)) {
+      const NodeId w = avatar::zip_winner(civ.lo, st.id, peer);
       record_interval_outcome(ctx, civ, w, winner);
       continue;
     }
-    if (winner == st.id) ++s.waiting_done;  // a real substep will report
+    if (winner == st.id) ++waiting_add;  // a real substep will report
     if (winner == st.id) {
       // I will wait for this child's ZipDone; the reporter may be the
       // peer-side child, so keep that edge alive until the done arrives.
@@ -225,25 +235,26 @@ void Protocol::resolve_step(Ctx& ctx, GuestId pos) {
       ZipStep& cs = f.steps[cm];
       if (cs.peer == kNone) {
         cs.iv = civ;
-        cs.peer = s.peer;
+        cs.peer = peer;
         cs.parent_winner = winner;
-        zip_ref(st, s.peer);
+        zip_ref(st, peer);
         zip_ref(st, winner);
       }
       send_zip_step(ctx, cm);
       continue;
     }
     // Participant change: two-round introduction dance.
-    if (mc != st.id && mc != s.peer && ctx.is_neighbor(mc)) {
-      ctx.introduce(mc, s.peer, "merge:0");
+    if (mc != st.id && mc != peer && ctx.is_neighbor(mc)) {
+      ctx.introduce(mc, peer, "merge:0");
     }
     need_phase2 = true;
   }
+  if (waiting_add != 0) f.steps.find(pos)->second.waiting_done += waiting_add;
   if (need_phase2) ctx.hold(MZipPhase2{f.nonce, pos}, 1);
   // My counterpart's edge is no longer needed for this step; losers also
   // release the parent-winner edge (they report nothing up).
-  zip_unref(ctx, s.peer);
-  if (winner != st.id) zip_unref(ctx, s.parent_winner);
+  zip_unref(ctx, peer);
+  if (winner != st.id) zip_unref(ctx, parent_win);
   maybe_report_done(ctx, pos);
 }
 
@@ -253,7 +264,9 @@ void Protocol::handle_zip_phase2(Ctx& ctx, const MZipPhase2& m) {
   if (f.stage != MergeStage::kZip || f.nonce != m.nonce) return;
   auto it = f.steps.find(m.pos);
   if (it == f.steps.end() || !it->second.resolved) return;
-  ZipStep& s = it->second;
+  // Copy: starting child steps below inserts into f.steps and may
+  // reallocate the flat table out from under a reference.
+  const ZipStep s = it->second;
   const NodeId winner = avatar::zip_winner(m.pos, st.id, s.peer);
 
   bool retry = false;
@@ -376,7 +389,7 @@ void Protocol::apply_commit(Ctx& ctx, std::uint64_t nonce, NodeId new_cluster) {
 
   // Validate the accumulated structure against the forced geometry of the
   // new range; a gap means the zip was inconsistent — treat as a fault.
-  std::map<GuestId, NodeId> boundary, parent;
+  util::FlatMap<GuestId, NodeId> boundary, parent;
   for (const auto& ce : cbt_.crossing_edges(f.new_lo, f.new_hi)) {
     if (!ce.child_inside) {
       auto bi = f.new_boundary.find(ce.child_pos);
@@ -503,7 +516,7 @@ bool Protocol::zip_edge_unneeded(Ctx& ctx, NodeId node) const {
       node == st.succ || node == st.pred) {
     return false;
   }
-  const auto references = [&](const std::map<GuestId, NodeId>& m2) {
+  const auto references = [&](const util::FlatMap<GuestId, NodeId>& m2) {
     for (const auto& [pos, host] : m2) {
       (void)pos;
       if (host == node) return true;

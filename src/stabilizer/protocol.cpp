@@ -153,8 +153,8 @@ bool Protocol::deletion_certificate(Ctx& ctx, NodeId v) const {
   // v as its own neighbor, so dropping (me, v) leaves the path me-w-v.
   for (NodeId w : structural_neighbors(ctx.state())) {
     if (w == v || !ctx.is_neighbor(w)) continue;
-    const PublicState* view = ctx.view(w);
-    if (view != nullptr && view->has_neighbor(v)) return true;
+    const auto view = ctx.view(w);
+    if (view && view->has_neighbor(v)) return true;
   }
   return false;
 }
@@ -163,8 +163,8 @@ std::vector<NodeId> Protocol::external_neighbors(Ctx& ctx) const {
   std::vector<NodeId> out;
   const HostState& st = ctx.state();
   for (NodeId v : ctx.neighbors()) {
-    const PublicState* view = ctx.view(v);
-    if (view == nullptr) continue;
+    const auto view = ctx.view(v);
+    if (!view) continue;
     if (view->cluster != st.cluster) out.push_back(v);
   }
   return out;
@@ -177,8 +177,8 @@ void Protocol::classify_and_clean_edges(Ctx& ctx) {
   const auto structural = structural_neighbors(st);
   for (NodeId v : ctx.neighbors()) {
     if (std::binary_search(structural.begin(), structural.end(), v)) continue;
-    const PublicState* view = ctx.view(v);
-    if (view == nullptr) continue;
+    const auto view = ctx.view(v);
+    if (!view) continue;
     if (view->cluster != st.cluster) continue;      // genuine external edge
     if (view->merging_with != kNone) continue;      // peer busy; wait
     // Bilateral rule: an edge is junk only when *neither* end counts it as

@@ -24,6 +24,7 @@
 #include "sim/engine.hpp"
 #include "stabilizer/messages.hpp"
 #include "stabilizer/params.hpp"
+#include "stabilizer/snapshot.hpp"
 #include "stabilizer/state.hpp"
 #include "topology/cbt.hpp"
 
@@ -34,6 +35,10 @@ class Protocol {
   using Message = stabilizer::Message;
   using NodeState = HostState;
   using PublicState = stabilizer::PublicState;
+  /// Struct-of-arrays snapshot storage (DESIGN.md D10): hot scalar fields in
+  /// one row array, neighbor lists in a shared slab. Neighbor views become
+  /// PublicView values (spans into the slab) instead of PublicState pointers.
+  using SnapshotStore = SnapshotArena;
   using Ctx = sim::NodeCtx<Protocol>;
 
   /// Active-set contract (DESIGN.md D5): every spontaneous (non-message)

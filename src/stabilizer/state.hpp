@@ -22,15 +22,15 @@
 // post-merge structure, swapped in atomically at commit.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "avatar/range.hpp"
 #include "stabilizer/params.hpp"
 #include "topology/cbt.hpp"
+#include "util/flat_map.hpp"
 #include "util/interval_map.hpp"
 
 namespace chs::stabilizer {
@@ -95,7 +95,7 @@ struct WaveState {
   bool propagate_applied = false;   // per-wave, per-host propagate action fired
   bool range_actions_done = false;  // per-wave, per-host feedback actions fired
   std::uint32_t frags_completed = 0;
-  std::map<GuestId, FragWave> frags;  // keyed by fragment entry position
+  util::FlatMap<GuestId, FragWave> frags;  // keyed by fragment entry position
 };
 
 // ---------------------------------------------------------------------------
@@ -154,18 +154,18 @@ struct MergeFsm {
   NodeId peer_cluster = kNone;  // root id of the other cluster
   std::uint64_t nonce = 0;      // merge instance id (shared by both clusters)
   std::uint64_t deadline = 0;   // absolute round; overrun is a fault
-  std::map<GuestId, ZipStep> steps;  // keyed by interval midpoint
+  util::FlatMap<GuestId, ZipStep> steps;  // keyed by interval midpoint
   // Active-use counts of counterpart edges; when a node's count hits zero a
   // retire check runs and drops the edge unless it was promoted into the
   // pending structure (bounds transient merge degree).
-  std::map<NodeId, std::uint32_t> peer_refs;
+  util::FlatMap<NodeId, std::uint32_t> peer_refs;
   // Positions whose pending ZipDone keeps the peer-side child edge alive.
-  std::map<GuestId, NodeId> pending_done_ref;
+  util::FlatMap<GuestId, NodeId> pending_done_ref;
   // Pending post-merge structure (swapped in at commit):
   std::uint64_t new_lo = 0, new_hi = 0;
   NodeId new_succ = kNone, new_pred = kNone;
-  std::map<GuestId, NodeId> new_boundary;
-  std::map<GuestId, NodeId> new_parent;
+  util::FlatMap<GuestId, NodeId> new_boundary;
+  util::FlatMap<GuestId, NodeId> new_parent;
   bool committed = false;
 
   void clear() { *this = MergeFsm{}; }
@@ -181,8 +181,8 @@ struct HostState {
   NodeId cluster = kNone;  // host id of my cluster's root
   std::uint64_t lo = 0, hi = 0;
 
-  std::map<GuestId, NodeId> boundary_host;  // out-of-range child pos -> host
-  std::map<GuestId, NodeId> parent_host;    // in-range entry pos -> parent's host
+  util::FlatMap<GuestId, NodeId> boundary_host;  // out-of-range child pos -> host
+  util::FlatMap<GuestId, NodeId> parent_host;    // in-range entry pos -> parent's host
   NodeId succ = kNone;  // member owning [hi, ..): kNone iff hi == N
   NodeId pred = kNone;  // member whose range ends at lo; kNone iff lo == 0
 
@@ -195,7 +195,7 @@ struct HostState {
   std::uint64_t chord_gap_timer = 0; // root only: grace countdown between waves
 
   // Wave engine + cluster machinery.
-  std::map<WaveId, WaveState> waves;
+  util::FlatMap<WaveId, WaveState> waves;
   EpochFsm epoch;
   MergeFsm merge;
   bool in_phase_wave = false;  // kPhaseChord tolerance window
@@ -210,11 +210,11 @@ struct HostState {
 
   // Cached fragment geometry for the current range (recomputed on change).
   std::vector<topology::Cbt::Fragment> frags;
-  std::map<GuestId, GuestId> out_edge_to_entry;  // out-edge child pos -> entry
+  util::FlatMap<GuestId, GuestId> out_edge_to_entry;  // out-edge child pos -> entry
 
   // Cached at the DONE prune: the exact neighbor set the final configuration
   // requires; any other surviving neighbor is a fault once the prune settles.
-  std::set<NodeId> done_needed;
+  util::FlatSet<NodeId> done_needed;
   bool done_pruned = false;
 
   // Neighbor ids at the end of my previous step (published for the
@@ -229,6 +229,30 @@ struct HostState {
 
   bool is_root() const { return cluster == id; }
   avatar::Range range() const { return {lo, hi}; }
+
+  /// Approximate resident heap bytes of this host's tables (capacities, not
+  /// sizes): the Engine's bytes_per_host accounting. Walks every nested
+  /// container, so call on demand — never on the per-round hot path.
+  std::size_t live_bytes() const {
+    std::size_t b = boundary_host.capacity_bytes() +
+                    parent_host.capacity_bytes();
+    b += fwd_maps.capacity() * sizeof(fwd_maps[0]);
+    for (const auto& m : fwd_maps) b += m.capacity_bytes();
+    b += rev_maps.capacity() * sizeof(rev_maps[0]);
+    for (const auto& m : rev_maps) b += m.capacity_bytes();
+    b += waves.capacity_bytes();
+    for (const auto& [id_, ws] : waves) b += ws.frags.capacity_bytes();
+    b += epoch.requests.capacity() * sizeof(NodeId);
+    b += merge.steps.capacity_bytes() + merge.peer_refs.capacity_bytes() +
+         merge.pending_done_ref.capacity_bytes() +
+         merge.new_boundary.capacity_bytes() +
+         merge.new_parent.capacity_bytes();
+    b += frags.capacity() * sizeof(topology::Cbt::Fragment);
+    b += out_edge_to_entry.capacity_bytes();
+    b += done_needed.capacity_bytes();
+    b += nbrs.capacity() * sizeof(NodeId);
+    return b;
+  }
 };
 
 /// The slice of state neighbors can read (D4). Everything the detector's

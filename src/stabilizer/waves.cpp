@@ -210,6 +210,11 @@ void Protocol::fragment_completed(Ctx& ctx, const WaveMeta& meta, GuestId entry)
       fw.agg.max_contact = st.id;
     }
   }
+  // The feedback below must not read through `fw`: apply_range_actions can
+  // reset the host to a singleton (wiping st.waves under the reference), and
+  // range actions that start follow-up waves insert into the flat tables.
+  const WaveAgg agg = fw.agg;
+
   // Per-host feedback actions once every fragment of this wave completed.
   if (!ws.range_actions_done && ws.frags_completed == st.frags.size()) {
     ws.range_actions_done = true;
@@ -221,19 +226,19 @@ void Protocol::fragment_completed(Ctx& ctx, const WaveMeta& meta, GuestId entry)
     const NodeId parent = pit->second;
     if (ctx.is_neighbor(parent)) {
       // Chain ring contacts: make sure the parent can keep forwarding them.
-      for (NodeId contact : {fw.agg.min_contact, fw.agg.max_contact}) {
+      for (NodeId contact : {agg.min_contact, agg.max_contact}) {
         if (contact != kNone && contact != st.id && contact != parent &&
             ctx.is_neighbor(contact)) {
           ctx.introduce(parent, contact, "waves:0");
         }
       }
-      ctx.send(parent, MWaveUp{meta, entry, fw.agg});
+      ctx.send(parent, MWaveUp{meta, entry, agg});
     }
     return;
   }
   // No parent: this is the guest-root fragment — wave complete at the root.
   if (entry == guest_root()) {
-    wave_completed_at_root(ctx, meta, fw.agg);
+    wave_completed_at_root(ctx, meta, agg);
   }
 }
 

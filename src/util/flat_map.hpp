@@ -1,0 +1,166 @@
+// Sorted-vector associative containers for the stabilizer hot path.
+//
+// A simulated host carries a dozen small map/set tables (boundary hosts, wave
+// fragments, zip steps, ...). With std::map each entry is a separate
+// red-black node: a pointer-chasing read path and an allocator round-trip per
+// insert/erase, multiplied by a million hosts. FlatMap/FlatSet store the
+// elements in one sorted std::vector: O(log n) lookup via binary search over
+// contiguous memory, O(n) insert/erase by shifting — the right trade for
+// tables that hold a handful of entries and are read far more than written.
+//
+// clear() keeps the vector's capacity, so a host that repeatedly builds and
+// tears down merge state (MergeFsm::clear, wave GC) reuses its allocation
+// instead of returning to the heap each epoch.
+//
+// Iteration order is ascending by key, the same as std::map, so every
+// deterministic loop over a table (message emission, persist, detector
+// checks) is order-identical after the swap. Serialization piggybacks on the
+// member persist_fields hook: the payload is the sorted vector<pair<K,V>>
+// (or vector<K>), which is byte-identical to the archive format of
+// std::map/std::set (count + elements in key order).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace chs::util {
+
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return data_.begin(); }
+  iterator end() { return data_.end(); }
+  const_iterator begin() const { return data_.begin(); }
+  const_iterator end() const { return data_.end(); }
+
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+  void clear() { data_.clear(); }  // capacity retained
+
+  iterator lower_bound(const K& k) {
+    return std::lower_bound(
+        data_.begin(), data_.end(), k,
+        [](const value_type& e, const K& key) { return e.first < key; });
+  }
+  const_iterator lower_bound(const K& k) const {
+    return std::lower_bound(
+        data_.begin(), data_.end(), k,
+        [](const value_type& e, const K& key) { return e.first < key; });
+  }
+
+  iterator find(const K& k) {
+    auto it = lower_bound(k);
+    return (it != data_.end() && it->first == k) ? it : data_.end();
+  }
+  const_iterator find(const K& k) const {
+    auto it = lower_bound(k);
+    return (it != data_.end() && it->first == k) ? it : data_.end();
+  }
+
+  bool contains(const K& k) const { return find(k) != data_.end(); }
+  std::size_t count(const K& k) const { return contains(k) ? 1 : 0; }
+
+  V& operator[](const K& k) {
+    auto it = lower_bound(k);
+    if (it == data_.end() || it->first != k) it = data_.emplace(it, k, V{});
+    return it->second;
+  }
+
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const K& k, Args&&... args) {
+    auto it = lower_bound(k);
+    if (it != data_.end() && it->first == k) return {it, false};
+    it = data_.emplace(it, std::piecewise_construct, std::forward_as_tuple(k),
+                       std::forward_as_tuple(std::forward<Args>(args)...));
+    return {it, true};
+  }
+
+  std::pair<iterator, bool> insert(value_type kv) {
+    auto it = lower_bound(kv.first);
+    if (it != data_.end() && it->first == kv.first) return {it, false};
+    it = data_.insert(it, std::move(kv));
+    return {it, true};
+  }
+
+  std::size_t erase(const K& k) {
+    auto it = find(k);
+    if (it == data_.end()) return 0;
+    data_.erase(it);
+    return 1;
+  }
+
+  iterator erase(const_iterator it) { return data_.erase(it); }
+
+  bool operator==(const FlatMap&) const = default;
+
+  /// Resident bytes of the backing vector (capacity, not size): the
+  /// bytes_per_host accounting. Values with their own heap state (nested
+  /// containers) are not followed; callers sum those explicitly.
+  std::size_t capacity_bytes() const {
+    return data_.capacity() * sizeof(value_type);
+  }
+
+  template <typename A>
+  void persist_fields(A& a) {
+    a(data_);  // same bytes as std::map<K,V>: count + (key,value) in key order
+  }
+
+ private:
+  std::vector<value_type> data_;
+};
+
+template <typename K>
+class FlatSet {
+ public:
+  using iterator = typename std::vector<K>::const_iterator;
+  using const_iterator = typename std::vector<K>::const_iterator;
+
+  const_iterator begin() const { return data_.begin(); }
+  const_iterator end() const { return data_.end(); }
+
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+  void clear() { data_.clear(); }  // capacity retained
+
+  const_iterator find(const K& k) const {
+    auto it = std::lower_bound(data_.begin(), data_.end(), k);
+    return (it != data_.end() && *it == k) ? it : data_.end();
+  }
+
+  bool contains(const K& k) const { return find(k) != data_.end(); }
+  std::size_t count(const K& k) const { return contains(k) ? 1 : 0; }
+
+  std::pair<const_iterator, bool> insert(const K& k) {
+    auto it = std::lower_bound(data_.begin(), data_.end(), k);
+    if (it != data_.end() && *it == k) return {it, false};
+    return {data_.insert(it, k), true};
+  }
+
+  std::size_t erase(const K& k) {
+    auto it = std::lower_bound(data_.begin(), data_.end(), k);
+    if (it == data_.end() || *it != k) return 0;
+    data_.erase(it);
+    return 1;
+  }
+
+  bool operator==(const FlatSet&) const = default;
+
+  /// Resident bytes of the backing vector (capacity, not size).
+  std::size_t capacity_bytes() const { return data_.capacity() * sizeof(K); }
+
+  template <typename A>
+  void persist_fields(A& a) {
+    a(data_);  // same bytes as std::set<K>: count + elements in order
+  }
+
+ private:
+  std::vector<K> data_;
+};
+
+}  // namespace chs::util

@@ -107,6 +107,11 @@ class IntervalMap {
   std::size_t size() const { return entries_.size(); }
   const std::vector<Entry>& entries() const { return entries_; }
 
+  /// Resident bytes of the entry vector (capacity, not size).
+  std::size_t capacity_bytes() const {
+    return entries_.capacity() * sizeof(Entry);
+  }
+
   /// Checkpoint/restore (DESIGN.md D9): the canonical (sorted, disjoint,
   /// coalesced) entry vector is the whole state.
   template <typename A>

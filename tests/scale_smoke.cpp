@@ -1,0 +1,138 @@
+// CI scale smoke (DESIGN.md D10): a 100k-host engine must build, run, and
+// round-trip an incremental checkpoint on stock CI hardware.
+//
+//   1. Build a converged Avatar(Chord) scaffold at 100k hosts, run a short
+//      active-set stretch, and report bytes_per_host.
+//   2. Take a full blob, wipe one host, let the repair run, take a delta.
+//      The delta must be >= 10x smaller than the full blob (checkpoint cost
+//      scales with churn, not host count).
+//   3. Restore base + delta into a fresh engine and require the result to
+//      be BYTE-IDENTICAL to a full snapshot of the original.
+//
+// Exit 0 on success, 1 with a message on any violation — wired into the
+// scale-smoke CI job.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/churn.hpp"
+#include "core/network.hpp"
+#include "graph/generators.hpp"
+#include "persist/fields.hpp"
+#include "persist/io.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+constexpr std::size_t kHosts = 100000;
+constexpr std::uint64_t kGuests = 131072;  // next pow2 >= ~1.3x hosts
+
+std::unique_ptr<chs::core::StabEngine> built_engine(bool install_chord) {
+  using chs::core::StabEngine;
+  chs::util::Rng rng(1);
+  auto ids = chs::graph::sample_ids(kHosts, kGuests, rng);
+  chs::core::Params p;
+  p.n_guests = kGuests;
+  auto eng = chs::core::make_engine(chs::core::scaffold_graph(ids, kGuests),
+                                    p, 1);
+  // A restore target skips the chord install: restore overwrites the whole
+  // engine anyway, only the host-id set must match.
+  if (install_chord) {
+    chs::core::install_chord_built_upto(
+        *eng, static_cast<std::int32_t>(eng->protocol().num_waves()) - 1,
+        &ids);
+  }
+  eng->metrics().set_trace_recording(false);
+  return eng;
+}
+
+std::vector<std::uint8_t> full_blob(chs::core::StabEngine& eng) {
+  chs::persist::Writer w(chs::persist::BlobKind::kEngine);
+  eng.checkpoint(w);
+  return w.take();
+}
+
+double secs_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace chs;
+  util::set_log_level(util::LogLevel::kError);
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto eng = built_engine(/*install_chord=*/true);
+  eng->set_step_mode(sim::StepMode::kActiveSet);
+  eng->run_until(
+      [](core::StabEngine& e) { return e.quiescent_streak() >= 8; }, 5000);
+  while (eng->pending_events() != 0) eng->step_round();
+  std::printf("setup: %zu hosts converged in %.1fs (round %llu)\n", kHosts,
+              secs_since(t0), (unsigned long long)eng->round());
+
+  // Short steady-state run + memory accounting.
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < 50; ++r) eng->step_round();
+  eng->record_live_bytes();
+  std::printf("run: 50 quiescent rounds in %.2fs, bytes_per_host=%llu\n",
+              secs_since(t0),
+              (unsigned long long)eng->metrics().bytes_per_host());
+  if (eng->metrics().bytes_per_host() == 0) {
+    std::fprintf(stderr, "FAIL: bytes_per_host not recorded\n");
+    return 1;
+  }
+
+  // Incremental checkpoint round-trip. The size claim is pinned on a
+  // quiescent stretch (checkpoint cost scales with activity, not host
+  // count); the repair delta after a host wipe carries a detector wave's
+  // worth of nodes, so it only has to restore correctly, not be small.
+  t0 = std::chrono::steady_clock::now();
+  const auto base = eng->checkpoint_blob();
+  std::printf("base blob: %zu bytes in %.2fs\n", base.size(), secs_since(t0));
+
+  for (int r = 0; r < 5; ++r) eng->step_round();
+  t0 = std::chrono::steady_clock::now();
+  const auto delta = eng->checkpoint_delta_blob();
+  std::printf("quiescent delta: %zu bytes in %.2fs (%.0fx smaller)\n",
+              delta.size(), secs_since(t0),
+              static_cast<double>(base.size()) /
+                  static_cast<double>(delta.size()));
+  if (delta.size() * 10 > base.size()) {
+    std::fprintf(stderr,
+                 "FAIL: delta %zu bytes is not >=10x smaller than base %zu\n",
+                 delta.size(), base.size());
+    return 1;
+  }
+
+  core::wipe_host_state(*eng, eng->graph().ids().front());
+  for (int r = 0; r < 5; ++r) eng->step_round();
+  const auto delta2 = eng->checkpoint_delta_blob();
+  std::printf("repair delta: %zu bytes\n", delta2.size());
+
+  const auto want = full_blob(*eng);
+  t0 = std::chrono::steady_clock::now();
+  auto fresh = built_engine(/*install_chord=*/false);
+  if (auto s = fresh->restore_blob(base); !s.ok) {
+    std::fprintf(stderr, "FAIL: base restore: %s\n", s.error.c_str());
+    return 1;
+  }
+  if (auto s = fresh->restore_delta_blob(delta); !s.ok) {
+    std::fprintf(stderr, "FAIL: delta restore: %s\n", s.error.c_str());
+    return 1;
+  }
+  if (auto s = fresh->restore_delta_blob(delta2); !s.ok) {
+    std::fprintf(stderr, "FAIL: repair-delta restore: %s\n", s.error.c_str());
+    return 1;
+  }
+  std::printf("restore base+deltas: %.2fs\n", secs_since(t0));
+  if (full_blob(*fresh) != want) {
+    std::fprintf(stderr,
+                 "FAIL: base+delta restore is not byte-identical to the "
+                 "full snapshot\n");
+    return 1;
+  }
+  std::printf("OK: base+deltas restore byte-identical to full snapshot\n");
+  return 0;
+}
