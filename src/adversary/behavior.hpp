@@ -1,0 +1,71 @@
+// Per-node adversary behaviors (DESIGN.md D11). A behavior is a *policy*
+// attached to a host id, consulted by the protocol layer at its two
+// deterministic seams:
+//
+//   * publish — a snapshot liar mutates the PublicView it is about to
+//     publish (wrong cluster/range, severed succ/pred, phase kCbt) while
+//     keeping its *edge* fields (nbrs, structural) truthful. Edge truth
+//     matters: the bilateral edge-hygiene rule deletes edges the remote
+//     endpoint disowns, so lying about membership would let an adversary
+//     physically disconnect correct nodes — a real I1 break, not a
+//     contained one. Lies about ranges/phases corrupt only *decisions*
+//     correct nodes make, which is the attack class the blame-attribution
+//     oracle can contain.
+//   * delivery/dispatch — droppers and selective droppers are enforced in
+//     the campaign delivery filter (sender-side, serial release phase, so
+//     D6 worker-count invariance holds); merge refusers are enforced in
+//     Protocol::dispatch by ignoring inbound merge-protocol messages.
+//
+// This header is dependency-free on purpose: the protocol, the campaign
+// runner, and the fuzzer all consume it without pulling each other in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace chs::adversary {
+
+enum class BehaviorKind : std::uint8_t {
+  kCorrect = 0,      // no adversary behavior
+  kLiar = 1,         // publishes mutated snapshots (cluster/range/phase lies)
+  kDropper = 2,      // silently drops all of its outbound stabilizer traffic
+  kSelective = 3,    // drops outbound traffic to half its peers (by edge hash)
+  kMergeRefuser = 4, // ignores inbound merge-protocol messages
+};
+
+inline const char* behavior_name(BehaviorKind k) {
+  switch (k) {
+    case BehaviorKind::kCorrect: return "correct";
+    case BehaviorKind::kLiar: return "liar";
+    case BehaviorKind::kDropper: return "dropper";
+    case BehaviorKind::kSelective: return "selective";
+    case BehaviorKind::kMergeRefuser: return "merge-refuser";
+  }
+  return "?";
+}
+
+/// Parse a behavior name as used in .scn text. Returns kCorrect on an
+/// unknown name; callers that need strictness check behavior_name round-trip.
+inline BehaviorKind behavior_by_name(const std::string& s) {
+  if (s == "liar") return BehaviorKind::kLiar;
+  if (s == "dropper") return BehaviorKind::kDropper;
+  if (s == "selective") return BehaviorKind::kSelective;
+  if (s == "merge-refuser") return BehaviorKind::kMergeRefuser;
+  return BehaviorKind::kCorrect;
+}
+
+/// Deterministic per-edge coin for kSelective: drops (from, to) iff the
+/// avalanched hash of the ordered pair has odd parity. Depends only on the
+/// two ids, so the same edge is dropped in every round, at any worker
+/// count, and across checkpoint/resume.
+inline bool selective_drops(std::uint64_t from, std::uint64_t to) {
+  std::uint64_t x = from * 0x9e3779b97f4a7c15ULL ^ (to + 0xbf58476d1ce4e5b9ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return (x & 1) != 0;
+}
+
+}  // namespace chs::adversary

@@ -1,0 +1,49 @@
+// Correlated-failure domains (DESIGN.md D11): hosts are assigned to racks
+// (and racks to zones) by a pure block partition over the job's initial
+// host order. The mapping is arithmetic — no state, no RNG — so a domain
+// event ("power-cycle rack 2") resolves to the same host set in every
+// worker configuration and across checkpoint/resume, and the scenario text
+// stays a one-liner.
+//
+// member_of(i, total, parts) assigns index i of `total` items to one of
+// `parts` contiguous blocks of near-equal size: part p covers indices
+// [ceil(p*total/parts), ceil((p+1)*total/parts)). With total=10, parts=3
+// the blocks are {0..3}, {4..6}, {7..9}.
+#pragma once
+
+#include <cstdint>
+
+namespace chs::adversary {
+
+/// Which of `parts` contiguous blocks does index i of `total` fall in?
+/// Requires 0 < parts <= total and i < total.
+inline std::uint32_t member_of(std::uint64_t i, std::uint64_t total,
+                               std::uint64_t parts) {
+  return static_cast<std::uint32_t>(i * parts / total);
+}
+
+/// First index of block p (inclusive). part_end(p) == part_begin(p + 1).
+inline std::uint64_t part_begin(std::uint64_t p, std::uint64_t total,
+                                std::uint64_t parts) {
+  // Smallest i with i*parts/total >= p, i.e. ceil(p*total/parts).
+  return (p * total + parts - 1) / parts;
+}
+
+inline std::uint64_t part_end(std::uint64_t p, std::uint64_t total,
+                              std::uint64_t parts) {
+  return part_begin(p + 1, total, parts);
+}
+
+/// Rack of the i-th host (in the job's captured initial-id order).
+inline std::uint32_t rack_of_index(std::uint64_t i, std::uint64_t hosts,
+                                   std::uint32_t racks) {
+  return member_of(i, hosts, racks);
+}
+
+/// Zone of a rack: the same block partition, one level up.
+inline std::uint32_t zone_of_rack(std::uint32_t rack, std::uint32_t racks,
+                                  std::uint32_t zones) {
+  return member_of(rack, racks, zones);
+}
+
+}  // namespace chs::adversary

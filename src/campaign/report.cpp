@@ -142,6 +142,28 @@ std::string CampaignReport::to_json() const {
              fmt_u64(r.oracle_round) + ", \"rounds_checked\": " +
              fmt_u64(r.oracle_rounds_checked) + "}";
     }
+    if (r.adversary_armed) {
+      // Emitted only for jobs with Byzantine windows, so bestiary-free
+      // reports keep their exact pre-D11 bytes.
+      out += ",\n     \"adversary\": {\"correct_converged\": ";
+      out += r.correct_converged ? "true" : "false";
+      out += ", \"contained_violations\": " + fmt_u64(r.contained_violations) +
+             ", \"windows\": [";
+      for (std::size_t j = 0; j < r.byz_windows.size(); ++j) {
+        const ByzWindowOutcome& w = r.byz_windows[j];
+        if (j) out += ", ";
+        out += "{\"begin\": " + fmt_u64(w.begin) + ", \"end\": " +
+               fmt_u64(w.end) + ", \"kind\": \"";
+        out += adversary::behavior_name(w.kind);
+        out += "\", \"hosts\": [";
+        for (std::size_t k = 0; k < w.hosts.size(); ++k) {
+          if (k) out += ", ";
+          out += fmt_u64(w.hosts[k]);
+        }
+        out += "], \"contained\": " + fmt_u64(w.contained) + "}";
+      }
+      out += "]}";
+    }
     out += ", \"events\": [";
     for (std::size_t j = 0; j < r.events.size(); ++j) {
       const EventOutcome& e = r.events[j];

@@ -35,6 +35,17 @@ struct EventOutcome {
   bool recovered = false;
 };
 
+/// What happened inside one Byzantine window of one job (DESIGN.md D11):
+/// which hosts misbehaved, and how many oracle violations the blame
+/// attribution classified adversary-induced while it was open.
+struct ByzWindowOutcome {
+  std::uint64_t begin = 0;  // timeline rounds, [begin, end)
+  std::uint64_t end = 0;
+  adversary::BehaviorKind kind = adversary::BehaviorKind::kLiar;
+  std::vector<std::uint64_t> hosts;  // ascending host ids
+  std::uint64_t contained = 0;       // contained violations during the window
+};
+
 struct JobResult {
   JobSpec spec;
   /// Start phase (StartMode::kConverged): did the network stabilize before
@@ -60,6 +71,17 @@ struct JobResult {
   std::string oracle_violation;       // first violated invariant, "" = clean
   std::uint64_t oracle_round = 0;     // engine round of the violation
   std::uint64_t oracle_rounds_checked = 0;
+  /// Adversary outcome (DESIGN.md D11). Armed iff the scenario declares
+  /// Byzantine windows; like the oracle block, serialized into JSON only
+  /// when armed so bestiary-free reports keep their pre-D11 bytes.
+  bool adversary_armed = false;
+  /// Every host that is neither Byzantine in some window nor a graph
+  /// neighbor of one ended the job converged (phase DONE) — the per-job
+  /// form of the paper-adjacent claim "the correct subset still stabilizes".
+  bool correct_converged = false;
+  /// Oracle violations attributed to the adversary (expected, not a bug).
+  std::uint64_t contained_violations = 0;
+  std::vector<ByzWindowOutcome> byz_windows;
   /// Per-round max-degree trace of the whole run — the engine's bit-for-bit
   /// determinism witness (tests compare it across worker counts). Held in
   /// memory only; never serialized into JSON/CSV.

@@ -8,6 +8,9 @@
 #include <thread>
 #include <utility>
 
+#include "adversary/behavior.hpp"
+#include "adversary/delay_model.hpp"
+#include "adversary/domains.hpp"
 #include "core/churn.hpp"
 #include "core/network.hpp"
 #include "persist/fields.hpp"
@@ -39,14 +42,36 @@ struct Adversary {
   util::Rng ev_rng;
   util::Rng loss_rng;
   /// Sorted "side A" membership per partition window, pre-drawn in window
-  /// order before the timeline starts.
+  /// order before the timeline starts. Scoped windows keep an empty entry
+  /// here — their cut is the arithmetic domain mapping, no draw — so the
+  /// event stream's draw sequence for pre-bestiary scenarios is unchanged.
   std::vector<std::vector<NodeId>> sides;
+  /// Byzantine host set per scenario window, drawn after the sides (same
+  /// stream, window-declaration order); and their union across windows.
+  std::vector<std::vector<NodeId>> byz_sets;
+  std::vector<NodeId> byz_union;
+  /// Host ids in domain order (ascending), plus the scenario's domain
+  /// counts, for the rack/zone block mapping (adversary/domains.hpp).
+  /// Churn crashes-and-rejoins hosts but never renames them, so the
+  /// mapping is stable for the whole job.
+  std::vector<NodeId> hosts;
+  std::uint32_t racks = 0;
+  std::uint32_t zones = 0;
 
   Adversary(std::uint64_t seed, const Scenario& sc,
             const std::vector<NodeId>& ids)
-      : ev_rng(seed ^ kEventStreamSalt), loss_rng(seed ^ kLossStreamSalt) {
+      : ev_rng(seed ^ kEventStreamSalt),
+        loss_rng(seed ^ kLossStreamSalt),
+        hosts(ids),
+        racks(sc.racks),
+        zones(sc.zones) {
+    std::sort(hosts.begin(), hosts.end());
     sides.reserve(sc.partitions.size());
     for (std::size_t w = 0; w < sc.partitions.size(); ++w) {
+      if (sc.partitions[w].scope != kScopeGlobal) {
+        sides.emplace_back();  // domain cut: no draw
+        continue;
+      }
       std::vector<NodeId> pool(ids);
       for (std::size_t i = pool.size(); i > 1; --i) {
         std::swap(pool[i - 1], pool[ev_rng.next_below(i)]);
@@ -55,10 +80,41 @@ struct Adversary {
       std::sort(pool.begin(), pool.end());
       sides.push_back(std::move(pool));
     }
+    byz_sets.reserve(sc.byzantine.size());
+    for (const ByzantineWindow& w : sc.byzantine) {
+      std::uint64_t count = static_cast<std::uint64_t>(
+          w.fraction * static_cast<double>(ids.size()) + 0.5);
+      count = std::min<std::uint64_t>(std::max<std::uint64_t>(count, 1),
+                                      ids.size());
+      byz_sets.push_back(pick_distinct(ids, count));
+      byz_union.insert(byz_union.end(), byz_sets.back().begin(),
+                       byz_sets.back().end());
+    }
+    std::sort(byz_union.begin(), byz_union.end());
+    byz_union.erase(std::unique(byz_union.begin(), byz_union.end()),
+                    byz_union.end());
   }
 
   bool in_side_a(std::size_t window, NodeId id) const {
     return std::binary_search(sides[window].begin(), sides[window].end(), id);
+  }
+
+  /// Rack of a host under the block mapping; kNoRack for ids outside the
+  /// initial host set (cannot happen while churn preserves ids — kept
+  /// deterministic rather than asserted).
+  static constexpr std::uint32_t kNoRack = ~std::uint32_t{0};
+  std::uint32_t rack_of(NodeId id) const {
+    const auto it = std::lower_bound(hosts.begin(), hosts.end(), id);
+    if (it == hosts.end() || *it != id) return kNoRack;
+    return adversary::rack_of_index(
+        static_cast<std::uint64_t>(it - hosts.begin()), hosts.size(), racks);
+  }
+
+  bool in_domain(std::uint8_t scope, std::uint32_t domain, NodeId id) const {
+    const std::uint32_t r = rack_of(id);
+    if (r == kNoRack) return false;
+    if (scope == kScopeRack) return r == domain;
+    return adversary::zone_of_rack(r, racks, zones) == domain;
   }
 
   /// `count` distinct hosts drawn from `ids` (event stream).
@@ -107,6 +163,12 @@ void apply_event(core::StabEngine& eng, const TimelineEvent& ev,
       eng.republish();
       break;
     }
+    case EventKind::kRackOutage:
+    case EventKind::kZoneOutage:
+      // Domain outages are scheduled by the runner's wipe queue (they can
+      // span rounds); JobRunner::step special-cases them before this switch.
+      CHS_CHECK_MSG(false, "domain outage reached apply_event");
+      break;
   }
 }
 
@@ -134,34 +196,183 @@ struct JobRunner::Impl {
   std::uint64_t next_event = 0;
   std::uint64_t executed = 0;
   std::vector<std::uint64_t> pending;  // indices into out.events
+  // Rolling domain-outage wipe queue (DESIGN.md D11): parallel vectors of
+  // (due timeline round, rack) — a rack outage enqueues one entry, a zone
+  // outage one per rack in the zone at successive rounds. Serialized, so a
+  // resume mid-outage replays the remaining wipes on schedule.
+  std::vector<std::uint64_t> wipe_due;
+  std::vector<std::uint64_t> wipe_rack;
+  // Byzantine-window bookkeeping: sorted begin/end boundary rounds (static,
+  // rebuilt by the ctor) and, per scenario window, 1 + the index of its
+  // ByzWindowOutcome in out.byz_windows once opened (0 = not yet; this
+  // cursor is serialized — the outcome itself rides in `out`).
+  std::vector<std::uint64_t> byz_bounds;
+  std::vector<std::uint64_t> byz_open;
   // Timeline-phase metric baselines.
   std::uint64_t msg0 = 0, drop0 = 0, adds0 = 0, dels0 = 0, resets0 = 0;
   bool probe_finished = false;
 
   bool probe_failed() const { return probe && probe->failed(); }
 
+  std::uint64_t probe_contained() const {
+    return probe ? probe->adversary_stats().contained : 0;
+  }
+
+  /// Install the behavior policy matching the windows open at timeline
+  /// round `at`. Live boundary crossings republish each host whose behavior
+  /// changed, so its lie appears (or its honest snapshot reappears) in
+  /// neighbors' views that same round; restore passes live=false — the
+  /// restored snapshots already contain whatever was published — and
+  /// evaluates at t-1, the last round a boundary could have been processed
+  /// for (the cursor advances past the round a checkpoint covers).
+  void refresh_behaviors(bool live, std::uint64_t at) {
+    std::vector<std::pair<NodeId, adversary::BehaviorKind>> want;
+    for (std::size_t w = 0; w < sc.byzantine.size(); ++w) {
+      const ByzantineWindow& win = sc.byzantine[w];
+      if (at < win.begin || at >= win.end) continue;
+      for (NodeId id : adv->byz_sets[w]) {
+        bool found = false;
+        for (auto& p : want) {
+          if (p.first == id) {  // overlapping windows: later declaration wins
+            p.second = win.kind;
+            found = true;
+            break;
+          }
+        }
+        if (!found) want.emplace_back(id, win.kind);
+      }
+    }
+    std::sort(want.begin(), want.end());
+    const auto& cur = eng->protocol().behaviors();
+    if (want == cur) return;
+    std::vector<NodeId> changed;
+    std::size_t i = 0, j = 0;
+    while (i < cur.size() || j < want.size()) {
+      if (j == want.size() || (i < cur.size() && cur[i].first < want[j].first)) {
+        changed.push_back(cur[i++].first);
+      } else if (i == cur.size() || want[j].first < cur[i].first) {
+        changed.push_back(want[j++].first);
+      } else {
+        if (cur[i].second != want[j].second) changed.push_back(cur[i].first);
+        ++i, ++j;
+      }
+    }
+    eng->protocol().set_behaviors(std::move(want));
+    if (live) {
+      for (NodeId id : changed) {
+        if (eng->graph().contains(id)) eng->republish(id);
+      }
+    }
+  }
+
+  /// Open/close Byzantine-window outcomes at round `t` and re-install the
+  /// behavior policy. An opening outcome stores the probe's containment
+  /// counter as a baseline in `contained`; the close (or finish_timeline,
+  /// for windows the job ends inside) rewrites it as the delta.
+  void process_byz_boundaries() {
+    for (std::size_t w = 0; w < sc.byzantine.size(); ++w) {
+      const ByzantineWindow& win = sc.byzantine[w];
+      if (win.begin == t && byz_open[w] == 0) {
+        ByzWindowOutcome o;
+        o.begin = win.begin;
+        o.end = win.end;
+        o.kind = win.kind;
+        o.hosts = adv->byz_sets[w];
+        o.contained = probe_contained();
+        byz_open[w] = out.byz_windows.size() + 1;
+        out.byz_windows.push_back(std::move(o));
+      }
+      if (win.end == t && byz_open[w] != 0) {
+        ByzWindowOutcome& o = out.byz_windows[byz_open[w] - 1];
+        o.contained = probe_contained() - o.contained;
+      }
+    }
+    refresh_behaviors(/*live=*/true, t);
+  }
+
+  /// Enqueue a domain outage's wipes (rack: one entry now; zone: rolling,
+  /// one rack per round in block order).
+  void schedule_outage(const TimelineEvent& ev) {
+    if (ev.kind == EventKind::kRackOutage) {
+      wipe_due.push_back(t);
+      wipe_rack.push_back(ev.count);
+      return;
+    }
+    const std::uint64_t lo = adversary::part_begin(ev.count, sc.racks, sc.zones);
+    const std::uint64_t hi = adversary::part_end(ev.count, sc.racks, sc.zones);
+    for (std::uint64_t r = lo; r < hi; ++r) {
+      wipe_due.push_back(t + (r - lo));
+      wipe_rack.push_back(r);
+    }
+  }
+
+  /// Power-cycle every rack due this round: wipe its hosts' state in
+  /// ascending id order (edges survive, like kFault — the engine's targeted
+  /// republish models a restarted process on a live box).
+  void process_due_wipes() {
+    if (wipe_due.empty()) return;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < wipe_due.size(); ++i) {
+      if (wipe_due[i] != t) {
+        wipe_due[kept] = wipe_due[i];
+        wipe_rack[kept] = wipe_rack[i];
+        ++kept;
+        continue;
+      }
+      const std::uint64_t n = adv->hosts.size();
+      const std::uint64_t lo = adversary::part_begin(wipe_rack[i], n, sc.racks);
+      const std::uint64_t hi = adversary::part_end(wipe_rack[i], n, sc.racks);
+      for (std::uint64_t j = lo; j < hi; ++j) {
+        const NodeId id = adv->hosts[j];
+        if (eng->graph().contains(id)) core::wipe_host_state(*eng, id);
+      }
+    }
+    wipe_due.resize(kept);
+    wipe_rack.resize(kept);
+  }
+
   void install_filter() {
-    if (sc.losses.empty() && sc.partitions.empty()) return;
+    if (sc.losses.empty() && sc.partitions.empty() && sc.byzantine.empty()) {
+      return;
+    }
     Adversary* a = &*adv;
     const Scenario* s = &sc;
+    core::StabEngine* e = eng.get();
     const std::uint64_t start = r0;
-    eng->set_delivery_filter([a, s, start](NodeId from, NodeId to,
-                                           std::uint64_t round) {
+    eng->set_delivery_filter([a, s, e, start](NodeId from, NodeId to,
+                                              std::uint64_t round) {
+      // Behavior-policy drops first: they consume no RNG, so their presence
+      // (or a window's opening) cannot shift the loss stream's draw
+      // sequence for messages the dropper never touches.
+      const adversary::BehaviorKind b = e->protocol().behavior_of(from);
+      if (b == adversary::BehaviorKind::kDropper) return false;
+      if (b == adversary::BehaviorKind::kSelective &&
+          adversary::selective_drops(from, to)) {
+        return false;
+      }
       const std::uint64_t rel = round - start;
-      // Partition cuts are checked first; a cut message consumes no loss
-      // draw, so the loss stream's draw sequence is well-defined.
+      // Partition cuts next; a cut message consumes no loss draw, so the
+      // loss stream's draw sequence is well-defined.
       for (std::size_t w = 0; w < s->partitions.size(); ++w) {
         const auto& win = s->partitions[w];
-        if (rel >= win.begin && rel < win.end &&
-            a->in_side_a(w, from) != a->in_side_a(w, to)) {
-          return false;
-        }
+        if (rel < win.begin || rel >= win.end) continue;
+        const bool cut =
+            win.scope == kScopeGlobal
+                ? a->in_side_a(w, from) != a->in_side_a(w, to)
+                : a->in_domain(win.scope, win.domain, from) !=
+                      a->in_domain(win.scope, win.domain, to);
+        if (cut) return false;
       }
       for (const LossWindow& win : s->losses) {
-        if (rel >= win.begin && rel < win.end &&
-            a->loss_rng.next_double() < win.rate) {
-          return false;
+        if (rel < win.begin || rel >= win.end) continue;
+        // A scoped window only draws for messages touching its domain —
+        // out-of-domain traffic must not perturb the stream.
+        if (win.scope != kScopeGlobal &&
+            !a->in_domain(win.scope, win.domain, from) &&
+            !a->in_domain(win.scope, win.domain, to)) {
+          continue;
         }
+        if (a->loss_rng.next_double() < win.rate) return false;
       }
       return true;
     });
@@ -178,11 +389,19 @@ struct JobRunner::Impl {
     adv.emplace(spec.seed, sc, eng->graph().ids());
     r0 = eng->round();
     install_filter();
+    if (!sc.byzantine.empty()) {
+      byz_open.assign(sc.byzantine.size(), 0);
+      // Blame attribution (DESIGN.md D11): the probe learns the union of
+      // all windows' Byzantine sets up front — a violation seeded during a
+      // window can surface after it closes, and must still be attributed.
+      if (probe) probe->set_adversarial(adv->byz_union);
+    }
     stage = Stage::kTimeline;
   }
 
   void finish_timeline() {
     eng->set_delivery_filter({});  // adversary state dies with this runner
+    eng->protocol().set_behaviors({});
     out.converged = core::is_converged(*eng);
     out.rounds = executed;
     out.messages = eng->metrics().messages() - msg0;
@@ -194,6 +413,41 @@ struct JobRunner::Impl {
     out.peak_degree = eng->metrics().peak_max_degree();
     out.degree_expansion = eng->metrics().degree_expansion(eng->graph());
     out.degree_trace = eng->metrics().max_degree_trace();
+    out.adversary_armed = !sc.byzantine.empty();
+    if (out.adversary_armed && adv) {
+      // Windows the job ended inside never saw their closing boundary:
+      // their `contained` still holds the opening baseline — fix it up.
+      for (std::size_t w = 0; w < sc.byzantine.size(); ++w) {
+        if (byz_open[w] != 0 && sc.byzantine[w].end > t) {
+          ByzWindowOutcome& o = out.byz_windows[byz_open[w] - 1];
+          o.contained = probe_contained() - o.contained;
+        }
+      }
+      // Acceptance criterion for the correct-node subset: every host that
+      // is neither adversarial nor a direct graph neighbor of one must have
+      // reached Done. The one-hop exclusion matches the oracle's blame
+      // radius — a liar's neighbor may legitimately be stuck mid-merge.
+      out.correct_converged = true;
+      for (NodeId id : eng->graph().ids()) {
+        if (std::binary_search(adv->byz_union.begin(), adv->byz_union.end(),
+                               id)) {
+          continue;
+        }
+        bool near_adversary = false;
+        for (NodeId nb : eng->graph().neighbors(id)) {
+          if (std::binary_search(adv->byz_union.begin(), adv->byz_union.end(),
+                                 nb)) {
+            near_adversary = true;
+            break;
+          }
+        }
+        if (near_adversary) continue;
+        if (eng->state(id).phase != stabilizer::Phase::kDone) {
+          out.correct_converged = false;
+          break;
+        }
+      }
+    }
     stage = Stage::kFinished;
   }
 
@@ -228,6 +482,25 @@ JobRunner::JobRunner(const Scenario& sc, const JobSpec& spec,
   params.delay_slack = sc.delay;
   im.eng = core::make_engine(std::move(g), params, spec.seed);
   im.eng->set_max_message_delay(sc.delay);
+  // Non-default WAN delay models ride the same per-sender delay streams the
+  // uniform draw uses, so the "uniform" model (no sampler installed) keeps
+  // every pre-bestiary trace byte-identical.
+  adversary::DelayModel dm = adversary::DelayModel::kUniform;
+  CHS_CHECK(adversary::delay_model_by_name(sc.delay_model, dm));
+  if (dm != adversary::DelayModel::kUniform) {
+    im.eng->set_delay_sampler(
+        [dm](NodeId from, NodeId to, std::uint32_t max_delay, util::Rng& r) {
+          return adversary::sample_delay(dm, from, to, max_delay, r);
+        });
+  }
+  for (const ByzantineWindow& w : sc.byzantine) {
+    im.byz_bounds.push_back(w.begin);
+    im.byz_bounds.push_back(w.end);
+  }
+  std::sort(im.byz_bounds.begin(), im.byz_bounds.end());
+  im.byz_bounds.erase(
+      std::unique(im.byz_bounds.begin(), im.byz_bounds.end()),
+      im.byz_bounds.end());
   if (engine_workers > 1) im.eng->set_worker_threads(engine_workers);
   if (probe) probe->attach(*im.eng);
 
@@ -288,14 +561,27 @@ bool JobRunner::step() {
       return true;
     }
     case Impl::Stage::kTimeline: {
+      // Byzantine-window boundaries first: a window opening at round t has
+      // its lies in the air before t's events and deliveries.
+      if (!im.sc.byzantine.empty() &&
+          std::binary_search(im.byz_bounds.begin(), im.byz_bounds.end(),
+                             im.t)) {
+        im.process_byz_boundaries();
+      }
       while (im.next_event < im.events.size() &&
              im.events[im.next_event].round == im.t) {
-        apply_event(*im.eng, im.events[im.next_event], *im.adv);
-        im.out.events.push_back(
-            EventOutcome{im.events[im.next_event].kind, im.t, 0, false});
+        const TimelineEvent& ev = im.events[im.next_event];
+        if (ev.kind == EventKind::kRackOutage ||
+            ev.kind == EventKind::kZoneOutage) {
+          im.schedule_outage(ev);  // wipes run below, possibly over rounds
+        } else {
+          apply_event(*im.eng, ev, *im.adv);
+        }
+        im.out.events.push_back(EventOutcome{ev.kind, im.t, 0, false});
         im.pending.push_back(im.out.events.size() - 1);
         ++im.next_event;
       }
+      im.process_due_wipes();
       // The O(hosts + edges) convergence scan runs only when its answer can
       // matter: to end the job (everything applied, every window closed,
       // nothing awaiting recovery) or to timestamp recoveries below. Gap
@@ -373,11 +659,14 @@ void JobRunner::Impl::write_loop_state(persist::Writer& w) {
   const bool has_adv = adv.has_value();
   w(has_adv);
   if (has_adv) {
-    // `sides` is reconstructed deterministically; only the stream states
-    // are true dynamic state.
+    // `sides` and `byz_sets` are reconstructed deterministically; only the
+    // stream states are true dynamic state.
     w(adv->ev_rng);
     w(adv->loss_rng);
   }
+  w(wipe_due);
+  w(wipe_rack);
+  w(byz_open);
   const bool has_probe = probe != nullptr;
   w(has_probe);
   w.end_section();
@@ -415,6 +704,9 @@ persist::Status JobRunner::Impl::read_loop_state(persist::Reader& r,
     r(ev_rng);
     r(loss_rng);
   }
+  r(wipe_due);
+  r(wipe_rack);
+  r(byz_open);
   bool has_probe = false;
   r(has_probe);
   if (r.ok() && has_probe != (probe != nullptr)) {
@@ -428,6 +720,17 @@ persist::Status JobRunner::Impl::read_loop_state(persist::Reader& r,
   for (std::uint64_t p : pending) {
     if (p >= out.events.size()) {
       return persist::Status::failure("pending event index out of range");
+    }
+  }
+  if (wipe_due.size() != wipe_rack.size()) {
+    return persist::Status::failure("wipe queue vectors out of sync");
+  }
+  if (byz_open.size() > sc.byzantine.size()) {
+    return persist::Status::failure("byzantine window cursor out of range");
+  }
+  for (std::uint64_t o : byz_open) {
+    if (o > out.byz_windows.size()) {
+      return persist::Status::failure("byzantine outcome index out of range");
     }
   }
   return {};
@@ -444,10 +747,23 @@ persist::Status JobRunner::Impl::finish_restore(bool has_adv,
     if (!has_adv) {
       return persist::Status::failure("timeline snapshot without adversary");
     }
+    if (byz_open.size() != sc.byzantine.size()) {
+      return persist::Status::failure("byzantine window cursors missing");
+    }
     adv.emplace(spec.seed, sc, eng->graph().ids());
     adv->ev_rng = ev_rng;
     adv->loss_rng = loss_rng;
     install_filter();
+    // Reinstall the behavior policy for the restored round WITHOUT
+    // republishing: the restored snapshots already contain whatever each
+    // host (lying or honest) last published. A cursor of 0 means no
+    // boundary has been processed yet — behaviors stay empty. The probe's
+    // adversarial set is runtime configuration, reinstalled like the
+    // delivery filter.
+    if (t > 0) refresh_behaviors(/*live=*/false, t - 1);
+    if (probe && !sc.byzantine.empty()) {
+      probe->set_adversarial(adv->byz_union);
+    }
   }
   return {};
 }

@@ -39,12 +39,27 @@ std::vector<JobSpec> expand_jobs(const Scenario& sc);
 /// aborts the job early (the oracle's hard-failure mode). Probes must be
 /// read-only observers of the engine: they run on the job's thread and must
 /// not perturb the simulation, or the D7 determinism rule breaks.
+/// Probe-side adversary counters the runner samples at Byzantine-window
+/// boundaries (per-window containment in ByzWindowOutcome).
+struct AdversaryStats {
+  std::uint64_t contained = 0;  // adversary-induced violations so far
+};
+
 class JobProbe {
  public:
   virtual ~JobProbe() = default;
   virtual void attach(core::StabEngine& eng) = 0;
   virtual bool failed() const = 0;
   virtual void finish(JobResult& out) = 0;
+
+  /// Adversary awareness (DESIGN.md D11): the runner declares the current
+  /// Byzantine host set whenever it changes (window boundaries, and again
+  /// after restore — the set is runtime configuration, never serialized).
+  /// Probes without blame attribution ignore it.
+  virtual void set_adversarial(const std::vector<graph::NodeId>& ids) {
+    (void)ids;
+  }
+  virtual AdversaryStats adversary_stats() const { return {}; }
 
   /// Checkpoint/resume (DESIGN.md D9): a probe with internal incremental
   /// state serializes it here so a resumed job reports the same probe

@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "adversary/delay_model.hpp"
+#include "adversary/domains.hpp"
+
 namespace chs::campaign {
 
 const char* event_kind_name(EventKind k) {
@@ -14,6 +17,8 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kRetarget: return "retarget";
     case EventKind::kFreeze: return "freeze";
     case EventKind::kThaw: return "thaw";
+    case EventKind::kRackOutage: return "rack-outage";
+    case EventKind::kZoneOutage: return "zone-outage";
   }
   return "?";
 }
@@ -43,13 +48,31 @@ Scenario& Scenario::thaw_at(std::uint64_t round) {
   return *this;
 }
 
-Scenario& Scenario::loss(std::uint64_t begin, std::uint64_t end, double rate) {
-  losses.push_back({begin, end, rate});
+Scenario& Scenario::rack_outage_at(std::uint64_t round, std::uint32_t rack) {
+  events.push_back({EventKind::kRackOutage, round, rack, {}});
   return *this;
 }
 
-Scenario& Scenario::partition(std::uint64_t begin, std::uint64_t end) {
-  partitions.push_back({begin, end});
+Scenario& Scenario::zone_outage_at(std::uint64_t round, std::uint32_t zone) {
+  events.push_back({EventKind::kZoneOutage, round, zone, {}});
+  return *this;
+}
+
+Scenario& Scenario::loss(std::uint64_t begin, std::uint64_t end, double rate,
+                         std::uint8_t scope, std::uint32_t domain) {
+  losses.push_back({begin, end, rate, scope, domain});
+  return *this;
+}
+
+Scenario& Scenario::partition(std::uint64_t begin, std::uint64_t end,
+                              std::uint8_t scope, std::uint32_t domain) {
+  partitions.push_back({begin, end, scope, domain});
+  return *this;
+}
+
+Scenario& Scenario::byz(std::uint64_t begin, std::uint64_t end, double fraction,
+                        adversary::BehaviorKind kind) {
+  byzantine.push_back({begin, end, fraction, kind});
   return *this;
 }
 
@@ -61,9 +84,21 @@ std::size_t Scenario::num_jobs() const {
 
 std::uint64_t Scenario::timeline_end() const {
   std::uint64_t end = 0;
-  for (const auto& e : events) end = std::max(end, e.round + 1);
+  for (const auto& e : events) {
+    std::uint64_t e_end = e.round + 1;
+    if (e.kind == EventKind::kZoneOutage && racks > 0 && zones > 0) {
+      // A rolling zone outage wipes one rack per round; its last wipe lands
+      // at round + racks_in_zone - 1.
+      const std::uint64_t in_zone =
+          adversary::part_end(e.count, racks, zones) -
+          adversary::part_begin(e.count, racks, zones);
+      e_end = e.round + std::max<std::uint64_t>(in_zone, 1);
+    }
+    end = std::max(end, e_end);
+  }
   for (const auto& w : losses) end = std::max(end, w.end);
   for (const auto& w : partitions) end = std::max(end, w.end);
+  for (const auto& w : byzantine) end = std::max(end, w.end);
   return end;
 }
 
@@ -87,6 +122,32 @@ std::string Scenario::validate() const {
     if (h > n_guests) return "host count exceeds guest space";
     min_hosts = std::min(min_hosts, h);
   }
+  {
+    adversary::DelayModel m;
+    if (!adversary::delay_model_by_name(delay_model, m)) {
+      return "unknown delay-model '" + delay_model + "'";
+    }
+    if (m != adversary::DelayModel::kUniform && delay < 2) {
+      return "delay-model '" + delay_model + "' needs delay >= 2";
+    }
+  }
+  if (racks > min_hosts) return "more racks than hosts";
+  if (zones > 0 && racks == 0) return "zones require racks";
+  if (zones > racks) return "more zones than racks";
+  const auto domain_ok = [&](std::uint8_t scope, std::uint64_t domain,
+                             const char* what) -> std::string {
+    if (scope == kScopeGlobal) return "";
+    if (racks == 0) return std::string(what) + " scope requires racks";
+    if (scope == kScopeRack) {
+      if (domain >= racks) return std::string(what) + " rack out of range";
+    } else if (scope == kScopeZone) {
+      if (zones == 0) return std::string(what) + " scope requires zones";
+      if (domain >= zones) return std::string(what) + " zone out of range";
+    } else {
+      return std::string(what) + " scope unknown";
+    }
+    return "";
+  };
   for (const auto& e : events) {
     switch (e.kind) {
       case EventKind::kChurn:
@@ -108,14 +169,37 @@ std::string Scenario::validate() const {
       case EventKind::kFreeze:
       case EventKind::kThaw:
         break;  // no parameters to validate
+      case EventKind::kRackOutage:
+        if (racks == 0) return "rack-outage requires racks";
+        if (e.count >= racks) return "rack-outage rack out of range";
+        break;
+      case EventKind::kZoneOutage:
+        if (zones == 0) return "zone-outage requires zones";
+        if (e.count >= zones) return "zone-outage zone out of range";
+        break;
     }
   }
   for (const auto& w : losses) {
     if (w.begin >= w.end) return "loss window is empty";
     if (w.rate < 0.0 || w.rate > 1.0) return "loss rate outside [0, 1]";
+    if (const auto p = domain_ok(w.scope, w.domain, "loss"); !p.empty()) {
+      return p;
+    }
   }
   for (const auto& w : partitions) {
     if (w.begin >= w.end) return "partition window is empty";
+    if (const auto p = domain_ok(w.scope, w.domain, "partition"); !p.empty()) {
+      return p;
+    }
+  }
+  for (const auto& w : byzantine) {
+    if (w.begin >= w.end) return "byzantine window is empty";
+    if (!(w.fraction > 0.0) || w.fraction > 1.0) {
+      return "byzantine fraction outside (0, 1]";
+    }
+    if (w.kind == adversary::BehaviorKind::kCorrect) {
+      return "byzantine kind must not be 'correct'";
+    }
   }
   if (timeline_end() > max_rounds) {
     return "timeline extends past max-rounds";
@@ -152,14 +236,24 @@ std::string Scenario::to_text() const {
   out += "seeds " + std::to_string(seed_lo) + " " + std::to_string(seed_hi) + "\n";
   out += "target " + target + "\n";
   out += "delay " + std::to_string(delay) + "\n";
+  if (delay_model != "uniform") out += "delay-model " + delay_model + "\n";
   out += std::string("start ") +
          (start == StartMode::kConverged ? "converged" : "cold") + "\n";
   out += "max-rounds " + std::to_string(max_rounds) + "\n";
+  if (racks > 0) out += "racks " + std::to_string(racks) + "\n";
+  if (zones > 0) out += "zones " + std::to_string(zones) + "\n";
+  const auto scope_suffix = [](std::uint8_t scope, std::uint32_t domain) {
+    if (scope == kScopeRack) return " rack " + std::to_string(domain);
+    if (scope == kScopeZone) return " zone " + std::to_string(domain);
+    return std::string();
+  };
   for (const TimelineEvent& e : events) {
     out += "at " + std::to_string(e.round) + " " + event_kind_name(e.kind);
     switch (e.kind) {
       case EventKind::kChurn:
       case EventKind::kFault:
+      case EventKind::kRackOutage:
+      case EventKind::kZoneOutage:
         out += " " + std::to_string(e.count);
         break;
       case EventKind::kRetarget:
@@ -173,11 +267,16 @@ std::string Scenario::to_text() const {
   }
   for (const LossWindow& w : losses) {
     out += "loss " + std::to_string(w.begin) + " " + std::to_string(w.end) + " " +
-           fmt_rate_tok(w.rate) + "\n";
+           fmt_rate_tok(w.rate) + scope_suffix(w.scope, w.domain) + "\n";
   }
   for (const PartitionWindow& w : partitions) {
     out += "partition " + std::to_string(w.begin) + " " + std::to_string(w.end) +
-           "\n";
+           scope_suffix(w.scope, w.domain) + "\n";
+  }
+  for (const ByzantineWindow& w : byzantine) {
+    out += "byzantine " + std::to_string(w.begin) + " " +
+           std::to_string(w.end) + " " + fmt_rate_tok(w.fraction) + " " +
+           adversary::behavior_name(w.kind) + "\n";
   }
   return out;
 }
@@ -304,6 +403,24 @@ std::optional<Scenario> parse_scenario(const std::string& text,
         return fail(error, line_no, "bad delay '" + tok[1] + "'");
       }
       sc.delay = static_cast<std::uint32_t>(d);
+    } else if (key == "delay-model" && args == 1) {
+      adversary::DelayModel m;
+      if (!adversary::delay_model_by_name(tok[1], m)) {
+        return fail(error, line_no, "unknown delay-model '" + tok[1] + "'");
+      }
+      sc.delay_model = tok[1];
+    } else if (key == "racks" && args == 1) {
+      std::uint64_t r = 0;
+      if (!parse_u64(tok[1], &r)) {
+        return fail(error, line_no, "bad rack count '" + tok[1] + "'");
+      }
+      sc.racks = static_cast<std::uint32_t>(r);
+    } else if (key == "zones" && args == 1) {
+      std::uint64_t z = 0;
+      if (!parse_u64(tok[1], &z)) {
+        return fail(error, line_no, "bad zone count '" + tok[1] + "'");
+      }
+      sc.zones = static_cast<std::uint32_t>(z);
     } else if (key == "start" && args == 1) {
       if (tok[1] == "converged") {
         sc.start = StartMode::kConverged;
@@ -342,23 +459,74 @@ std::optional<Scenario> parse_scenario(const std::string& text,
         sc.freeze_at(round);
       } else if (what == "thaw" && args == 2) {
         sc.thaw_at(round);
+      } else if ((what == "rack-outage" || what == "zone-outage") &&
+                 args == 3) {
+        std::uint64_t domain = 0;
+        if (!parse_u64(tok[3], &domain)) {
+          return fail(error, line_no, "bad domain '" + tok[3] + "'");
+        }
+        if (what == "rack-outage") {
+          sc.rack_outage_at(round, static_cast<std::uint32_t>(domain));
+        } else {
+          sc.zone_outage_at(round, static_cast<std::uint32_t>(domain));
+        }
       } else {
         return fail(error, line_no, "unknown event '" + what + "'");
       }
-    } else if (key == "loss" && args == 3) {
+    } else if (key == "loss" && (args == 3 || args == 5)) {
       std::uint64_t a = 0, b = 0;
       double rate = 0.0;
       if (!parse_u64(tok[1], &a) || !parse_u64(tok[2], &b) ||
           !parse_rate(tok[3], &rate)) {
-        return fail(error, line_no, "usage: loss BEGIN END RATE");
+        return fail(error, line_no, "usage: loss BEGIN END RATE [rack|zone K]");
       }
-      sc.loss(a, b, rate);
-    } else if (key == "partition" && args == 2) {
+      std::uint8_t scope = kScopeGlobal;
+      std::uint64_t domain = 0;
+      if (args == 5) {
+        if (tok[4] == "rack") {
+          scope = kScopeRack;
+        } else if (tok[4] == "zone") {
+          scope = kScopeZone;
+        } else {
+          return fail(error, line_no, "loss scope must be rack|zone");
+        }
+        if (!parse_u64(tok[5], &domain)) {
+          return fail(error, line_no, "bad domain '" + tok[5] + "'");
+        }
+      }
+      sc.loss(a, b, rate, scope, static_cast<std::uint32_t>(domain));
+    } else if (key == "partition" && (args == 2 || args == 4)) {
       std::uint64_t a = 0, b = 0;
       if (!parse_u64(tok[1], &a) || !parse_u64(tok[2], &b)) {
-        return fail(error, line_no, "usage: partition BEGIN END");
+        return fail(error, line_no, "usage: partition BEGIN END [rack|zone K]");
       }
-      sc.partition(a, b);
+      std::uint8_t scope = kScopeGlobal;
+      std::uint64_t domain = 0;
+      if (args == 4) {
+        if (tok[3] == "rack") {
+          scope = kScopeRack;
+        } else if (tok[3] == "zone") {
+          scope = kScopeZone;
+        } else {
+          return fail(error, line_no, "partition scope must be rack|zone");
+        }
+        if (!parse_u64(tok[4], &domain)) {
+          return fail(error, line_no, "bad domain '" + tok[4] + "'");
+        }
+      }
+      sc.partition(a, b, scope, static_cast<std::uint32_t>(domain));
+    } else if (key == "byzantine" && args == 4) {
+      std::uint64_t a = 0, b = 0;
+      double fraction = 0.0;
+      if (!parse_u64(tok[1], &a) || !parse_u64(tok[2], &b) ||
+          !parse_rate(tok[3], &fraction)) {
+        return fail(error, line_no, "usage: byzantine BEGIN END FRACTION KIND");
+      }
+      const adversary::BehaviorKind kind = adversary::behavior_by_name(tok[4]);
+      if (kind == adversary::BehaviorKind::kCorrect) {
+        return fail(error, line_no, "unknown behavior '" + tok[4] + "'");
+      }
+      sc.byz(a, b, fraction, kind);
     } else {
       return fail(error, line_no, "unknown directive '" + key + "'");
     }

@@ -32,6 +32,18 @@
 //   at 150 freeze         # stall every host: steps become no-ops
 //   at 160 thaw           # end the stall (hosts re-activated)
 //
+// The adversary bestiary (DESIGN.md D11) adds correlated-failure domains,
+// Byzantine behavior windows, and per-edge WAN delay models:
+//
+//   delay-model lognormal # uniform|lognormal|bimodal-spike (needs delay >= 2)
+//   racks 4               # block-partition hosts into failure domains
+//   zones 2               # block-partition racks into zones (needs racks)
+//   at 50 rack-outage 1   # power-cycle rack 1: wipe every host in it
+//   at 70 zone-outage 0   # rolling outage: zone 0's racks wiped one/round
+//   loss 10 30 0.5 rack 2 # scoped loss: only messages touching rack 2
+//   partition 60 90 zone 1  # domain cut: zone 1 vs the rest of the world
+//   byzantine 20 60 0.1 liar  # 10% of hosts lie in snapshots in [20,60)
+//
 // Event rounds are relative to the timeline start: round 0 is the converged
 // network for `start converged`, the raw initial configuration for
 // `start cold`. All randomness (victim picks, partition sides, loss draws)
@@ -44,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/behavior.hpp"
 #include "graph/generators.hpp"
 #include "topology/target.hpp"
 
@@ -56,6 +69,8 @@ enum class EventKind : std::uint8_t {
               // (old-target) topology as an arbitrary initial configuration
   kFreeze,    // stall the whole network: protocol steps become no-ops
   kThaw,      // end a stall; every host is re-activated (republish)
+  kRackOutage,  // power-cycle one rack: wipe every host in domain `count`
+  kZoneOutage,  // rolling outage: zone `count`'s racks wiped one per round
 };
 
 const char* event_kind_name(EventKind k);
@@ -63,11 +78,17 @@ const char* event_kind_name(EventKind k);
 struct TimelineEvent {
   EventKind kind = EventKind::kChurn;
   std::uint64_t round = 0;  // relative to the timeline start
-  std::uint64_t count = 1;  // churn/fault: hosts affected
+  std::uint64_t count = 1;  // churn/fault: hosts affected; outages: domain
   std::string target;       // retarget: target name
 
   bool operator==(const TimelineEvent&) const = default;
 };
+
+/// Window scope (DESIGN.md D11): 0 = global (the pre-bestiary semantics),
+/// 1 = rack `domain`, 2 = zone `domain`. A scoped loss window drops only
+/// messages with an endpoint inside the domain; a scoped partition cuts the
+/// domain off from the rest of the world (no random bipartition draw).
+enum : std::uint8_t { kScopeGlobal = 0, kScopeRack = 1, kScopeZone = 2 };
 
 /// Drop each network message delivered in rounds [begin, end) with
 /// probability `rate` (per-job loss stream; self-messages are exempt).
@@ -75,18 +96,36 @@ struct LossWindow {
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
   double rate = 1.0;
+  std::uint8_t scope = kScopeGlobal;
+  std::uint32_t domain = 0;
 
   bool operator==(const LossWindow&) const = default;
 };
 
-/// Random bipartition (per-job draw, both sides non-empty): every message
-/// crossing the cut in rounds [begin, end) is dropped. Topology — and thus
-/// every state predicate — is untouched; only delivery is filtered.
+/// Cut traffic in rounds [begin, end): globally a random bipartition
+/// (per-job draw, both sides non-empty), scoped the named domain vs the
+/// rest. Topology — and thus every state predicate — is untouched; only
+/// delivery is filtered.
 struct PartitionWindow {
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
+  std::uint8_t scope = kScopeGlobal;
+  std::uint32_t domain = 0;
 
   bool operator==(const PartitionWindow&) const = default;
+};
+
+/// Byzantine behavior window (DESIGN.md D11): for rounds [begin, end) a
+/// per-job random `fraction` of hosts (at least one) runs `kind` instead of
+/// the correct protocol. The oracle is told who they are, so violations they
+/// induce are classified "contained" instead of failing the job.
+struct ByzantineWindow {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  double fraction = 0.1;
+  adversary::BehaviorKind kind = adversary::BehaviorKind::kLiar;
+
+  bool operator==(const ByzantineWindow&) const = default;
 };
 
 enum class StartMode : std::uint8_t {
@@ -105,9 +144,17 @@ struct Scenario {
   std::uint32_t delay = 1;
   StartMode start = StartMode::kConverged;
   std::uint64_t max_rounds = 400000;
+  /// Per-edge delay model name ("uniform" = engine default; see
+  /// adversary/delay_model.hpp). Non-uniform models require delay >= 2.
+  std::string delay_model = "uniform";
+  /// Correlated-failure domains: hosts block-partitioned into `racks`
+  /// racks, racks into `zones` zones (adversary/domains.hpp). 0 = none.
+  std::uint32_t racks = 0;
+  std::uint32_t zones = 0;
   std::vector<TimelineEvent> events;
   std::vector<LossWindow> losses;
   std::vector<PartitionWindow> partitions;
+  std::vector<ByzantineWindow> byzantine;
 
   // Fluent builder helpers (return *this so timelines read as one chain).
   Scenario& churn_at(std::uint64_t round, std::uint64_t count);
@@ -115,8 +162,15 @@ struct Scenario {
   Scenario& retarget_at(std::uint64_t round, std::string target_name);
   Scenario& freeze_at(std::uint64_t round);
   Scenario& thaw_at(std::uint64_t round);
-  Scenario& loss(std::uint64_t begin, std::uint64_t end, double rate);
-  Scenario& partition(std::uint64_t begin, std::uint64_t end);
+  Scenario& rack_outage_at(std::uint64_t round, std::uint32_t rack);
+  Scenario& zone_outage_at(std::uint64_t round, std::uint32_t zone);
+  Scenario& loss(std::uint64_t begin, std::uint64_t end, double rate,
+                 std::uint8_t scope = kScopeGlobal, std::uint32_t domain = 0);
+  Scenario& partition(std::uint64_t begin, std::uint64_t end,
+                      std::uint8_t scope = kScopeGlobal,
+                      std::uint32_t domain = 0);
+  Scenario& byz(std::uint64_t begin, std::uint64_t end, double fraction,
+                adversary::BehaviorKind kind = adversary::BehaviorKind::kLiar);
 
   /// Jobs the sweep axes expand to: families x host counts x seeds.
   std::size_t num_jobs() const;

@@ -327,12 +327,24 @@ void persist_fields(A& a, LossWindow& v) {
   a(v.begin);
   a(v.end);
   a(v.rate);
+  a(v.scope);
+  a(v.domain);
 }
 
 template <typename A>
 void persist_fields(A& a, PartitionWindow& v) {
   a(v.begin);
   a(v.end);
+  a(v.scope);
+  a(v.domain);
+}
+
+template <typename A>
+void persist_fields(A& a, ByzantineWindow& v) {
+  a(v.begin);
+  a(v.end);
+  a(v.fraction);
+  a(v.kind);
 }
 
 template <typename A>
@@ -345,11 +357,15 @@ void persist_fields(A& a, Scenario& v) {
   a(v.seed_hi);
   a(v.target);
   a(v.delay);
+  a(v.delay_model);
+  a(v.racks);
+  a(v.zones);
   a(v.start);
   a(v.max_rounds);
   a(v.events);
   a(v.losses);
   a(v.partitions);
+  a(v.byzantine);
 }
 
 template <typename A>
@@ -366,6 +382,15 @@ void persist_fields(A& a, EventOutcome& v) {
   a(v.round);
   a(v.recovery_rounds);
   a(v.recovered);
+}
+
+template <typename A>
+void persist_fields(A& a, ByzWindowOutcome& v) {
+  a(v.begin);
+  a(v.end);
+  a(v.kind);
+  a(v.hosts);
+  a(v.contained);
 }
 
 template <typename A>
@@ -387,6 +412,10 @@ void persist_fields(A& a, JobResult& v) {
   a(v.oracle_violation);
   a(v.oracle_round);
   a(v.oracle_rounds_checked);
+  a(v.adversary_armed);
+  a(v.correct_converged);
+  a(v.contained_violations);
+  a(v.byz_windows);
   a(v.degree_trace);
 }
 

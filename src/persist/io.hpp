@@ -85,7 +85,10 @@ const char* blob_kind_name(BlobKind k);
 
 // v2: engine-delta blob kind, RunMetrics bytes_per_host field, campaign
 // checkpoint delta chains.
-inline constexpr std::uint32_t kFormatVersion = 2;
+// v3: adversary bestiary (DESIGN.md D11) — scenario delay-model/domain/
+// byzantine fields, scoped loss/partition windows, job-loop adversary state
+// (rolling wipes, byzantine-window outcomes), oracle containment counter.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// Section tag from a 4-char mnemonic: tag4("ENGN").
 constexpr std::uint32_t tag4(const char (&s)[5]) {

@@ -429,6 +429,20 @@ class Engine {
     return static_cast<bool>(delivery_filter_);
   }
 
+  /// Per-edge message-delay sampler (DESIGN.md D11): replaces the default
+  /// uniform-[1, d] law with an arbitrary distribution over the same
+  /// per-sender RNG streams. The sampler runs in the serial apply phase
+  /// (after the D6 shard merge, in ascending shard order), sees the
+  /// sender's own delay stream, and must return a value in [1, d]; because
+  /// each sender's draws still happen in the sequential action order,
+  /// traces stay bit-identical at any worker count. Like the delivery
+  /// filter, this is process-level configuration — not engine state — and
+  /// is neither saved by checkpoint() nor touched by restore().
+  using DelaySampler = std::function<std::uint64_t(
+      NodeId from, NodeId to, std::uint32_t max_delay, util::Rng& rng)>;
+  void set_delay_sampler(DelaySampler f) { delay_sampler_ = std::move(f); }
+  bool has_delay_sampler() const { return static_cast<bool>(delay_sampler_); }
+
   /// End-of-round observer (verification hook — see src/verify/). When
   /// installed, it is invoked exactly once per executed round, after the
   /// publish phase, with the round number, the indices of every node whose
@@ -1343,8 +1357,15 @@ class Engine {
   /// each calendar and mutation list in exactly the sequential order.
   void apply_actions(ActionBuffer<Message>& buf) {
     for (auto& s : buf.sends) {
-      const std::uint64_t delay =
-          max_delay_ == 1 ? 1 : 1 + delay_rngs_[s.from].next_below(max_delay_);
+      std::uint64_t delay;
+      if (delay_sampler_) {
+        delay = delay_sampler_(graph_.id_of(s.from), graph_.id_of(s.to),
+                               max_delay_, delay_rngs_[s.from]);
+        CHS_CHECK(delay >= 1 && delay <= max_delay_);
+      } else {
+        delay =
+            max_delay_ == 1 ? 1 : 1 + delay_rngs_[s.from].next_below(max_delay_);
+      }
       delayed_.schedule(round_ + delay,
                         SendEvent{s.to, Envelope<Message>{graph_.id_of(s.from),
                                                           std::move(s.msg)}});
@@ -1448,6 +1469,7 @@ class Engine {
   std::map<std::pair<NodeId, NodeId>, const char*> last_delete_;
   RunMetrics metrics_;
   DeliveryFilter delivery_filter_;  // empty = deliver everything
+  DelaySampler delay_sampler_;      // empty = uniform [1, max_delay_]
   RoundObserver round_observer_;    // empty = observe nothing, record nothing
   std::vector<EdgeDelta> observed_deltas_;  // mutations since last observation
   WorkerPool pool_;

@@ -90,6 +90,27 @@ void Protocol::publish(const HostState& st, PublicState& pub) {
   pub.in_done_wave = st.in_done_wave;
   pub.nbrs = st.nbrs;
   structural_neighbors(st, pub.structural);
+
+  if (behavior_of(st.id) == adversary::BehaviorKind::kLiar) {
+    // Snapshot liar: advertise a stale-looking singleton configuration —
+    // wrong cluster, the whole guest range, severed ring pointers, no wave
+    // or merge activity — regardless of actual internal state. The edge
+    // fields (nbrs, structural via considers_structural) stay truthful:
+    // lying there would trip the bilateral edge-hygiene rule on *correct*
+    // neighbors and physically disconnect them, converting a containable
+    // decision-level lie into a genuine I1 break (see adversary/behavior.hpp).
+    pub.phase = Phase::kCbt;
+    pub.cluster = st.id;
+    pub.merging_with = kNone;
+    pub.lo = 0;
+    pub.hi = params_.n_guests;
+    pub.succ = kNone;
+    pub.pred = kNone;
+    pub.wave_k = -1;
+    pub.active_wave_k = -1;
+    pub.in_phase_wave = false;
+    pub.in_done_wave = false;
+  }
 }
 
 void Protocol::recompute_fragments(HostState& st) const {
@@ -294,6 +315,17 @@ void Protocol::schedule_wakeups(Ctx& ctx) const {
 
 void Protocol::dispatch(Ctx& ctx, const sim::Envelope<Message>& env) {
   const NodeId from = env.from;
+  // Selfish merge refuser (DESIGN.md D11): inbound merge-protocol traffic is
+  // silently ignored, so this node's cluster never completes a match it did
+  // not initiate. Deterministic (no RNG, no state) and applied before any
+  // handler runs, so the drop is identical at any worker count.
+  if (behavior_of(ctx.state().id) == adversary::BehaviorKind::kMergeRefuser &&
+      (std::holds_alternative<MFollowGo>(env.msg) ||
+       std::holds_alternative<MMergeReqHop>(env.msg) ||
+       std::holds_alternative<MMatchGrant>(env.msg) ||
+       std::holds_alternative<MMergePropose>(env.msg))) {
+    return;
+  }
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;

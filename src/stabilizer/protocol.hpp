@@ -17,10 +17,13 @@
 // handler methods are public so white-box tests can drive individual pieces.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "adversary/behavior.hpp"
 #include "sim/engine.hpp"
 #include "stabilizer/messages.hpp"
 #include "stabilizer/params.hpp"
@@ -75,6 +78,32 @@ class Protocol {
   /// Engine::republish() — frozen steps scheduled no wakeups.
   void set_frozen(bool frozen) { frozen_ = frozen; }
   bool frozen() const { return frozen_; }
+
+  /// Per-node adversary behaviors (DESIGN.md D11): a sorted (id, kind) list
+  /// consulted at the publish and dispatch seams. Like set_frozen, this is
+  /// runtime configuration written only between rounds (the campaign runner
+  /// installs it at Byzantine-window boundaries and republishes the affected
+  /// hosts) and read concurrently by worker threads, which is safe under the
+  /// D6 contract. It is *not* serialized: checkpointed snapshots already
+  /// contain any published lies, and the campaign reinstalls the policy from
+  /// its own (serialized) timeline cursor on restore.
+  void set_behaviors(
+      std::vector<std::pair<NodeId, adversary::BehaviorKind>> behaviors) {
+    CHS_DCHECK(std::is_sorted(behaviors.begin(), behaviors.end()));
+    behaviors_ = std::move(behaviors);
+  }
+  const std::vector<std::pair<NodeId, adversary::BehaviorKind>>& behaviors()
+      const {
+    return behaviors_;
+  }
+  adversary::BehaviorKind behavior_of(NodeId id) const {
+    if (behaviors_.empty()) return adversary::BehaviorKind::kCorrect;
+    const auto it = std::lower_bound(
+        behaviors_.begin(), behaviors_.end(), id,
+        [](const auto& p, NodeId v) { return p.first < v; });
+    if (it != behaviors_.end() && it->first == id) return it->second;
+    return adversary::BehaviorKind::kCorrect;
+  }
 
   const topology::Cbt& cbt() const { return cbt_; }
   std::uint32_t num_waves() const { return num_waves_; }
@@ -196,6 +225,9 @@ class Protocol {
   // concurrently by steps, which is safe under the D6 contract because the
   // engine's serial phases order the write before every subsequent step.
   bool frozen_ = false;
+  // Adversary behavior policy (set_behaviors): sorted by id, same
+  // written-between-rounds discipline as frozen_. Empty = everyone correct.
+  std::vector<std::pair<NodeId, adversary::BehaviorKind>> behaviors_;
 };
 
 using StabEngine = sim::Engine<Protocol>;

@@ -100,6 +100,36 @@ Scenario generate_scenario(std::uint64_t case_index, util::Rng& rng) {
     const std::uint64_t begin = 150 + rng.next_below(50);
     sc.freeze_at(begin).thaw_at(begin + 1 + rng.next_below(40));
   }
+  // Bestiary draws (DESIGN.md D11) are appended strictly after the original
+  // grammar so a given (seed, case) keeps its pre-bestiary draw prefix —
+  // old repros still reproduce, the new axes only add windows.
+  if (rng.next_below(4) == 0) {
+    const std::uint64_t begin = rng.next_below(80);
+    const std::uint64_t end = begin + 10 + rng.next_below(60);
+    const double frac = static_cast<double>(1 + rng.next_below(3)) / 10.0;
+    static const adversary::BehaviorKind kKinds[] = {
+        adversary::BehaviorKind::kLiar, adversary::BehaviorKind::kDropper,
+        adversary::BehaviorKind::kSelective,
+        adversary::BehaviorKind::kMergeRefuser};
+    sc.byz(begin, end, frac, kKinds[rng.next_below(4)]);
+  }
+  if (rng.next_below(5) == 0) {
+    // hosts >= 4, so racks in 2..4 always fits the one host count.
+    sc.racks = static_cast<std::uint32_t>(2 + rng.next_below(3));
+    if (rng.next_below(2) == 0) {
+      sc.zones = static_cast<std::uint32_t>(1 + rng.next_below(sc.racks));
+    }
+    const std::uint64_t round = rng.next_below(150);
+    if (sc.zones > 0 && rng.next_below(2) == 0) {
+      sc.zone_outage_at(round, rng.next_below(sc.zones));
+    } else {
+      sc.rack_outage_at(round, rng.next_below(sc.racks));
+    }
+  }
+  if (rng.next_below(5) == 0) {
+    sc.delay = static_cast<std::uint32_t>(2 + rng.next_below(3));
+    sc.delay_model = rng.next_below(2) == 0 ? "lognormal" : "bimodal-spike";
+  }
   campaign::sort_events_by_round(sc.events);
   CHS_CHECK_MSG(sc.validate().empty(), "fuzz grammar emitted invalid scenario");
   return sc;

@@ -199,11 +199,17 @@ MinimizeResult minimize(const Scenario& sc0, const campaign::JobSpec& spec,
     if (cand.n_guests != b.n_guests || cand.host_counts != b.host_counts ||
         cand.families != b.families || cand.seed_lo != b.seed_lo ||
         cand.seed_hi != b.seed_hi || cand.target != b.target ||
-        cand.delay != b.delay || cand.start != b.start) {
+        cand.delay != b.delay || cand.delay_model != b.delay_model ||
+        cand.start != b.start) {
       return false;
     }
     if (!tt->in_timeline) return cand.max_rounds >= tt->engine_round;
-    if (cand.losses != b.losses || cand.partitions != b.partitions) {
+    // The timeline adversary pre-draws from the loss/partition/Byzantine
+    // windows and maps domains from racks/zones, so a snapshot only serves
+    // candidates that keep all of them verbatim.
+    if (cand.losses != b.losses || cand.partitions != b.partitions ||
+        cand.byzantine != b.byzantine || cand.racks != b.racks ||
+        cand.zones != b.zones) {
       return false;
     }
     if (cand.max_rounds < std::max(tt->setup_rounds, tt->t)) return false;
@@ -289,6 +295,35 @@ MinimizeResult minimize(const Scenario& sc0, const campaign::JobSpec& spec,
       }
     }
     if (changed) continue;
+    for (std::size_t i = 0; i < res.scenario.byzantine.size(); ++i) {
+      Scenario cand = res.scenario;
+      cand.byzantine.erase(cand.byzantine.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      if (try_candidate(std::move(cand), "drop byzantine window")) {
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    if (res.scenario.delay_model != "uniform") {
+      Scenario cand = res.scenario;
+      cand.delay_model = "uniform";
+      if (try_candidate(std::move(cand), "drop delay model")) {
+        changed = true;
+        continue;
+      }
+    }
+    // Domain declarations go once nothing references them (validate rejects
+    // the candidate while a scoped window or outage event remains).
+    if (res.scenario.racks != 0) {
+      Scenario cand = res.scenario;
+      cand.racks = 0;
+      cand.zones = 0;
+      if (try_candidate(std::move(cand), "drop failure domains")) {
+        changed = true;
+        continue;
+      }
+    }
     // Shrink event parameters: victim counts and application rounds halve.
     for (std::size_t i = 0; i < res.scenario.events.size(); ++i) {
       const auto& e = res.scenario.events[i];

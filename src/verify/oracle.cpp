@@ -34,8 +34,7 @@ InvariantOracle::InvariantOracle(core::StabEngine& eng, OracleConfig cfg)
     ++hosts_checked_;
     std::string v = core::check_host_invariants(eng, id);
     if (!v.empty()) {
-      record(eng.round(), std::move(v), id);
-      return;
+      if (record(eng.round(), std::move(v), id)) return;
     }
   }
 }
@@ -98,21 +97,50 @@ void InvariantOracle::evaluate(std::uint64_t round) {
     ++hosts_checked_;
     std::string v = core::check_host_invariants(*eng_, g.id_of(i));
     if (!v.empty()) {
-      record(round, std::move(v), g.id_of(i));
-      break;
+      // A contained (adversary-induced) violation is counted and skipped:
+      // the remaining pending hosts still get their check, so a *real*
+      // violation in the same stride window is not shadowed by it.
+      if (record(round, std::move(v), g.id_of(i))) break;
     }
   }
   for (NodeIndex i : pending_) pending_mark_[i] = 0;
   pending_.clear();
 }
 
-void InvariantOracle::record(std::uint64_t round, std::string what,
+bool InvariantOracle::is_adversarial(NodeId id) const {
+  return std::binary_search(adversarial_.begin(), adversarial_.end(), id);
+}
+
+bool InvariantOracle::record(std::uint64_t round, std::string what,
                              NodeId focus) {
+  // Blame attribution (DESIGN.md D11): a violation on an adversarial host,
+  // or on a direct graph neighbor of one (the radius a lying snapshot
+  // corrupts — neighbors read it via ctx.view and base merge/edge decisions
+  // on it), is the adversary working as declared, not a protocol bug. I1
+  // violations have focus == kNone and are never excused: no behavior in
+  // the bestiary severs edges, so a disconnect is real even mid-attack.
+  if (!adversarial_.empty() && focus != stabilizer::kNone &&
+      eng_->graph().contains(focus)) {
+    bool blamed = is_adversarial(focus);
+    if (!blamed) {
+      for (NodeId nb : eng_->graph().neighbors(focus)) {
+        if (is_adversarial(nb)) {
+          blamed = true;
+          break;
+        }
+      }
+    }
+    if (blamed) {
+      ++contained_violations_;
+      return false;
+    }
+  }
   Violation v;
   v.round = round;
   v.what = std::move(what);
   if (cfg_.hard_fail) v.trace = capture_trace(focus);
   violation_ = std::move(v);
+  return true;
 }
 
 std::string InvariantOracle::capture_trace(NodeId focus) const {
@@ -163,6 +191,7 @@ void OracleProbe::finish(campaign::JobResult& out) {
     // must happen here regardless — the engine dies with the job frame.)
     oracle_->detach();
     out.oracle_rounds_checked = oracle_->rounds_checked();
+    out.contained_violations = oracle_->contained_violations();
     if (oracle_->violation()) {
       out.oracle_violation = oracle_->violation()->what;
       out.oracle_round = oracle_->violation()->round;

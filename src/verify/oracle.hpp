@@ -31,6 +31,7 @@
 // bit-for-bit identical at any worker count.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -86,6 +87,23 @@ class InvariantOracle {
   /// First violation observed, if any.
   const std::optional<Violation>& violation() const { return violation_; }
 
+  /// Blame attribution (DESIGN.md D11): declare which hosts are currently
+  /// adversarial. A violation whose focus host is adversarial — or is a
+  /// graph neighbor of one, the one-hop radius a lying snapshot can corrupt
+  /// directly — is classified "adversary-induced, contained": counted, not
+  /// recorded as the verdict, and exempt from hard_fail. I1 (connectivity)
+  /// has no focus host and always stays a real violation: behaviors are
+  /// designed to never sever edges, so a disconnect is a genuine bug even
+  /// mid-attack. The set is runtime configuration like the engine's
+  /// delivery filter — the campaign reinstalls it at window boundaries and
+  /// after restore; it is not serialized.
+  void set_adversarial(std::vector<graph::NodeId> ids) {
+    std::sort(ids.begin(), ids.end());
+    adversarial_ = std::move(ids);
+  }
+  /// Violations attributed to the adversary so far (monotone counter).
+  std::uint64_t contained_violations() const { return contained_violations_; }
+
   /// Sampled rounds actually evaluated (stride-thinned; includes the
   /// attach-time full check).
   std::uint64_t rounds_checked() const { return rounds_checked_; }
@@ -110,6 +128,7 @@ class InvariantOracle {
     a(hosts_checked_);
     a(connectivity_rebuilds_);
     a(violation_);
+    a(contained_violations_);
   }
 
  private:
@@ -117,7 +136,10 @@ class InvariantOracle {
                 std::span<const graph::NodeIndex> dirty,
                 std::span<const sim::EdgeDelta> deltas);
   void evaluate(std::uint64_t round);
-  void record(std::uint64_t round, std::string what, graph::NodeId focus);
+  /// Classify and store one violation. True = real (the verdict is set and
+  /// the oracle goes dormant); false = adversary-induced, contained.
+  bool record(std::uint64_t round, std::string what, graph::NodeId focus);
+  bool is_adversarial(graph::NodeId id) const;
   std::string capture_trace(graph::NodeId focus) const;
   void mark_pending(graph::NodeIndex i);
 
@@ -131,6 +153,8 @@ class InvariantOracle {
   std::uint64_t hosts_checked_ = 0;
   std::uint64_t connectivity_rebuilds_ = 0;
   std::optional<Violation> violation_;
+  std::uint64_t contained_violations_ = 0;
+  std::vector<graph::NodeId> adversarial_;  // sorted; reinstalled, not saved
 };
 
 /// campaign::JobProbe adapter: arms an InvariantOracle on each job's engine
@@ -150,6 +174,13 @@ class OracleProbe final : public campaign::JobProbe {
     return cfg_.hard_fail && oracle_ && oracle_->violation().has_value();
   }
   void finish(campaign::JobResult& out) override;
+
+  void set_adversarial(const std::vector<graph::NodeId>& ids) override {
+    if (oracle_) oracle_->set_adversarial(ids);
+  }
+  campaign::AdversaryStats adversary_stats() const override {
+    return {oracle_ ? oracle_->contained_violations() : 0};
+  }
 
   void abandon() override {
     // Uninstall the engine observer while the engine still exists; the

@@ -11,7 +11,7 @@
 //   chordsim kv     [--n 48] [--N 512] [--keys 64] [--replicas 3]
 //                   [--fail-frac 0.2] [--delay 1] [--seed 1]
 //   chordsim campaign <scenario-file> [--jobs 1] [--workers 1]
-//                   [--json PATH] [--csv] [--quiet]
+//                   [--json PATH] [--csv] [--quiet] [--oracle]
 //                   [--checkpoint FILE] [--checkpoint-every R]
 //                   [--resume FILE] [--halt-after-checkpoints N]
 //   chordsim fuzz   [--budget 16] [--seed 1] [--stride 1] [--minimize]
@@ -72,6 +72,7 @@
 #include "util/bitops.hpp"
 #include "util/log.hpp"
 #include "verify/fuzzer.hpp"
+#include "verify/oracle.hpp"
 
 using namespace chs;
 
@@ -345,8 +346,8 @@ int cmd_campaign(const Args& a) {
   if (a.positional.empty()) {
     std::fprintf(stderr, "usage: chordsim campaign <scenario-file> "
                  "[--jobs k] [--workers k] [--json PATH] [--csv] [--quiet] "
-                 "[--checkpoint FILE] [--checkpoint-every R] [--resume FILE] "
-                 "[--halt-after-checkpoints N]\n");
+                 "[--oracle] [--checkpoint FILE] [--checkpoint-every R] "
+                 "[--resume FILE] [--halt-after-checkpoints N]\n");
     return 2;
   }
   std::string error;
@@ -365,6 +366,15 @@ int cmd_campaign(const Args& a) {
   opts.checkpoint_every = a.get_u64("checkpoint-every", 0);
   opts.resume_path = a.get("resume", "");
   opts.halt_after_checkpoints = a.get_u64("halt-after-checkpoints", 0);
+  if (a.has("oracle")) {
+    // Arm the invariant oracle on every job in soft mode: violations are
+    // recorded (and attributed, for Byzantine scenarios — DESIGN.md D11)
+    // without aborting the campaign, so the report still aggregates.
+    verify::OracleConfig ocfg;
+    ocfg.stride = 1;
+    ocfg.hard_fail = false;
+    opts.probe = verify::oracle_probe_factory(ocfg);
+  }
   if (opts.checkpoint_every != 0 && opts.checkpoint_path.empty()) {
     std::fprintf(stderr, "--checkpoint-every needs --checkpoint FILE\n");
     return 2;
@@ -516,7 +526,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "campaign") {
     static const char* const kFlags[] = {
-        "jobs", "workers", "json", "csv", "quiet", "checkpoint",
+        "jobs", "workers", "json", "csv", "quiet", "oracle", "checkpoint",
         "checkpoint-every", "resume", "halt-after-checkpoints", nullptr};
     return cmd_campaign(parse(argc, argv, 2, kFlags, 1));
   }
