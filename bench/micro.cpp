@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "avatar/range.hpp"
@@ -20,6 +21,7 @@
 #include "core/network.hpp"
 #include "dht/kvstore.hpp"
 #include "graph/generators.hpp"
+#include "obs/series.hpp"
 #include "persist/fields.hpp"
 #include "persist/io.hpp"
 #include "stabilizer/guest_model.hpp"
@@ -326,6 +328,48 @@ void BM_OracleRound(benchmark::State& state) {
   state.counters["hosts"] = kQuiescentHosts;
 }
 BENCHMARK(BM_OracleRound)->Arg(0)->Arg(1)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// Telemetry series recorder (DESIGN.md D12) riding the busy round. The
+// recorder is pull-based like the oracle: JobRunner samples cumulative
+// engine counters after step_round, so arg 0 (no recorder) must match
+// BM_OracleRound/0 — the unarmed engine has no telemetry code on the hot
+// path at all. Arg > 0 is the sampling stride; stride 1 differentiates
+// the cursor every round (the worst case) and is the overhead the CI
+// bench smoke pins.
+void BM_ObsRound(benchmark::State& state) {
+  auto& eng = quiescent_engine(chs::sim::StepMode::kAll);
+  const std::uint64_t stride = static_cast<std::uint64_t>(state.range(0));
+  std::optional<chs::obs::SeriesRecorder> rec;
+  auto cursor = [&eng] {
+    const auto& m = eng.metrics();
+    chs::obs::SeriesCursor c;
+    c.active = m.nodes_stepped();
+    c.actions = m.round_actions();
+    c.messages = m.messages();
+    c.dropped = m.messages_dropped();
+    c.snapshots = m.snapshots_published();
+    return c;
+  };
+  std::uint64_t t = 0;
+  if (stride > 0) {
+    rec.emplace(stride, /*cap=*/64);
+    rec->prime(cursor());
+  }
+  for (auto _ : state) {
+    eng.step_round();
+    if (rec) rec->on_round(t, cursor(), /*windows_open=*/0);
+    ++t;
+  }
+  if (rec) {
+    state.counters["samples_retained"] =
+        static_cast<double>(rec->samples().size());
+    state.counters["effective_stride"] =
+        static_cast<double>(rec->effective_stride());
+  }
+  state.counters["hosts"] = kQuiescentHosts;
+}
+BENCHMARK(BM_ObsRound)->Arg(0)->Arg(1)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
 // Checkpoint/restore (DESIGN.md D9) on the busy 10k-host state: the

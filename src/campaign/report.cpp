@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/profiler.hpp"
+
 namespace chs::campaign {
 
 namespace {
@@ -142,6 +144,26 @@ std::string CampaignReport::to_json() const {
              fmt_u64(r.oracle_round) + ", \"rounds_checked\": " +
              fmt_u64(r.oracle_rounds_checked) + "}";
     }
+    if (r.series_armed) {
+      // Emitted only when the scenario arms `series`, so series-free
+      // reports keep their exact pre-D12 bytes. Samples are deterministic
+      // counter deltas — part of the golden-diffed document.
+      out += ",\n     \"series\": {\"stride\": " + fmt_u64(r.series_stride) +
+             ", \"samples\": [";
+      for (std::size_t j = 0; j < r.series.size(); ++j) {
+        const obs::SeriesSample& s = r.series[j];
+        if (j) out += ", ";
+        out += "{\"round\": " + fmt_u64(s.round) + ", \"active\": " +
+               fmt_u64(s.active) + ", \"actions\": " + fmt_u64(s.actions) +
+               ", \"messages\": " + fmt_u64(s.messages) + ", \"dropped\": " +
+               fmt_u64(s.dropped) + ", \"snapshots\": " +
+               fmt_u64(s.snapshots) + ", \"contained\": " +
+               fmt_u64(s.contained) + ", \"violations\": " +
+               fmt_u64(s.violations) + ", \"windows_open\": " +
+               fmt_u64(s.windows_open) + "}";
+      }
+      out += "]}";
+    }
     if (r.adversary_armed) {
       // Emitted only for jobs with Byzantine windows, so bestiary-free
       // reports keep their exact pre-D11 bytes.
@@ -177,8 +199,13 @@ std::string CampaignReport::to_json() const {
     out += "]}";
     out += i + 1 < results.size() ? ",\n" : "\n";
   }
-  out += "  ]\n";
-  out += "}\n";
+  out += "  ]";
+  if (perf.rounds > 0) {
+    // Wall-clock phase profile — present only under --profile, which no CI
+    // golden arms; the deterministic document above is unchanged without it.
+    out += ",\n  \"perf\": " + obs::perf_json(perf);
+  }
+  out += "\n}\n";
   return out;
 }
 
@@ -205,6 +232,21 @@ core::Table CampaignReport::aggregate_table() const {
   add_stats_row(t, "peak_degree", peak_degree);
   add_stats_row(t, "degree_expansion", degree_expansion);
   add_stats_row(t, "recovery_rounds", recovery);
+  return t;
+}
+
+core::Table CampaignReport::series_table() const {
+  core::Table t({"job", "round", "active", "actions", "messages", "dropped",
+                 "snapshots", "contained", "violations", "windows_open"});
+  for (const JobResult& r : results) {
+    if (!r.series_armed) continue;
+    for (const obs::SeriesSample& s : r.series) {
+      t.add_row({fmt_u64(r.spec.index), fmt_u64(s.round), fmt_u64(s.active),
+                 fmt_u64(s.actions), fmt_u64(s.messages), fmt_u64(s.dropped),
+                 fmt_u64(s.snapshots), fmt_u64(s.contained),
+                 fmt_u64(s.violations), fmt_u64(s.windows_open)});
+    }
+  }
   return t;
 }
 

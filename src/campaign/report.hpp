@@ -16,6 +16,8 @@
 
 #include "campaign/scenario.hpp"
 #include "core/experiment.hpp"
+#include "obs/series.hpp"
+#include "sim/profile.hpp"
 
 namespace chs::campaign {
 
@@ -86,6 +88,14 @@ struct JobResult {
   /// determinism witness (tests compare it across worker counts). Held in
   /// memory only; never serialized into JSON/CSV.
   std::vector<std::size_t> degree_trace;
+  /// Telemetry time series (DESIGN.md D12). Armed iff the scenario declares
+  /// `series`; like the oracle/adversary blocks, serialized into JSON/CSV
+  /// only when armed so series-free reports keep their exact prior bytes.
+  /// Samples are deterministic counter deltas over timeline rounds —
+  /// identical at any worker/job count and across checkpoint/resume.
+  bool series_armed = false;
+  std::uint64_t series_stride = 0;  // effective stride after downsampling
+  std::vector<obs::SeriesSample> series;
 };
 
 struct CampaignReport {
@@ -109,6 +119,12 @@ struct CampaignReport {
   core::Stats degree_expansion;
   core::Stats recovery;          // per-event recovery latency, all jobs
 
+  /// Wall-clock phase profile summed over every job's rounds (DESIGN.md
+  /// D12), populated only under RunOptions::profile. Non-deterministic by
+  /// nature: to_json emits a `perf` block only when rounds > 0, no CI
+  /// golden arms it, and it is never checkpointed.
+  sim::RoundProfile perf;
+
   /// Deterministic JSON document (trailing newline included).
   std::string to_json() const;
 
@@ -117,6 +133,10 @@ struct CampaignReport {
 
   /// Aggregate table (one row per metric).
   core::Table aggregate_table() const;
+
+  /// Per-sample series table across armed jobs (one row per sample), for
+  /// the CSV workflow. Empty when no job armed the recorder.
+  core::Table series_table() const;
 };
 
 /// Aggregate job results (already in job-index order) into a report.

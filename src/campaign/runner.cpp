@@ -5,6 +5,7 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <span>
 #include <thread>
 #include <utility>
 
@@ -13,7 +14,10 @@
 #include "adversary/domains.hpp"
 #include "core/churn.hpp"
 #include "core/network.hpp"
+#include "obs/flight.hpp"
+#include "obs/series.hpp"
 #include "persist/fields.hpp"
+#include "sim/profile.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -211,11 +215,87 @@ struct JobRunner::Impl {
   // Timeline-phase metric baselines.
   std::uint64_t msg0 = 0, drop0 = 0, adds0 = 0, dels0 = 0, resets0 = 0;
   bool probe_finished = false;
+  // Telemetry series recorder (DESIGN.md D12), armed by `series` in the
+  // scenario. Deterministic state — checkpointed in the OBSR section.
+  std::optional<obs::SeriesRecorder> series;
+  // Flight recorder sink + per-host (phase, merge-stage) transition cache
+  // for the chained round observer. Diagnostic only, never serialized.
+  obs::FlightRecorder* flight = nullptr;
+  std::vector<std::pair<stabilizer::Phase, stabilizer::MergeStage>> fl_cache;
 
   bool probe_failed() const { return probe && probe->failed(); }
 
   std::uint64_t probe_contained() const {
     return probe ? probe->adversary_stats().contained : 0;
+  }
+
+  /// Cumulative deterministic counters the series recorder differentiates:
+  /// engine metrics plus the probe's violation classification.
+  obs::SeriesCursor series_cursor() const {
+    const auto& m = eng->metrics();
+    obs::SeriesCursor c;
+    c.active = m.nodes_stepped();
+    c.actions = m.round_actions();
+    c.messages = m.messages();
+    c.dropped = m.messages_dropped();
+    c.snapshots = m.snapshots_published();
+    if (probe) {
+      const AdversaryStats st = probe->adversary_stats();
+      c.contained = st.contained;
+      c.violations = st.real;
+    }
+    return c;
+  }
+
+  /// Byzantine windows open during timeline round `tr` (series gauge).
+  std::uint64_t windows_open_at(std::uint64_t tr) const {
+    std::uint64_t open = 0;
+    for (const ByzantineWindow& w : sc.byzantine) {
+      if (tr >= w.begin && tr < w.end) ++open;
+    }
+    return open;
+  }
+
+  /// Seed the flight observer's transition cache from current engine state
+  /// (after construction or restore), so the first recorded transitions are
+  /// real ones, not restore artifacts.
+  void sync_flight_cache() {
+    const auto& g = eng->graph();
+    fl_cache.assign(g.size(), {});
+    for (NodeId id : g.ids()) {
+      const stabilizer::HostState& st = eng->state(id);
+      fl_cache[g.index_of(id)] = {st.phase, st.merge.stage};
+    }
+  }
+
+  /// Chained round observer: narrate per-host protocol phase / merge-stage
+  /// transitions among the round's dirty hosts. Runs in the engine's serial
+  /// publish phase, so the event sequence is deterministic at any worker
+  /// count.
+  void observe_flight(std::uint64_t round,
+                      std::span<const graph::NodeIndex> dirty) {
+    if (!flight) return;
+    const auto& g = eng->graph();
+    if (fl_cache.size() < g.size()) fl_cache.resize(g.size());
+    for (graph::NodeIndex i : dirty) {
+      if (i >= fl_cache.size()) continue;
+      const NodeId id = g.id_of(i);
+      const stabilizer::HostState& st = eng->state(id);
+      auto& c = fl_cache[i];
+      if (st.phase != c.first) {
+        flight->record(round, obs::FlightKind::kPhase, id, 0,
+                       std::string(stabilizer::phase_name(c.first)) + "->" +
+                           stabilizer::phase_name(st.phase));
+        c.first = st.phase;
+      }
+      if (st.merge.stage != c.second) {
+        flight->record(
+            round, obs::FlightKind::kMergeStage, id, 0,
+            std::string(stabilizer::merge_stage_name(c.second)) + "->" +
+                stabilizer::merge_stage_name(st.merge.stage));
+        c.second = st.merge.stage;
+      }
+    }
   }
 
   /// Install the behavior policy matching the windows open at timeline
@@ -282,9 +362,17 @@ struct JobRunner::Impl {
         byz_open[w] = out.byz_windows.size() + 1;
         out.byz_windows.push_back(std::move(o));
       }
+      if (win.begin == t && byz_open[w] != 0 && flight) {
+        flight->record(eng->round(), obs::FlightKind::kByzOpen, w, win.end,
+                       adversary::behavior_name(win.kind));
+      }
       if (win.end == t && byz_open[w] != 0) {
         ByzWindowOutcome& o = out.byz_windows[byz_open[w] - 1];
         o.contained = probe_contained() - o.contained;
+        if (flight) {
+          flight->record(eng->round(), obs::FlightKind::kByzClose, w, 0,
+                         adversary::behavior_name(win.kind));
+        }
       }
     }
     refresh_behaviors(/*live=*/true, t);
@@ -324,7 +412,13 @@ struct JobRunner::Impl {
       const std::uint64_t hi = adversary::part_end(wipe_rack[i], n, sc.racks);
       for (std::uint64_t j = lo; j < hi; ++j) {
         const NodeId id = adv->hosts[j];
-        if (eng->graph().contains(id)) core::wipe_host_state(*eng, id);
+        if (eng->graph().contains(id)) {
+          core::wipe_host_state(*eng, id);
+          if (flight) {
+            flight->record(eng->round(), obs::FlightKind::kWipe, id,
+                           wipe_rack[i]);
+          }
+        }
       }
     }
     wipe_due.resize(kept);
@@ -396,6 +490,16 @@ struct JobRunner::Impl {
       // window can surface after it closes, and must still be attributed.
       if (probe) probe->set_adversarial(adv->byz_union);
     }
+    if (sc.series_stride > 0) {
+      // Prime the delta baselines at the timeline start so the series
+      // covers timeline rounds only (setup cost is not the run's shape).
+      series.emplace(sc.series_stride, sc.series_cap);
+      series->prime(series_cursor());
+    }
+    if (flight) {
+      flight->record(eng->round(), obs::FlightKind::kJobStage, 0, 0,
+                     "timeline-begin");
+    }
     stage = Stage::kTimeline;
   }
 
@@ -448,6 +552,18 @@ struct JobRunner::Impl {
         }
       }
     }
+    if (series) {
+      // Close the final partial window; the effective stride reflects any
+      // downsampling the ring forced along the way.
+      series->flush(t > 0 ? t - 1 : 0);
+      out.series_stride = series->effective_stride();
+      out.series = series->samples();
+    }
+    if (flight) {
+      flight->record(eng->round(), obs::FlightKind::kJobStage, 0, 0,
+                     out.converged ? "finished converged"
+                                   : "finished unconverged");
+    }
     stage = Stage::kFinished;
   }
 
@@ -469,6 +585,10 @@ JobRunner::JobRunner(const Scenario& sc, const JobSpec& spec,
   im.spec = spec;
   im.probe = probe;
   im.out.spec = spec;
+  // Armed even for jobs that die in setup: the report's `series` block is a
+  // function of the scenario, with whatever samples the job got to record.
+  im.out.series_armed = sc.series_stride > 0;
+  im.out.series_stride = sc.series_stride;
 
   // Initial configuration: same (seed -> ids -> family) recipe as the
   // experiment sweeps, so a campaign job is comparable to a sweep point.
@@ -577,6 +697,10 @@ bool JobRunner::step() {
         } else {
           apply_event(*im.eng, ev, *im.adv);
         }
+        if (im.flight) {
+          im.flight->record(im.eng->round(), obs::FlightKind::kTimelineEvent,
+                            ev.count, im.t, event_kind_name(ev.kind));
+        }
         im.out.events.push_back(EventOutcome{ev.kind, im.t, 0, false});
         im.pending.push_back(im.out.events.size() - 1);
         ++im.next_event;
@@ -601,6 +725,12 @@ bool JobRunner::step() {
       }
       im.eng->step_round();
       ++im.executed;
+      // Sample AFTER the round executes, indexed by the round it covers;
+      // a checkpoint taken between rounds lands after this call, so the
+      // recorder state it saves is exactly "rounds 0..t recorded".
+      if (im.series) {
+        im.series->on_round(im.t, im.series_cursor(), im.windows_open_at(im.t));
+      }
       if (!im.pending.empty() && core::is_converged(*im.eng)) {
         for (std::uint64_t p : im.pending) {
           im.out.events[p].recovered = true;
@@ -633,6 +763,26 @@ JobResult JobRunner::result() {
     im.probe_finished = true;
   }
   return im.out;
+}
+
+void JobRunner::set_flight(obs::FlightRecorder* flight) {
+  Impl& im = *impl_;
+  im.flight = flight;
+  if (!flight) return;
+  im.sync_flight_cache();
+  // Chain after any probe-owned observer (the oracle installs its own in
+  // attach); the probe's detach wipes the whole chain, which is fine — it
+  // only happens when the job is over or abandoned.
+  Impl* pim = &im;
+  im.eng->chain_round_observer(
+      [pim](std::uint64_t round, std::span<const graph::NodeIndex> dirty,
+            std::span<const sim::EdgeDelta>) {
+        pim->observe_flight(round, dirty);
+      });
+}
+
+void JobRunner::set_profiler(sim::RoundProfile* p) {
+  impl_->eng->set_profiler(p);
 }
 
 // The full and delta snapshots share everything but the engine payload:
@@ -669,6 +819,16 @@ void JobRunner::Impl::write_loop_state(persist::Writer& w) {
   w(byz_open);
   const bool has_probe = probe != nullptr;
   w(has_probe);
+  w.end_section();
+
+  // Telemetry series recorder (DESIGN.md D12): full dynamic state, so a
+  // resumed job's series is bit-for-bit the uninterrupted run's. The flight
+  // recorder and profiler are deliberately absent — diagnostic wall-side
+  // state, rebuilt fresh by the resuming process.
+  w.begin_section(persist::tag4("OBSR"));
+  const bool has_series = series.has_value();
+  w(has_series);
+  if (has_series) w(*series);
   w.end_section();
 }
 
@@ -714,6 +874,23 @@ persist::Status JobRunner::Impl::read_loop_state(persist::Reader& r,
         "probe configuration differs from the checkpointed job");
   }
   if (auto s = r.close_section(); !s.ok) return s;
+
+  if (auto s = r.open_section(persist::tag4("OBSR")); !s.ok) return s;
+  bool has_series = false;
+  r(has_series);
+  if (r.ok() && has_series != (sc.series_stride > 0 && stage != Stage::kSetup)) {
+    return persist::Status::failure(
+        "series recorder arming differs from the scenario");
+  }
+  if (has_series) {
+    series.emplace();
+    r(*series);
+    if (r.ok() && series->configured_stride() != sc.series_stride) {
+      return persist::Status::failure("series stride mismatch");
+    }
+  }
+  if (auto s = r.close_section(); !s.ok) return s;
+
   if (next_event > events.size()) {
     return persist::Status::failure("event cursor out of range");
   }
@@ -991,13 +1168,26 @@ CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
     flush_locked();
   };
 
+  // Telemetry (DESIGN.md D12): per-job flight recorders dump on failure;
+  // wall-clock phase profiles merge into one campaign-wide accumulator.
+  // Both are diagnostic — armed or not, the report's deterministic bytes
+  // (and every checkpoint) are identical.
+  const bool flight_on = !opts.flight_dir.empty();
+  std::mutex perf_mu;
+  sim::RoundProfile perf_total;
+
   const auto run_one = [&](std::size_t i) {
     if (states[i].state == JobCheckpoint::State::kDone) {
       results[i] = states[i].result;  // resume: recorded result reused
       return;
     }
+    std::optional<obs::FlightRecorder> flight;
+    if (flight_on) flight.emplace();
     std::unique_ptr<JobProbe> probe =
         opts.probe ? opts.probe(jobs[i]) : nullptr;
+    // The probe gets its sink before attach (the JobRunner ctor), so oracle
+    // verdicts are narrated from the first timeline round on.
+    if (probe && flight) probe->set_flight(&*flight);
     JobRunner runner(sc, jobs[i], opts.engine_workers, probe.get());
     if (states[i].state == JobCheckpoint::State::kInProgress) {
       persist::Reader r(states[i].snapshot);
@@ -1016,6 +1206,11 @@ CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
         CHS_CHECK_MSG(s.ok, s.error.c_str());
       }
     }
+    // After restore: the flight observer's transition cache must seed from
+    // the restored state, and the profiler is process configuration.
+    if (flight) runner.set_flight(&*flight);
+    sim::RoundProfile prof;
+    if (opts.profile) runner.set_profiler(&prof);
     JobRunner::RoundHook hook;
     std::uint64_t last_snapshot_round = runner.engine_round();
     // Delta-chain policy (DESIGN.md D10): the first mid-job snapshot is a
@@ -1062,8 +1257,31 @@ CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
       };
     }
     runner.run(hook);
+    if (opts.profile) {
+      std::lock_guard<std::mutex> lock(perf_mu);
+      perf_total.merge(prof);
+    }
     if (!runner.finished()) return;  // halted mid-job; snapshot stands
     results[i] = runner.result();
+    if (flight) {
+      // A failed job — non-convergence or an oracle hard-fail — leaves its
+      // black box behind: a Chrome-trace dump plus a .scn repro of the
+      // scenario, named by job index.
+      const JobResult& jr = results[i];
+      if (!jr.converged || !jr.oracle_violation.empty()) {
+        const std::string stem = opts.flight_dir + "/" + sc.name + "_job" +
+                                 std::to_string(jobs[i].index);
+        const std::string trace = flight->to_chrome_trace();
+        auto s = persist::write_file(
+            stem + ".trace.json",
+            std::vector<std::uint8_t>(trace.begin(), trace.end()));
+        CHS_CHECK_MSG(s.ok, s.error.c_str());
+        const std::string scn = sc.to_text();
+        s = persist::write_file(
+            stem + ".scn", std::vector<std::uint8_t>(scn.begin(), scn.end()));
+        CHS_CHECK_MSG(s.ok, s.error.c_str());
+      }
+    }
     if (checkpointing) {
       JobCheckpoint jc;
       jc.state = JobCheckpoint::State::kDone;
@@ -1101,6 +1319,7 @@ CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
   }
   CampaignReport report = make_report(sc, std::move(results));
   report.halted = halted.load(std::memory_order_relaxed);
+  report.perf = perf_total;
   return report;
 }
 

@@ -26,6 +26,13 @@
 #include "campaign/scenario.hpp"
 #include "persist/io.hpp"
 
+namespace chs::obs {
+class FlightRecorder;
+}
+namespace chs::sim {
+struct RoundProfile;
+}
+
 namespace chs::campaign {
 
 /// The scenario's cartesian sweep (families x host counts x seeds), in
@@ -43,6 +50,7 @@ std::vector<JobSpec> expand_jobs(const Scenario& sc);
 /// boundaries (per-window containment in ByzWindowOutcome).
 struct AdversaryStats {
   std::uint64_t contained = 0;  // adversary-induced violations so far
+  std::uint64_t real = 0;       // unexcused (hard-fail) violations so far
 };
 
 class JobProbe {
@@ -60,6 +68,12 @@ class JobProbe {
     (void)ids;
   }
   virtual AdversaryStats adversary_stats() const { return {}; }
+
+  /// Flight recorder sink (DESIGN.md D12): when the campaign arms one for
+  /// this job, probes that can narrate — e.g. the oracle, emitting violation
+  /// events with blame — receive it here before attach(). The pointer
+  /// outlives the probe; diagnostic only, never serialized. Default: ignore.
+  virtual void set_flight(obs::FlightRecorder* flight) { (void)flight; }
 
   /// Checkpoint/resume (DESIGN.md D9): a probe with internal incremental
   /// state serializes it here so a resumed job reports the same probe
@@ -124,6 +138,19 @@ class JobRunner {
   /// Final result; valid once finished() (detaches/annotates the probe).
   JobResult result();
 
+  /// Arm the flight recorder (DESIGN.md D12): the runner narrates timeline
+  /// events, wipes, Byzantine-window boundaries, and job stage changes into
+  /// `flight`, and chains a round observer that records per-host protocol
+  /// phase / merge-stage transitions. Call after restore() (the transition
+  /// cache syncs from current engine state); pass nullptr to leave the job
+  /// silent. Diagnostic only — arming never changes simulation or report
+  /// bytes, and the ring is not checkpointed.
+  void set_flight(obs::FlightRecorder* flight);
+
+  /// Arm wall-clock phase profiling: forwards to Engine::set_profiler.
+  /// Non-deterministic by nature; `p` never reaches golden-diffed output.
+  void set_profiler(sim::RoundProfile* p);
+
   void checkpoint(persist::Writer& w);
   persist::Status restore(persist::Reader& r);
 
@@ -179,6 +206,17 @@ struct RunOptions {
   /// many checkpoint-file writes, leaving a genuinely mid-run file behind
   /// for a --resume equivalence check. 0 = never halt.
   std::uint64_t halt_after_checkpoints = 0;
+
+  // --- telemetry (DESIGN.md D12) ---
+  /// When set, every job runs with a flight recorder, and jobs that fail —
+  /// non-convergence or an oracle hard-fail — dump
+  /// `<flight_dir>/<scenario>_job<index>.trace.json` (Chrome trace-event
+  /// JSON) next to a `.scn` repro of the scenario. Diagnostic only: report
+  /// bytes are identical with or without it.
+  std::string flight_dir;
+  /// Accumulate wall-clock phase timings across all jobs into
+  /// CampaignReport::perf. Never part of golden-diffed artifacts.
+  bool profile = false;
 };
 
 /// Per-job slot of a campaign checkpoint file. An in-progress job is a

@@ -76,6 +76,12 @@ Scenario& Scenario::byz(std::uint64_t begin, std::uint64_t end, double fraction,
   return *this;
 }
 
+Scenario& Scenario::series(std::uint64_t stride, std::uint64_t cap) {
+  series_stride = stride;
+  series_cap = cap;
+  return *this;
+}
+
 std::size_t Scenario::num_jobs() const {
   if (seed_hi < seed_lo) return 0;
   return families.size() * host_counts.size() *
@@ -201,6 +207,14 @@ std::string Scenario::validate() const {
       return "byzantine kind must not be 'correct'";
     }
   }
+  if (series_stride > 0) {
+    if (series_cap < 2 || (series_cap & (series_cap - 1)) != 0) {
+      return "series capacity must be a power of two >= 2";
+    }
+    if (series_cap > (std::uint64_t{1} << 20)) {
+      return "series capacity exceeds 2^20";
+    }
+  }
   if (timeline_end() > max_rounds) {
     return "timeline extends past max-rounds";
   }
@@ -242,6 +256,12 @@ std::string Scenario::to_text() const {
   out += "max-rounds " + std::to_string(max_rounds) + "\n";
   if (racks > 0) out += "racks " + std::to_string(racks) + "\n";
   if (zones > 0) out += "zones " + std::to_string(zones) + "\n";
+  // Emitted only when armed so pre-D12 scenario text keeps its exact bytes
+  // (campaign-checkpoint resume compares SCEN text for equality).
+  if (series_stride > 0) {
+    out += "series " + std::to_string(series_stride) + " " +
+           std::to_string(series_cap) + "\n";
+  }
   const auto scope_suffix = [](std::uint8_t scope, std::uint32_t domain) {
     if (scope == kScopeRack) return " rack " + std::to_string(domain);
     if (scope == kScopeZone) return " zone " + std::to_string(domain);
@@ -421,6 +441,13 @@ std::optional<Scenario> parse_scenario(const std::string& text,
         return fail(error, line_no, "bad zone count '" + tok[1] + "'");
       }
       sc.zones = static_cast<std::uint32_t>(z);
+    } else if (key == "series" && (args == 1 || args == 2)) {
+      if (!parse_u64(tok[1], &sc.series_stride) || sc.series_stride < 1) {
+        return fail(error, line_no, "bad series stride '" + tok[1] + "'");
+      }
+      if (args == 2 && !parse_u64(tok[2], &sc.series_cap)) {
+        return fail(error, line_no, "bad series capacity '" + tok[2] + "'");
+      }
     } else if (key == "start" && args == 1) {
       if (tok[1] == "converged") {
         sc.start = StartMode::kConverged;

@@ -44,6 +44,10 @@
 //   partition 60 90 zone 1  # domain cut: zone 1 vs the rest of the world
 //   byzantine 20 60 0.1 liar  # 10% of hosts lie in snapshots in [20,60)
 //
+// The telemetry layer (DESIGN.md D12) adds the per-job series recorder:
+//
+//   series 4 64           # sample run counters every 4 rounds, 64-sample ring
+//
 // Event rounds are relative to the timeline start: round 0 is the converged
 // network for `start converged`, the raw initial configuration for
 // `start cold`. All randomness (victim picks, partition sides, loss draws)
@@ -151,6 +155,13 @@ struct Scenario {
   /// racks, racks into `zones` zones (adversary/domains.hpp). 0 = none.
   std::uint32_t racks = 0;
   std::uint32_t zones = 0;
+  /// Telemetry series recorder (DESIGN.md D12): sample the deterministic
+  /// run counters every `series_stride` timeline rounds into a bounded ring
+  /// of `series_cap` samples (a power of two; when full, adjacent samples
+  /// merge pairwise and the stride doubles). 0 = recorder off, the default
+  /// — unarmed scenarios keep their exact pre-D12 report and text bytes.
+  std::uint64_t series_stride = 0;
+  std::uint64_t series_cap = 256;
   std::vector<TimelineEvent> events;
   std::vector<LossWindow> losses;
   std::vector<PartitionWindow> partitions;
@@ -171,6 +182,7 @@ struct Scenario {
                       std::uint32_t domain = 0);
   Scenario& byz(std::uint64_t begin, std::uint64_t end, double fraction,
                 adversary::BehaviorKind kind = adversary::BehaviorKind::kLiar);
+  Scenario& series(std::uint64_t stride, std::uint64_t cap = 256);
 
   /// Jobs the sweep axes expand to: families x host counts x seeds.
   std::size_t num_jobs() const;

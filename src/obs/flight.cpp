@@ -1,0 +1,153 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace chs::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+const char* flight_kind_name(FlightKind k) {
+  switch (k) {
+    case FlightKind::kPhase: return "phase";
+    case FlightKind::kMergeStage: return "merge";
+    case FlightKind::kTimelineEvent: return "event";
+    case FlightKind::kWipe: return "wipe";
+    case FlightKind::kByzOpen: return "byz-open";
+    case FlightKind::kByzClose: return "byz-close";
+    case FlightKind::kViolationContained: return "contained";
+    case FlightKind::kViolationReal: return "violation";
+    case FlightKind::kJobStage: return "stage";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t cap) : ring_(cap) {
+  CHS_CHECK_MSG(cap >= 1, "flight recorder capacity must be >= 1");
+}
+
+void FlightRecorder::record(std::uint64_t round, FlightKind kind,
+                            std::uint64_t a, std::uint64_t b,
+                            std::string note) {
+  FlightEvent& slot = ring_[next_];
+  slot.round = round;
+  slot.kind = kind;
+  slot.a = a;
+  slot.b = b;
+  slot.note = std::move(note);
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++total_;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  out.reserve(size_);
+  const std::size_t first = (next_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(first + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_chrome_trace() const {
+  // One trace document per dump. Tracks (tid): 0 = job/timeline events,
+  // 1 = oracle verdicts, 2 = byzantine windows, 1000 + host = per-host
+  // protocol lifecycle. ts is the engine round as microseconds.
+  std::string out = "{\"traceEvents\": [";
+  bool first_ev = true;
+  for (const FlightEvent& e : events()) {
+    if (!first_ev) out += ",";
+    first_ev = false;
+    out += "\n  {\"name\": \"";
+    out += flight_kind_name(e.kind);
+    if (!e.note.empty()) {
+      out += " ";
+      out += json_escape(e.note);
+    }
+    out += "\", \"cat\": \"";
+    out += flight_kind_name(e.kind);
+    out += "\", \"ts\": " + fmt_u64(e.round) + ", \"pid\": 0, \"tid\": ";
+    switch (e.kind) {
+      case FlightKind::kPhase:
+      case FlightKind::kMergeStage:
+      case FlightKind::kWipe:
+        out += fmt_u64(1000 + e.a);
+        break;
+      case FlightKind::kViolationContained:
+      case FlightKind::kViolationReal:
+        out += "1";
+        break;
+      case FlightKind::kByzOpen:
+      case FlightKind::kByzClose:
+        out += "2";
+        break;
+      default:
+        out += "0";
+        break;
+    }
+    if (e.kind == FlightKind::kByzOpen) {
+      out += ", \"ph\": \"B\"";
+    } else if (e.kind == FlightKind::kByzClose) {
+      out += ", \"ph\": \"E\"";
+    } else {
+      out += ", \"ph\": \"i\", \"s\": \"g\"";
+    }
+    out += ", \"args\": {\"a\": " + fmt_u64(e.a) + ", \"b\": " +
+           fmt_u64(e.b) + "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string FlightRecorder::to_text() const {
+  std::string out;
+  char line[64];
+  for (const FlightEvent& e : events()) {
+    std::snprintf(line, sizeof(line), "%10llu  %-10s",
+                  static_cast<unsigned long long>(e.round),
+                  flight_kind_name(e.kind));
+    out += line;
+    out += " a=" + fmt_u64(e.a) + " b=" + fmt_u64(e.b);
+    if (!e.note.empty()) {
+      out += "  ";
+      out += e.note;
+    }
+    out += "\n";
+  }
+  if (dropped() > 0) {
+    out += "(" + fmt_u64(dropped()) + " older events dropped by the ring)\n";
+  }
+  return out;
+}
+
+}  // namespace chs::obs

@@ -1,0 +1,86 @@
+// Flight recorder: a bounded structured-event ring (DESIGN.md D12).
+//
+// When a campaign job fails — non-convergence or an oracle hard-fail — the
+// end-of-run scalars say *that* it failed; the flight recorder says what
+// happened on the way down: protocol phase transitions, merge lifecycle
+// steps, churn/wipe/outage events, behavior-window boundaries, and oracle
+// violations with their blame classification, all stamped with the engine
+// round they happened in.
+//
+// The ring is bounded (drop-oldest, with a dropped-event counter), so a
+// long soak keeps the most recent `cap` events — the interesting ones when
+// a job dies. Events are recorded from the engine's serial phases only
+// (chained round observer, the job loop, the oracle), so the sequence is
+// deterministic at any worker count; the recorder itself is *diagnostic*
+// state, not simulation state — it is not checkpointed, never feeds report
+// bytes, and a resumed job simply starts its ring fresh.
+//
+// Export formats: a human-readable text dump, and Chrome trace-event JSON
+// (load in chrome://tracing or Perfetto; `chordsim trace` wires it to the
+// CLI). Timestamps are engine rounds interpreted as microseconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chs::obs {
+
+enum class FlightKind : std::uint8_t {
+  kPhase = 0,       // a = host id, note = "cbt->chord" style transition
+  kMergeStage = 1,  // a = host id, note = "none->proposed" style transition
+  kTimelineEvent = 2,  // a = count/domain, note = event kind name
+  kWipe = 3,           // a = host id (state wipe / rack power-cycle)
+  kByzOpen = 4,        // a = window index, b = end round, note = kind
+  kByzClose = 5,       // a = window index, note = kind
+  kViolationContained = 6,  // a = focus host, note = violation text
+  kViolationReal = 7,       // a = focus host, note = violation text
+  kJobStage = 8,            // note = "timeline-begin" / "finished" / ...
+};
+
+const char* flight_kind_name(FlightKind k);
+
+struct FlightEvent {
+  std::uint64_t round = 0;  // engine round
+  FlightKind kind = FlightKind::kJobStage;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string note;
+
+  bool operator==(const FlightEvent&) const = default;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t cap = 4096);
+
+  void record(std::uint64_t round, FlightKind kind, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::string note = {});
+
+  /// Retained events, oldest first.
+  std::vector<FlightEvent> events() const;
+  /// Events ever recorded (retained + dropped).
+  std::uint64_t total() const { return total_; }
+  /// Events evicted by the ring bound.
+  std::uint64_t dropped() const {
+    return total_ - static_cast<std::uint64_t>(size_);
+  }
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}): byzantine windows
+  /// become B/E duration pairs on a per-window track, everything else
+  /// instant events on a per-host (or global) track.
+  std::string to_chrome_trace() const;
+
+  /// Human-readable dump, one event per line, oldest first.
+  std::string to_text() const;
+
+ private:
+  std::vector<FlightEvent> ring_;  // fixed capacity, circular
+  std::size_t next_ = 0;           // slot the next event lands in
+  std::size_t size_ = 0;           // events currently retained
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace chs::obs

@@ -1,0 +1,51 @@
+#include "obs/profiler.hpp"
+
+#include <cstdio>
+
+namespace chs::obs {
+
+std::string perf_json(const sim::RoundProfile& p) {
+  char buf[64];
+  std::string out = "{\"rounds\": ";
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(p.rounds));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(p.total_ns()));
+  out += std::string(", \"total_ns\": ") + buf + ", \"phases\": {";
+  for (std::size_t i = 0; i < sim::kRoundPhases; ++i) {
+    if (i) out += ", ";
+    out += std::string("\"") +
+           sim::round_phase_name(static_cast<sim::RoundPhase>(i)) + "\": ";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(p.ns[i]));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string perf_text(const sim::RoundProfile& p) {
+  const double rounds = p.rounds > 0 ? static_cast<double>(p.rounds) : 1.0;
+  const double total =
+      p.total_ns() > 0 ? static_cast<double>(p.total_ns()) : 1.0;
+  char line[128];
+  std::string out;
+  std::snprintf(line, sizeof(line), "%-10s %12s %14s %8s\n", "phase",
+                "total ms", "per-round us", "share");
+  out += line;
+  for (std::size_t i = 0; i < sim::kRoundPhases; ++i) {
+    const double ns = static_cast<double>(p.ns[i]);
+    std::snprintf(line, sizeof(line), "%-10s %12.3f %14.3f %7.1f%%\n",
+                  sim::round_phase_name(static_cast<sim::RoundPhase>(i)),
+                  ns / 1e6, ns / rounds / 1e3, 100.0 * ns / total);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-10s %12.3f %14.3f  (%llu rounds)\n",
+                "total", total / 1e6, total / rounds / 1e3,
+                static_cast<unsigned long long>(p.rounds));
+  out += line;
+  return out;
+}
+
+}  // namespace chs::obs

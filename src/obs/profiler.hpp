@@ -1,0 +1,24 @@
+// Formatting for the wall-clock phase profile (DESIGN.md D12).
+//
+// sim/profile.hpp owns the accumulator; this is the campaign-facing
+// presentation: a JSON fragment for the report's non-deterministic `perf`
+// block and a text summary for `chordsim campaign --profile`. Both are
+// wall-clock derived and therefore excluded from every golden-diffed
+// artifact — the campaign only emits them when profiling was explicitly
+// armed, and no CI golden arms it.
+#pragma once
+
+#include <string>
+
+#include "sim/profile.hpp"
+
+namespace chs::obs {
+
+/// JSON object fragment, e.g.
+/// {"rounds": 12, "total_ns": 34, "phases": {"scan": 1, ...}}.
+std::string perf_json(const sim::RoundProfile& p);
+
+/// Aligned text summary table (phase, total ms, per-round µs, share).
+std::string perf_text(const sim::RoundProfile& p);
+
+}  // namespace chs::obs

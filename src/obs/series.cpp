@@ -1,0 +1,65 @@
+#include "obs/series.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace chs::obs {
+
+SeriesRecorder::SeriesRecorder(std::uint64_t stride, std::uint64_t cap)
+    : stride_(stride), cap_(cap), eff_stride_(stride) {
+  CHS_CHECK_MSG(stride >= 1, "series stride must be >= 1");
+  CHS_CHECK_MSG(cap >= 2 && (cap & (cap - 1)) == 0,
+                "series capacity must be a power of two >= 2");
+  samples_.reserve(static_cast<std::size_t>(cap));
+}
+
+void SeriesRecorder::on_round(std::uint64_t t, const SeriesCursor& c,
+                              std::uint64_t windows_open) {
+  bucket_.active += c.active - prev_.active;
+  bucket_.actions += c.actions - prev_.actions;
+  bucket_.messages += c.messages - prev_.messages;
+  bucket_.dropped += c.dropped - prev_.dropped;
+  bucket_.snapshots += c.snapshots - prev_.snapshots;
+  bucket_.contained += c.contained - prev_.contained;
+  bucket_.violations += c.violations - prev_.violations;
+  bucket_.windows_open = std::max(bucket_.windows_open, windows_open);
+  prev_ = c;
+  ++bucket_rounds_;
+  if (bucket_rounds_ >= eff_stride_) close_bucket(t);
+}
+
+void SeriesRecorder::flush(std::uint64_t t) {
+  if (bucket_rounds_ > 0) close_bucket(t);
+}
+
+void SeriesRecorder::close_bucket(std::uint64_t t) {
+  bucket_.round = t;
+  samples_.push_back(bucket_);
+  bucket_ = SeriesSample{};
+  bucket_rounds_ = 0;
+  if (samples_.size() < cap_) return;
+  // Ring full: merge adjacent pairs (counters sum, gauges max) and double
+  // the effective stride. cap_ is a power of two, so the pairing is exact.
+  std::vector<SeriesSample> merged;
+  merged.reserve(samples_.size() / 2);
+  for (std::size_t i = 0; i + 1 < samples_.size(); i += 2) {
+    const SeriesSample& a = samples_[i];
+    const SeriesSample& b = samples_[i + 1];
+    SeriesSample m;
+    m.round = b.round;
+    m.active = a.active + b.active;
+    m.actions = a.actions + b.actions;
+    m.messages = a.messages + b.messages;
+    m.dropped = a.dropped + b.dropped;
+    m.snapshots = a.snapshots + b.snapshots;
+    m.contained = a.contained + b.contained;
+    m.violations = a.violations + b.violations;
+    m.windows_open = std::max(a.windows_open, b.windows_open);
+    merged.push_back(m);
+  }
+  samples_ = std::move(merged);
+  eff_stride_ *= 2;
+}
+
+}  // namespace chs::obs

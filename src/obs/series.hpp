@@ -1,0 +1,138 @@
+// Deterministic round-indexed time-series recorder (DESIGN.md D12).
+//
+// Campaign reports reduce a job to end-of-run scalars; the series recorder
+// keeps the shape of the run — what the network looked like *during* the
+// heal, the attack window, the rack funeral — as a bounded sequence of
+// per-window samples over the adversarial timeline.
+//
+// Determinism contract: every input is a deterministic counter (engine
+// RunMetrics cumulatives, oracle containment counters, the scenario's
+// window schedule), sampling is indexed by timeline round, and the
+// downsampling policy is a pure function of the sample count — so the
+// recorded series is byte-identical at any --jobs/--workers value and
+// across checkpoint/resume (the recorder's complete state round-trips via
+// persist_fields; see the OBSR section in campaign/runner.cpp). Wall-clock
+// data is banned here by construction — that belongs to sim/profile.hpp.
+//
+// Bounded memory: samples land in a ring of capacity `cap` (a power of
+// two). When the ring fills, adjacent samples are merged pairwise (counters
+// sum, gauges max) and the effective stride doubles — a million-round soak
+// still costs at most `cap` samples, with resolution degrading gracefully
+// from the front of the run backwards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace chs::obs {
+
+/// One sampled window of `stride` timeline rounds ending at `round`.
+/// Counter fields are deltas summed over the window; `windows_open` is a
+/// gauge (max over the window) so downsampling never invents activity.
+struct SeriesSample {
+  std::uint64_t round = 0;      // timeline round the window ends at
+  std::uint64_t active = 0;     // host-steps: nodes stepped, summed
+  std::uint64_t actions = 0;    // protocol actions (sends/holds/edges)
+  std::uint64_t messages = 0;   // network messages sent
+  std::uint64_t dropped = 0;    // deliveries suppressed (loss/partition)
+  std::uint64_t snapshots = 0;  // dirty snapshots published
+  std::uint64_t contained = 0;  // oracle violations blamed on the adversary
+  std::uint64_t violations = 0;  // real (unattributed) oracle violations
+  std::uint64_t windows_open = 0;  // byzantine windows open (gauge)
+
+  bool operator==(const SeriesSample&) const = default;
+
+  template <typename A>
+  void persist_fields(A& a) {
+    a(round);
+    a(active);
+    a(actions);
+    a(messages);
+    a(dropped);
+    a(snapshots);
+    a(contained);
+    a(violations);
+    a(windows_open);
+  }
+};
+
+/// Cumulative source counters the recorder differentiates. The caller (the
+/// campaign job loop) fills one of these per timeline round from engine
+/// metrics and probe counters; the recorder turns consecutive readings into
+/// per-window deltas.
+struct SeriesCursor {
+  std::uint64_t active = 0;
+  std::uint64_t actions = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t contained = 0;
+  std::uint64_t violations = 0;
+
+  template <typename A>
+  void persist_fields(A& a) {
+    a(active);
+    a(actions);
+    a(messages);
+    a(dropped);
+    a(snapshots);
+    a(contained);
+    a(violations);
+  }
+};
+
+class SeriesRecorder {
+ public:
+  SeriesRecorder() = default;
+  /// `stride` timeline rounds per sample (>= 1); `cap` ring capacity, a
+  /// power of two >= 2 (campaign::Scenario::validate enforces both).
+  SeriesRecorder(std::uint64_t stride, std::uint64_t cap);
+
+  /// Set the delta baselines without recording — call once when the
+  /// timeline starts, with the cursor at timeline round 0.
+  void prime(const SeriesCursor& c) { prev_ = c; }
+
+  /// Record timeline round `t` (the round that just executed): accumulate
+  /// the counter deltas since the previous call into the open window, close
+  /// the window when it reaches the effective stride, and downsample when
+  /// the ring fills.
+  void on_round(std::uint64_t t, const SeriesCursor& c,
+                std::uint64_t windows_open);
+
+  /// Close a partially filled final window (job end). Idempotent per
+  /// window: a flush with nothing accumulated records nothing.
+  void flush(std::uint64_t t);
+
+  const std::vector<SeriesSample>& samples() const { return samples_; }
+  /// Rounds per sample after downsampling (>= the configured stride).
+  std::uint64_t effective_stride() const { return eff_stride_; }
+  std::uint64_t configured_stride() const { return stride_; }
+  std::uint64_t capacity() const { return cap_; }
+
+  /// Complete dynamic state (DESIGN.md D9): the ring, the open window, the
+  /// delta baselines, and the stride ladder all round-trip, so a resumed
+  /// job's series is bit-for-bit the uninterrupted run's.
+  template <typename A>
+  void persist_fields(A& a) {
+    a(stride_);
+    a(cap_);
+    a(eff_stride_);
+    a(bucket_rounds_);
+    a(bucket_);
+    a(prev_);
+    a(samples_);
+  }
+
+ private:
+  std::uint64_t stride_ = 1;
+  std::uint64_t cap_ = 256;
+  std::uint64_t eff_stride_ = 1;
+  std::uint64_t bucket_rounds_ = 0;  // rounds accumulated in the open window
+  SeriesSample bucket_;
+  SeriesCursor prev_;
+  std::vector<SeriesSample> samples_;
+
+  void close_bucket(std::uint64_t t);
+};
+
+}  // namespace chs::obs

@@ -366,6 +366,8 @@ void persist_fields(A& a, Scenario& v) {
   a(v.losses);
   a(v.partitions);
   a(v.byzantine);
+  a(v.series_stride);
+  a(v.series_cap);
 }
 
 template <typename A>
@@ -417,6 +419,9 @@ void persist_fields(A& a, JobResult& v) {
   a(v.contained_violations);
   a(v.byz_windows);
   a(v.degree_trace);
+  a(v.series_armed);
+  a(v.series_stride);
+  a(v.series);
 }
 
 }  // namespace chs::campaign

@@ -51,6 +51,41 @@ std::string tag_name(std::uint32_t tag) {
   return s;
 }
 
+// One-line annotations for `describe` — every section tag any writer in
+// this repo emits. A tag missing here is flagged loudly in the dump: either
+// the file is from a newer format or it is not ours.
+const char* tag_note(const std::string& name) {
+  // engine full blob
+  if (name == "GRPH") return "topology graph";
+  if (name == "ENGN") return "engine loop state";
+  if (name == "CALS") return "wakeup/hold calendars";
+  if (name == "MAIL") return "in-flight messages";
+  if (name == "STAT") return "per-host protocol state";
+  if (name == "PUBS") return "published snapshots";
+  if (name == "METR") return "run metrics";
+  if (name == "PROT") return "protocol extras";
+  // engine delta blob
+  if (name == "DHDR") return "delta chain header";
+  if (name == "DENG") return "delta engine loop state";
+  if (name == "DTOP") return "delta topology edits";
+  if (name == "DCAL") return "delta calendars";
+  if (name == "DMAI") return "delta mail";
+  if (name == "DNOD") return "delta touched hosts";
+  if (name == "DMET") return "delta metrics";
+  if (name == "DPRO") return "delta protocol extras";
+  // campaign job / campaign file
+  if (name == "JOBR") return "job loop state";
+  if (name == "OBSR") return "telemetry series recorder";
+  if (name == "ENGB") return "embedded engine blob";
+  if (name == "ENGD") return "embedded engine delta";
+  if (name == "PROB") return "probe state";
+  if (name == "SCEN") return "scenario text";
+  if (name == "JOB ") return "per-job checkpoint slot";
+  // fuzzer
+  if (name == "FUZZ") return "fuzz run prefix";
+  return nullptr;
+}
+
 }  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t len) {
@@ -296,10 +331,13 @@ std::string describe(const std::vector<std::uint8_t>& bytes) {
     const std::uint32_t want = load_u32(bytes.data() + at + len);
     const std::uint32_t got =
         crc32(bytes.data() + at, static_cast<std::size_t>(len));
-    std::snprintf(line, sizeof line, "  section %s: %10llu bytes, crc %s\n",
-                  tag_name(tag).c_str(),
+    const std::string name = tag_name(tag);
+    const char* note = tag_note(name);
+    std::snprintf(line, sizeof line,
+                  "  section %s: %10llu bytes, crc %s  (%s)\n", name.c_str(),
                   static_cast<unsigned long long>(len),
-                  want == got ? "ok" : "MISMATCH");
+                  want == got ? "ok" : "MISMATCH",
+                  note ? note : "UNKNOWN TAG");
     out += line;
     at += static_cast<std::size_t>(len) + kSectionFoot;
   }

@@ -88,7 +88,10 @@ const char* blob_kind_name(BlobKind k);
 // v3: adversary bestiary (DESIGN.md D11) — scenario delay-model/domain/
 // byzantine fields, scoped loss/partition windows, job-loop adversary state
 // (rolling wipes, byzantine-window outcomes), oracle containment counter.
-inline constexpr std::uint32_t kFormatVersion = 3;
+// v4: telemetry (DESIGN.md D12) — RunMetrics round_actions counter, scenario
+// series knobs, JobResult series fields, job-blob OBSR series-recorder
+// section.
+inline constexpr std::uint32_t kFormatVersion = 4;
 
 /// Section tag from a 4-char mnemonic: tag4("ENGN").
 constexpr std::uint32_t tag4(const char (&s)[5]) {

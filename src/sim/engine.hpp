@@ -61,6 +61,7 @@
 #include "persist/io.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/metrics.hpp"
+#include "sim/profile.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/worker_pool.hpp"
@@ -470,6 +471,35 @@ class Engine {
     return static_cast<bool>(round_observer_);
   }
 
+  /// Compose a second observer behind whatever is already installed
+  /// (observability hook — see src/obs/). The engine keeps a single
+  /// observer slot; chaining wraps the current one so both run, previous
+  /// first, in the same serial phase with the same spans. set_round_observer
+  /// replaces the whole chain — callers that chain (e.g. the flight
+  /// recorder) must install *after* any set_round_observer owner (e.g. the
+  /// oracle) and accept that the owner's teardown removes the chain too.
+  void chain_round_observer(RoundObserver f) {
+    if (!f) return;
+    if (!round_observer_) {
+      round_observer_ = std::move(f);
+      return;
+    }
+    round_observer_ = [prev = std::move(round_observer_), next = std::move(f)](
+                          std::uint64_t round,
+                          std::span<const NodeIndex> dirty,
+                          std::span<const EdgeDelta> deltas) {
+      prev(round, dirty, deltas);
+      next(round, dirty, deltas);
+    };
+  }
+
+  /// Arm wall-clock phase profiling (sim/profile.hpp): every subsequent
+  /// step_round charges per-phase nanoseconds into *p. Like the worker-count
+  /// knob this is process configuration, not simulation state — it is never
+  /// checkpointed and has zero effect on traces, metrics, or report bytes.
+  /// Pass nullptr to disarm (the default costs one branch per phase).
+  void set_profiler(RoundProfile* p) { profile_ = p; }
+
   /// Record which protocol site requested each applied edge deletion
   /// (ctx.last_delete_site). Off by default: the record grows with every
   /// deletion ever applied, which is unbounded under churn.
@@ -481,6 +511,7 @@ class Engine {
   /// Execute one synchronous round (or, with idle fast-forward enabled,
   /// one active round preceded by any number of provably empty ones).
   void step_round() {
+    PhaseTimer prof(profile_);
     round_actions_ = 0;
     if (idle_fast_forward_ && step_mode_ == StepMode::kActiveSet &&
         woken_.empty()) {
@@ -527,11 +558,13 @@ class Engine {
     // the deterministic merge below. The single-shard case runs inline —
     // no dispatch, no std::function — so the quiescent round stays as
     // cheap as PR 1 left it.
+    prof.lap(RoundPhase::kScan);
     if (!stepped_.empty()) {
       const std::size_t shards = shard_count(stepped_.size());
       if (shards == 1) {
         ActionBuffer<Message>& buf = slots_[0].acts;
         for (NodeIndex i : stepped_) step_node(i, buf);
+        prof.lap(RoundPhase::kStep);
         apply_actions(buf);
       } else {
         pool_.run(shards, [&](std::size_t s) {
@@ -539,10 +572,13 @@ class Engine {
           ActionBuffer<Message>& buf = slots_[s].acts;
           for (std::size_t k = b; k < e; ++k) step_node(stepped_[k], buf);
         });
+        prof.lap(RoundPhase::kStep);
         // Merge in shard order == ascending node-index order == the exact
         // order the sequential engine applied actions in.
         for (std::size_t s = 0; s < shards; ++s) apply_actions(slots_[s].acts);
       }
+    } else {
+      prof.lap(RoundPhase::kStep);
     }
 
     // --- apply deferred edge mutations (deletes first, so an introduce in
@@ -570,6 +606,7 @@ class Engine {
     }
     pending_deletes_.clear();
     pending_adds_.clear();
+    prof.lap(RoundPhase::kApply);
 
     // --- dirty-snapshot publish: only nodes whose state may have changed
     // (stepped this round, or externally mutated via state_mut). Sharded
@@ -613,6 +650,7 @@ class Engine {
 
     const std::uint64_t deliveries = mail_.delivered_this_round();
     mail_.end_round();
+    prof.lap(RoundPhase::kPublish);
 
     metrics_.observe_round(graph_, round_actions_, stepped_.size(),
                            topo_changed_);
@@ -635,6 +673,8 @@ class Engine {
     } else {
       quiescent_streak_ = 0;
     }
+    prof.lap(RoundPhase::kObserver);
+    prof.finish();
     ++round_;
   }
 
@@ -1471,6 +1511,7 @@ class Engine {
   DeliveryFilter delivery_filter_;  // empty = deliver everything
   DelaySampler delay_sampler_;      // empty = uniform [1, max_delay_]
   RoundObserver round_observer_;    // empty = observe nothing, record nothing
+  RoundProfile* profile_ = nullptr;  // null = no wall-clock phase timing
   std::vector<EdgeDelta> observed_deltas_;  // mutations since last observation
   WorkerPool pool_;
   std::vector<WorkerSlot> slots_;

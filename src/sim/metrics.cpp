@@ -10,9 +10,10 @@ void RunMetrics::observe_initial(const graph::Graph& g) {
   cached_max_degree_ = initial_max_degree_;
 }
 
-void RunMetrics::observe_round(const graph::Graph& g, std::uint64_t /*actions*/,
+void RunMetrics::observe_round(const graph::Graph& g, std::uint64_t actions,
                                std::uint64_t stepped, bool topo_changed) {
   ++rounds_;
+  round_actions_ += actions;
   nodes_stepped_ += stepped;
   last_nodes_stepped_ = stepped;
   // max_degree() is O(n); skip the scan on the (common, quiescent) rounds

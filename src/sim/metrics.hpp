@@ -53,6 +53,12 @@ class RunMetrics {
   std::uint64_t edge_dels() const { return edge_dels_; }
   std::uint64_t rounds() const { return rounds_; }
 
+  /// Cumulative protocol actions (sends + holds + edge requests) over all
+  /// observed rounds — the `actions` argument of observe_round, summed. The
+  /// per-window series recorder (src/obs/) samples this as its activity
+  /// counter; zero across a window means the network was truly quiescent.
+  std::uint64_t round_actions() const { return round_actions_; }
+
   /// Cumulative nodes stepped over all rounds (== n * rounds when every
   /// node steps every round; far less once the active set shrinks).
   std::uint64_t nodes_stepped() const { return nodes_stepped_; }
@@ -93,6 +99,7 @@ class RunMetrics {
     a(edge_adds_);
     a(edge_dels_);
     a(rounds_);
+    a(round_actions_);
     a(nodes_stepped_);
     a(last_nodes_stepped_);
     a(snapshots_published_);
@@ -113,6 +120,7 @@ class RunMetrics {
   std::uint64_t edge_adds_ = 0;
   std::uint64_t edge_dels_ = 0;
   std::uint64_t rounds_ = 0;
+  std::uint64_t round_actions_ = 0;
   std::uint64_t nodes_stepped_ = 0;
   std::uint64_t last_nodes_stepped_ = 0;
   std::uint64_t snapshots_published_ = 0;

@@ -1,0 +1,90 @@
+// Wall-clock phase profiling for step_round (DESIGN.md D12).
+//
+// A RoundProfile is a plain accumulator of nanoseconds per engine phase.
+// Engine::set_profiler(&profile) arms it; every subsequent step_round adds
+// one lap per phase. Profiling is *observability, not state*: the numbers
+// are wall-clock and therefore non-deterministic, so they must never enter
+// traces, checkpoints, report goldens, or anything else that is byte-diffed
+// — the campaign layer surfaces them only in the explicitly non-golden
+// `perf` block and the `--profile` summary table. When no profiler is
+// installed the cost is one predicted branch per phase boundary.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace chs::sim {
+
+/// The serial/parallel phases of Engine::step_round, in execution order.
+enum class RoundPhase : std::uint8_t {
+  kScan = 0,   // calendar release, delivery filter, active-set selection
+  kStep = 1,   // protocol steps (sharded across the worker pool)
+  kApply = 2,  // serial action merge + deferred edge mutations
+  kPublish = 3,  // dirty-snapshot publish (sharded) + wake collection
+  kObserver = 4,  // metrics, round observer, checkpoint-mark fold
+};
+
+inline constexpr std::size_t kRoundPhases = 5;
+
+const char* round_phase_name(RoundPhase p);
+
+/// Cumulative wall-clock nanoseconds per phase over `rounds` profiled
+/// rounds. Deliberately has no persist_fields: wall-clock data is not
+/// simulation state and must never ride a checkpoint.
+struct RoundProfile {
+  std::uint64_t ns[kRoundPhases] = {};
+  std::uint64_t rounds = 0;
+
+  void merge(const RoundProfile& o) {
+    for (std::size_t i = 0; i < kRoundPhases; ++i) ns[i] += o.ns[i];
+    rounds += o.rounds;
+  }
+
+  std::uint64_t total_ns() const {
+    std::uint64_t t = 0;
+    for (std::size_t i = 0; i < kRoundPhases; ++i) t += ns[i];
+    return t;
+  }
+};
+
+/// Scoped lap timer used inside step_round. With a null profile every call
+/// is a single predicted branch; with one armed, each lap() charges the
+/// time since the previous lap to the named phase.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(RoundProfile* p) : p_(p) {
+    if (p_) last_ = std::chrono::steady_clock::now();
+  }
+
+  void lap(RoundPhase ph) {
+    if (!p_) return;
+    const auto now = std::chrono::steady_clock::now();
+    p_->ns[static_cast<std::size_t>(ph)] += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - last_)
+            .count());
+    last_ = now;
+  }
+
+  /// Count the round as profiled (call once per step_round).
+  void finish() {
+    if (p_) ++p_->rounds;
+  }
+
+ private:
+  RoundProfile* p_;
+  std::chrono::steady_clock::time_point last_{};
+};
+
+inline const char* round_phase_name(RoundPhase p) {
+  switch (p) {
+    case RoundPhase::kScan: return "scan";
+    case RoundPhase::kStep: return "step";
+    case RoundPhase::kApply: return "apply";
+    case RoundPhase::kPublish: return "publish";
+    case RoundPhase::kObserver: return "observer";
+  }
+  return "?";
+}
+
+}  // namespace chs::sim

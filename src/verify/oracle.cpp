@@ -5,6 +5,7 @@
 #include <span>
 
 #include "graph/analysis.hpp"
+#include "obs/flight.hpp"
 #include "util/check.hpp"
 
 namespace chs::verify {
@@ -132,8 +133,19 @@ bool InvariantOracle::record(std::uint64_t round, std::string what,
     }
     if (blamed) {
       ++contained_violations_;
+      if (flight_) {
+        flight_->record(round, obs::FlightKind::kViolationContained,
+                        static_cast<std::uint64_t>(focus), 0, what);
+      }
       return false;
     }
+  }
+  if (flight_) {
+    flight_->record(round, obs::FlightKind::kViolationReal,
+                    focus == stabilizer::kNone
+                        ? 0
+                        : static_cast<std::uint64_t>(focus),
+                    0, what);
   }
   Violation v;
   v.round = round;

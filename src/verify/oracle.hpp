@@ -104,6 +104,12 @@ class InvariantOracle {
   /// Violations attributed to the adversary so far (monotone counter).
   std::uint64_t contained_violations() const { return contained_violations_; }
 
+  /// Flight-recorder sink (DESIGN.md D12): when set, every classified
+  /// violation is narrated into the ring — contained vs real, with the
+  /// focus host. Diagnostic only; runtime configuration like the
+  /// adversarial set, never serialized.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
+
   /// Sampled rounds actually evaluated (stride-thinned; includes the
   /// attach-time full check).
   std::uint64_t rounds_checked() const { return rounds_checked_; }
@@ -155,6 +161,7 @@ class InvariantOracle {
   std::optional<Violation> violation_;
   std::uint64_t contained_violations_ = 0;
   std::vector<graph::NodeId> adversarial_;  // sorted; reinstalled, not saved
+  obs::FlightRecorder* flight_ = nullptr;   // diagnostic sink, not saved
 };
 
 /// campaign::JobProbe adapter: arms an InvariantOracle on each job's engine
@@ -169,7 +176,13 @@ class OracleProbe final : public campaign::JobProbe {
  public:
   explicit OracleProbe(OracleConfig cfg = {}) : cfg_(cfg) {}
 
-  void attach(core::StabEngine& eng) override { oracle_.emplace(eng, cfg_); }
+  void attach(core::StabEngine& eng) override {
+    oracle_.emplace(eng, cfg_);
+    // (Violations in the attach-time full check predate the sink; the
+    // campaign wires flight before the runner — and thus the oracle — is
+    // built, so in practice only a corrupt *initial* state is unnarrated.)
+    if (flight_) oracle_->set_flight(flight_);
+  }
   bool failed() const override {
     return cfg_.hard_fail && oracle_ && oracle_->violation().has_value();
   }
@@ -179,7 +192,14 @@ class OracleProbe final : public campaign::JobProbe {
     if (oracle_) oracle_->set_adversarial(ids);
   }
   campaign::AdversaryStats adversary_stats() const override {
-    return {oracle_ ? oracle_->contained_violations() : 0};
+    return {oracle_ ? oracle_->contained_violations() : 0,
+            oracle_ && oracle_->violation() ? std::uint64_t{1}
+                                            : std::uint64_t{0}};
+  }
+
+  void set_flight(obs::FlightRecorder* flight) override {
+    flight_ = flight;
+    if (oracle_) oracle_->set_flight(flight);
   }
 
   void abandon() override {
@@ -209,6 +229,7 @@ class OracleProbe final : public campaign::JobProbe {
  private:
   OracleConfig cfg_;
   std::optional<InvariantOracle> oracle_;
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 /// ProbeFactory arming every job of a campaign with the given config.

@@ -163,6 +163,12 @@ TEST(ActiveSet, EquivalentToSteppingAllNodes) {
   EXPECT_EQ(all->metrics().edge_dels(), act->metrics().edge_dels());
   // And the active set must actually be smaller.
   EXPECT_LT(act->metrics().nodes_stepped(), all->metrics().nodes_stepped());
+  // Protocol actions (sends + holds + edge requests) are a property of the
+  // trace, not the stepping policy: identical totals, and a real run has
+  // some. The telemetry series recorder samples this counter (DESIGN.md
+  // D12), so its step-mode independence is part of the determinism story.
+  EXPECT_EQ(all->metrics().round_actions(), act->metrics().round_actions());
+  EXPECT_GT(act->metrics().round_actions(), 0u);
 
   // Same equivalence through a seeded churn burst.
   core::ChurnSchedule sched;
@@ -284,6 +290,9 @@ TEST(ActiveSet, StateMutPublishesDirtySnapshotToNeighbors) {
   eng.step_round();  // node 1 re-activated by the changed snapshot
   EXPECT_EQ(eng.state(1).last_seen, 42);
   EXPECT_GT(eng.state(1).steps, steps_before);
+  // Counters never sends, holds, or touches edges: stepping and dirty
+  // publishing alone must not register as protocol actions.
+  EXPECT_EQ(eng.metrics().round_actions(), 0u);
 }
 
 struct Beeper {

@@ -264,6 +264,24 @@ TEST(EngineScheduler, EdgeDeleteTracingIsOptIn) {
   }
 }
 
+TEST(EngineScheduler, RoundActionsCountsSendsAndHoldsNotDeliveries) {
+  // RunMetrics::round_actions is the cumulative sends + holds + edge
+  // requests — the activity counter the telemetry series recorder samples
+  // (DESIGN.md D12). Node 0's seeding round performs exactly 3 holds, 2
+  // neighbor sends, and 1 self-send; everything after is pure delivery.
+  graph::Graph g({0, 1, 2});
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  Engine<Recorder> eng(std::move(g), Recorder{}, 1);
+  EXPECT_EQ(eng.metrics().round_actions(), 0u);
+  eng.step_round();
+  EXPECT_EQ(eng.metrics().round_actions(), 6u);
+  for (int r = 0; r < 4; ++r) eng.step_round();
+  // Deliveries alone are not actions: the counter holds still while the
+  // seeded messages drain.
+  EXPECT_EQ(eng.metrics().round_actions(), 6u);
+}
+
 TEST(EngineScheduler, QuiescenceAccountsForPendingHoldsAndDelays) {
   graph::Graph g({0, 1});
   g.add_edge(0, 1);

@@ -14,6 +14,9 @@
 //                   [--json PATH] [--csv] [--quiet] [--oracle]
 //                   [--checkpoint FILE] [--checkpoint-every R]
 //                   [--resume FILE] [--halt-after-checkpoints N]
+//                   [--flight DIR] [--profile]
+//   chordsim trace  <scenario-file> [--job 0] [--workers 1] [--oracle]
+//                   [--out PATH]
 //   chordsim fuzz   [--budget 16] [--seed 1] [--stride 1] [--minimize]
 //                   [--jobs 1] [--workers 1] [--repro-dir DIR] [--quiet]
 //                   [--checkpoint FILE] [--resume FILE]
@@ -36,6 +39,13 @@
 // `--minimize`, shrinks any failure to a minimal .scn repro (written into
 // `--repro-dir` when given). The report is byte-identical for any
 // `--jobs`/`--workers` values, like campaign reports.
+//
+// Telemetry (DESIGN.md D12): `campaign --flight DIR` arms a per-job flight
+// recorder and dumps `<scenario>_job<N>.trace.json` + a `.scn` repro for
+// every failed job; `--profile` appends a wall-clock phase-timing summary
+// (never part of golden-diffed output). `trace` runs ONE job of a scenario
+// with the flight recorder armed unconditionally and writes the Chrome
+// trace-event JSON (chrome://tracing, Perfetto) to --out or stdout.
 //
 // `run` stabilizes an Avatar(target) network from the chosen initial
 // topology and prints the convergence metrics (optionally a per-round phase
@@ -67,6 +77,8 @@
 #include "dht/kvstore.hpp"
 #include "graph/analysis.hpp"
 #include "graph/generators.hpp"
+#include "obs/flight.hpp"
+#include "obs/profiler.hpp"
 #include "persist/io.hpp"
 #include "routing/protocol.hpp"
 #include "util/bitops.hpp"
@@ -347,7 +359,8 @@ int cmd_campaign(const Args& a) {
     std::fprintf(stderr, "usage: chordsim campaign <scenario-file> "
                  "[--jobs k] [--workers k] [--json PATH] [--csv] [--quiet] "
                  "[--oracle] [--checkpoint FILE] [--checkpoint-every R] "
-                 "[--resume FILE] [--halt-after-checkpoints N]\n");
+                 "[--resume FILE] [--halt-after-checkpoints N] "
+                 "[--flight DIR] [--profile]\n");
     return 2;
   }
   std::string error;
@@ -366,6 +379,14 @@ int cmd_campaign(const Args& a) {
   opts.checkpoint_every = a.get_u64("checkpoint-every", 0);
   opts.resume_path = a.get("resume", "");
   opts.halt_after_checkpoints = a.get_u64("halt-after-checkpoints", 0);
+  // Telemetry (DESIGN.md D12): both knobs are diagnostic only — report
+  // bytes are identical with or without them.
+  opts.flight_dir = a.get("flight", "");
+  opts.profile = a.has("profile");
+  if (a.has("flight") && opts.flight_dir == "1") {
+    std::fprintf(stderr, "--flight needs a directory argument\n");
+    return 2;
+  }
   if (a.has("oracle")) {
     // Arm the invariant oracle on every job in soft mode: violations are
     // recorded (and attributed, for Byzantine scenarios — DESIGN.md D11)
@@ -401,10 +422,23 @@ int cmd_campaign(const Args& a) {
     std::printf("\n");
     report.aggregate_table().print();
   }
+  // Explicitly armed, so it prints under --quiet too — but to stderr, so a
+  // --json/--csv pipeline on stdout stays machine-clean.
+  if (opts.profile) {
+    std::fputs(obs::perf_text(report.perf).c_str(), stderr);
+  }
   // CSV is an output format, not chatter: it prints under --quiet too.
   if (a.has("csv")) {
     report.to_table().print_csv("campaign_" + sc->name);
     report.aggregate_table().print_csv("campaign_" + sc->name + "_aggregate");
+    // Only scenarios that armed the series recorder get the extra block, so
+    // pre-D12 scenarios keep their exact CSV bytes.
+    const bool any_series = std::any_of(
+        report.results.begin(), report.results.end(),
+        [](const campaign::JobResult& r) { return r.series_armed; });
+    if (any_series) {
+      report.series_table().print_csv("campaign_" + sc->name + "_series");
+    }
   }
   if (a.has("json")) {
     const std::string json = report.to_json();
@@ -472,6 +506,73 @@ int cmd_fuzz(const Args& a) {
   return report.failures.empty() ? 0 : 1;
 }
 
+int cmd_trace(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "usage: chordsim trace <scenario-file> "
+                 "[--job N] [--workers K] [--oracle] [--out PATH]\n");
+    return 2;
+  }
+  std::string error;
+  const auto sc = campaign::load_scenario(a.positional[0], &error);
+  if (!sc) {
+    std::fprintf(stderr, "%s: %s\n", a.positional[0].c_str(), error.c_str());
+    return 2;
+  }
+  util::set_log_level(util::LogLevel::kError);
+  const auto jobs = campaign::expand_jobs(*sc);
+  const std::uint64_t job = a.get_u64("job", 0);
+  if (job >= jobs.size()) {
+    std::fprintf(stderr, "--job %llu out of range: scenario expands to %zu "
+                 "jobs\n",
+                 static_cast<unsigned long long>(job), jobs.size());
+    return 2;
+  }
+  // Unlike `campaign --flight DIR` (failed jobs only), `trace` always dumps:
+  // it exists to look at one job in detail, healthy or not.
+  obs::FlightRecorder flight;
+  std::unique_ptr<verify::OracleProbe> probe;
+  if (a.has("oracle")) {
+    verify::OracleConfig ocfg;
+    ocfg.stride = 1;
+    ocfg.hard_fail = false;
+    probe = std::make_unique<verify::OracleProbe>(ocfg);
+    probe->set_flight(&flight);  // before attach: violations narrate too
+  }
+  campaign::JobRunner runner(
+      *sc, jobs[job], std::max<std::size_t>(1, a.get_u64("workers", 1)),
+      probe.get());
+  runner.set_flight(&flight);
+  runner.run();
+  const campaign::JobResult jr = runner.result();
+  const std::string json = flight.to_chrome_trace();
+  const char* out = a.get("out", "");
+  if (out[0] == '\0' || !std::strcmp(out, "1")) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out, "wb");
+    if (!f) {
+      std::fprintf(stderr, "cannot write '%s'\n", out);
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  // Status goes to stderr so a bare `trace foo.scn > trace.json` pipeline
+  // keeps stdout machine-clean.
+  std::fprintf(stderr,
+               "job %llu/%zu: %s after %llu timeline rounds; "
+               "%llu events recorded, %zu retained, %llu dropped%s%s\n",
+               static_cast<unsigned long long>(job), jobs.size(),
+               jr.converged ? "converged" : "NOT converged",
+               static_cast<unsigned long long>(jr.rounds),
+               static_cast<unsigned long long>(flight.total()),
+               flight.events().size(),
+               static_cast<unsigned long long>(flight.dropped()),
+               jr.oracle_violation.empty() ? "" : "; oracle: ",
+               jr.oracle_violation.c_str());
+  return jr.converged && jr.oracle_violation.empty() ? 0 : 1;
+}
+
 int cmd_describe(const Args& a) {
   if (a.positional.empty()) {
     std::fprintf(stderr, "usage: chordsim describe <checkpoint-file>\n");
@@ -496,7 +597,7 @@ int cmd_describe(const Args& a) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: chordsim run|route|churn|dot|kv|campaign|fuzz|"
+                 "usage: chordsim run|route|churn|dot|kv|campaign|trace|fuzz|"
                  "describe [--key value ...]\n");
     return 2;
   }
@@ -527,8 +628,14 @@ int main(int argc, char** argv) {
   if (cmd == "campaign") {
     static const char* const kFlags[] = {
         "jobs", "workers", "json", "csv", "quiet", "oracle", "checkpoint",
-        "checkpoint-every", "resume", "halt-after-checkpoints", nullptr};
+        "checkpoint-every", "resume", "halt-after-checkpoints", "flight",
+        "profile", nullptr};
     return cmd_campaign(parse(argc, argv, 2, kFlags, 1));
+  }
+  if (cmd == "trace") {
+    static const char* const kFlags[] = {"job", "workers", "oracle", "out",
+                                         nullptr};
+    return cmd_trace(parse(argc, argv, 2, kFlags, 1));
   }
   if (cmd == "fuzz") {
     static const char* const kFlags[] = {
