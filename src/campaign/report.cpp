@@ -60,6 +60,16 @@ void add_stats_row(core::Table& t, const char* name, const core::Stats& s) {
              fmt_f(s.p90), fmt_f(s.p99)});
 }
 
+// Fraction of settled ops that completed (vs timed out); 1 when nothing
+// settled. Ops still in flight are in neither bucket, so a window's number
+// reflects only outcomes decided inside it.
+double availability_of(std::uint64_t completed, std::uint64_t timeouts) {
+  const std::uint64_t settled = completed + timeouts;
+  return settled == 0
+             ? 1.0
+             : static_cast<double>(completed) / static_cast<double>(settled);
+}
+
 }  // namespace
 
 CampaignReport make_report(const Scenario& sc,
@@ -160,9 +170,39 @@ std::string CampaignReport::to_json() const {
                fmt_u64(s.snapshots) + ", \"contained\": " +
                fmt_u64(s.contained) + ", \"violations\": " +
                fmt_u64(s.violations) + ", \"windows_open\": " +
-               fmt_u64(s.windows_open) + "}";
+               fmt_u64(s.windows_open);
+        if (r.workload_armed) {
+          // Per-window serving view (DESIGN.md D13): how the data plane
+          // behaved *during* this window — the "p99 during the churn
+          // burst" answer. Gated on arming so series-only reports keep
+          // their exact prior bytes.
+          out += ", \"issued\": " + fmt_u64(s.ops_issued) +
+                 ", \"completed\": " + fmt_u64(s.ops_completed) +
+                 ", \"timeouts\": " + fmt_u64(s.ops_timeout) +
+                 ", \"retried\": " + fmt_u64(s.ops_retried) +
+                 ", \"inflight\": " + fmt_u64(s.inflight) +
+                 ", \"kv_messages\": " + fmt_u64(s.kv_messages) +
+                 ", \"lat_p50\": " + fmt_u64(obs::lat_quantile(s.lat_hist, 5000)) +
+                 ", \"lat_p99\": " + fmt_u64(obs::lat_quantile(s.lat_hist, 9900)) +
+                 ", \"availability\": " +
+                 fmt_f(availability_of(s.ops_completed, s.ops_timeout));
+        }
+        out += "}";
       }
       out += "]}";
+    }
+    if (r.workload_armed) {
+      // Whole-run serving totals; emitted only for workload scenarios so
+      // every pre-existing report keeps its exact bytes.
+      out += ",\n     \"workload\": {\"issued\": " + fmt_u64(r.wl_issued) +
+             ", \"completed\": " + fmt_u64(r.wl_completed) +
+             ", \"timeouts\": " + fmt_u64(r.wl_timeouts) + ", \"retried\": " +
+             fmt_u64(r.wl_retries) + ", \"hits\": " + fmt_u64(r.wl_hits) +
+             ", \"drops\": " + fmt_u64(r.wl_drops) + ", \"peak_inflight\": " +
+             fmt_u64(r.wl_peak_inflight) + ", \"lat_p50\": " +
+             fmt_u64(r.wl_p50) + ", \"lat_p99\": " + fmt_u64(r.wl_p99) +
+             ", \"availability\": " +
+             fmt_f(availability_of(r.wl_completed, r.wl_timeouts)) + "}";
     }
     if (r.adversary_armed) {
       // Emitted only for jobs with Byzantine windows, so bestiary-free
@@ -236,15 +276,42 @@ core::Table CampaignReport::aggregate_table() const {
 }
 
 core::Table CampaignReport::series_table() const {
-  core::Table t({"job", "round", "active", "actions", "messages", "dropped",
-                 "snapshots", "contained", "violations", "windows_open"});
+  // Workload columns appear only when some job armed the workload, so the
+  // CSV for pre-existing scenarios keeps its exact shape.
+  bool any_wl = false;
+  for (const JobResult& r : results) any_wl = any_wl || r.workload_armed;
+  std::vector<std::string> cols = {"job",       "round",     "active",
+                                   "actions",   "messages",  "dropped",
+                                   "snapshots", "contained", "violations",
+                                   "windows_open"};
+  if (any_wl) {
+    for (const char* c : {"issued", "completed", "timeouts", "retried",
+                          "inflight", "kv_messages", "lat_p50", "lat_p99",
+                          "availability"}) {
+      cols.push_back(c);
+    }
+  }
+  core::Table t(cols);
   for (const JobResult& r : results) {
     if (!r.series_armed) continue;
     for (const obs::SeriesSample& s : r.series) {
-      t.add_row({fmt_u64(r.spec.index), fmt_u64(s.round), fmt_u64(s.active),
-                 fmt_u64(s.actions), fmt_u64(s.messages), fmt_u64(s.dropped),
-                 fmt_u64(s.snapshots), fmt_u64(s.contained),
-                 fmt_u64(s.violations), fmt_u64(s.windows_open)});
+      std::vector<std::string> row = {
+          fmt_u64(r.spec.index), fmt_u64(s.round),      fmt_u64(s.active),
+          fmt_u64(s.actions),    fmt_u64(s.messages),   fmt_u64(s.dropped),
+          fmt_u64(s.snapshots),  fmt_u64(s.contained),  fmt_u64(s.violations),
+          fmt_u64(s.windows_open)};
+      if (any_wl) {
+        row.push_back(fmt_u64(s.ops_issued));
+        row.push_back(fmt_u64(s.ops_completed));
+        row.push_back(fmt_u64(s.ops_timeout));
+        row.push_back(fmt_u64(s.ops_retried));
+        row.push_back(fmt_u64(s.inflight));
+        row.push_back(fmt_u64(s.kv_messages));
+        row.push_back(fmt_u64(obs::lat_quantile(s.lat_hist, 5000)));
+        row.push_back(fmt_u64(obs::lat_quantile(s.lat_hist, 9900)));
+        row.push_back(fmt_f(availability_of(s.ops_completed, s.ops_timeout)));
+      }
+      t.add_row(row);
     }
   }
   return t;

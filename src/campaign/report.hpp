@@ -96,6 +96,21 @@ struct JobResult {
   bool series_armed = false;
   std::uint64_t series_stride = 0;  // effective stride after downsampling
   std::vector<obs::SeriesSample> series;
+  /// Serving-workload outcome (DESIGN.md D13). Armed iff the scenario
+  /// declares `workload`; serialized into JSON/CSV only when armed so
+  /// workload-free reports keep their exact prior bytes. Latency quantiles
+  /// are log2-bucket upper edges in rounds, computed over the whole run —
+  /// the per-window view lives in the series samples.
+  bool workload_armed = false;
+  std::uint64_t wl_issued = 0;
+  std::uint64_t wl_completed = 0;
+  std::uint64_t wl_timeouts = 0;
+  std::uint64_t wl_retries = 0;
+  std::uint64_t wl_hits = 0;          // get completions that found a value
+  std::uint64_t wl_drops = 0;         // data-plane losses at down hosts
+  std::uint64_t wl_peak_inflight = 0;
+  std::uint64_t wl_p50 = 0;
+  std::uint64_t wl_p99 = 0;
 };
 
 struct CampaignReport {

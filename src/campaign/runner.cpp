@@ -14,6 +14,7 @@
 #include "adversary/domains.hpp"
 #include "core/churn.hpp"
 #include "core/network.hpp"
+#include "dht/workload.hpp"
 #include "obs/flight.hpp"
 #include "obs/series.hpp"
 #include "persist/fields.hpp"
@@ -132,6 +133,22 @@ struct Adversary {
   }
 };
 
+/// Scenario workload spec -> driver config (kept separate so src/dht stays
+/// below the campaign layer in the dependency order).
+dht::WorkloadConfig workload_config(const Scenario& sc) {
+  dht::WorkloadConfig c;
+  c.begin = sc.workload.begin;
+  c.end = sc.workload.end;
+  c.rate = sc.workload.rate;
+  c.keys = sc.workload.keys;
+  c.zipf = sc.workload.zipf;
+  c.put_fraction = sc.workload.put_fraction;
+  c.replicas = sc.workload.replicas;
+  c.timeout = sc.workload.timeout;
+  c.prefill = sc.workload.prefill;
+  return c;
+}
+
 void apply_event(core::StabEngine& eng, const TimelineEvent& ev,
                  Adversary& adv) {
   const auto& ids = eng.graph().ids();
@@ -185,6 +202,7 @@ struct JobRunner::Impl {
 
   Scenario sc;  // owned copy: the runner may outlive a minimizer candidate
   JobSpec spec;
+  std::size_t engine_workers = 1;
   JobProbe* probe = nullptr;
   std::unique_ptr<core::StabEngine> eng;
   std::vector<TimelineEvent> events;  // sorted by round (stable)
@@ -218,6 +236,11 @@ struct JobRunner::Impl {
   // Telemetry series recorder (DESIGN.md D12), armed by `series` in the
   // scenario. Deterministic state — checkpointed in the OBSR section.
   std::optional<obs::SeriesRecorder> series;
+  // Open-loop serving workload (DESIGN.md D13), armed by `workload` in the
+  // scenario: a second engine — the KV data plane, snapshotted from the
+  // converged network at timeline start — stepped in lockstep with the
+  // control plane. Dynamic state rides the WKLD/KVDP checkpoint sections.
+  std::optional<dht::WorkloadDriver> wl;
   // Flight recorder sink + per-host (phase, merge-stage) transition cache
   // for the chained round observer. Diagnostic only, never serialized.
   obs::FlightRecorder* flight = nullptr;
@@ -244,6 +267,7 @@ struct JobRunner::Impl {
       c.contained = st.contained;
       c.violations = st.real;
     }
+    if (wl) wl->fill_cursor(c);
     return c;
   }
 
@@ -472,6 +496,43 @@ struct JobRunner::Impl {
     });
   }
 
+  /// Mirror the scenario's loss/partition windows onto the KV data plane.
+  /// Behavior-policy drops stay control-plane-only (they model protocol
+  /// lies, not link failures); cuts reuse the adversary's pre-drawn sides
+  /// read-only, and loss draws come from the driver's own stream so client
+  /// traffic never perturbs the control plane's draw sequence. KV rounds
+  /// count timeline rounds directly (the data plane is born at timeline
+  /// round 0), so the windows need no r0 rebase.
+  void install_kv_filter() {
+    if (!wl || (sc.losses.empty() && sc.partitions.empty())) return;
+    Adversary* a = &*adv;
+    const Scenario* s = &sc;
+    dht::WorkloadDriver* d = &*wl;
+    wl->engine().set_delivery_filter([a, s, d](NodeId from, NodeId to,
+                                               std::uint64_t round) {
+      for (std::size_t w = 0; w < s->partitions.size(); ++w) {
+        const auto& win = s->partitions[w];
+        if (round < win.begin || round >= win.end) continue;
+        const bool cut =
+            win.scope == kScopeGlobal
+                ? a->in_side_a(w, from) != a->in_side_a(w, to)
+                : a->in_domain(win.scope, win.domain, from) !=
+                      a->in_domain(win.scope, win.domain, to);
+        if (cut) return false;
+      }
+      for (const LossWindow& win : s->losses) {
+        if (round < win.begin || round >= win.end) continue;
+        if (win.scope != kScopeGlobal &&
+            !a->in_domain(win.scope, win.domain, from) &&
+            !a->in_domain(win.scope, win.domain, to)) {
+          continue;
+        }
+        if (d->loss_rng().next_double() < win.rate) return false;
+      }
+      return true;
+    });
+  }
+
   void begin_timeline() {
     // Timeline-phase baselines. Resets are saturated at finish because a
     // state wipe zeroes the victim's reset counter.
@@ -489,6 +550,14 @@ struct JobRunner::Impl {
       // all windows' Byzantine sets up front — a violation seeded during a
       // window can surface after it closes, and must still be attributed.
       if (probe) probe->set_adversarial(adv->byz_union);
+    }
+    if (sc.workload_armed()) {
+      // The data plane snapshots the *converged* network (validate requires
+      // `start converged` for workload scenarios, and setup only hands over
+      // here once is_converged holds).
+      wl.emplace(*eng, workload_config(sc), spec.seed, sc.delay);
+      if (engine_workers > 1) wl->engine().set_worker_threads(engine_workers);
+      install_kv_filter();
     }
     if (sc.series_stride > 0) {
       // Prime the delta baselines at the timeline start so the series
@@ -559,6 +628,18 @@ struct JobRunner::Impl {
       out.series_stride = series->effective_stride();
       out.series = series->samples();
     }
+    if (wl) {
+      const dht::WorkloadTotals& tot = wl->totals();
+      out.wl_issued = tot.issued;
+      out.wl_completed = tot.completed;
+      out.wl_timeouts = tot.timeouts;
+      out.wl_retries = tot.retries;
+      out.wl_hits = tot.hits;
+      out.wl_drops = wl->drops();
+      out.wl_peak_inflight = tot.peak_inflight;
+      out.wl_p50 = obs::lat_quantile(wl->lat_hist(), 5000);
+      out.wl_p99 = obs::lat_quantile(wl->lat_hist(), 9900);
+    }
     if (flight) {
       flight->record(eng->round(), obs::FlightKind::kJobStage, 0, 0,
                      out.converged ? "finished converged"
@@ -589,6 +670,8 @@ JobRunner::JobRunner(const Scenario& sc, const JobSpec& spec,
   // function of the scenario, with whatever samples the job got to record.
   im.out.series_armed = sc.series_stride > 0;
   im.out.series_stride = sc.series_stride;
+  im.out.workload_armed = sc.workload_armed();
+  im.engine_workers = engine_workers;
 
   // Initial configuration: same (seed -> ids -> family) recipe as the
   // experiment sweeps, so a campaign job is comparable to a sweep point.
@@ -711,7 +794,8 @@ bool JobRunner::step() {
       // nothing awaiting recovery) or to timestamp recoveries below. Gap
       // rounds spent waiting for a future event or window skip it entirely.
       if (im.next_event == im.events.size() && im.t >= im.t_end &&
-          im.pending.empty() && core::is_converged(*im.eng)) {
+          im.pending.empty() && (!im.wl || im.wl->idle(im.t)) &&
+          core::is_converged(*im.eng)) {
         im.finish_timeline();
         return false;
       }
@@ -725,11 +809,16 @@ bool JobRunner::step() {
       }
       im.eng->step_round();
       ++im.executed;
+      // The data plane runs after the control plane's round so serving
+      // eligibility reflects the phases this round produced; its arrivals,
+      // expiries, and completions land in the same series window.
+      if (im.wl) im.wl->on_timeline_round(im.t, *im.eng);
       // Sample AFTER the round executes, indexed by the round it covers;
       // a checkpoint taken between rounds lands after this call, so the
       // recorder state it saves is exactly "rounds 0..t recorded".
       if (im.series) {
-        im.series->on_round(im.t, im.series_cursor(), im.windows_open_at(im.t));
+        im.series->on_round(im.t, im.series_cursor(), im.windows_open_at(im.t),
+                            im.wl ? im.wl->inflight() : 0);
       }
       if (!im.pending.empty() && core::is_converged(*im.eng)) {
         for (std::uint64_t p : im.pending) {
@@ -830,6 +919,20 @@ void JobRunner::Impl::write_loop_state(persist::Writer& w) {
   w(has_series);
   if (has_series) w(*series);
   w.end_section();
+
+  // Serving workload (DESIGN.md D13): WKLD carries the generator's dynamic
+  // state (RNG streams, op counter, in-flight table, cumulative counters);
+  // KVDP the data-plane engine as a self-contained blob. The KV blob is
+  // always full — even on the delta path — which fattens deltas while a
+  // workload runs and so naturally trips the caller's rebase heuristic.
+  w.begin_section(persist::tag4("WKLD"));
+  const bool has_wl = wl.has_value();
+  w(has_wl);
+  if (has_wl) w(*wl);
+  w.end_section();
+  w.begin_section(persist::tag4("KVDP"));
+  if (has_wl) w(wl->engine().checkpoint_blob());
+  w.end_section();
 }
 
 persist::Status JobRunner::Impl::read_loop_state(persist::Reader& r,
@@ -891,6 +994,34 @@ persist::Status JobRunner::Impl::read_loop_state(persist::Reader& r,
   }
   if (auto s = r.close_section(); !s.ok) return s;
 
+  if (auto s = r.open_section(persist::tag4("WKLD")); !s.ok) return s;
+  bool has_wl = false;
+  r(has_wl);
+  if (r.ok() && has_wl != (sc.workload_armed() && stage != Stage::kSetup)) {
+    return persist::Status::failure(
+        "workload arming differs from the scenario");
+  }
+  if (has_wl) {
+    if (!wl) {
+      // Restore ctor: a bare engine over the same fixed id set; all dynamic
+      // state arrives from the archive and the KVDP blob below.
+      wl.emplace(eng->graph().ids(), sc.n_guests, workload_config(sc),
+                 sc.delay);
+      if (engine_workers > 1) wl->engine().set_worker_threads(engine_workers);
+    }
+    r(*wl);
+  }
+  if (auto s = r.close_section(); !s.ok) return s;
+  if (auto s = r.open_section(persist::tag4("KVDP")); !s.ok) return s;
+  if (has_wl) {
+    std::vector<std::uint8_t> blob;
+    r(blob);
+    if (!r.ok()) return r.status();
+    if (auto s = wl->restore_engine(blob); !s.ok) return s;
+    wl->finish_restore();
+  }
+  if (auto s = r.close_section(); !s.ok) return s;
+
   if (next_event > events.size()) {
     return persist::Status::failure("event cursor out of range");
   }
@@ -931,6 +1062,7 @@ persist::Status JobRunner::Impl::finish_restore(bool has_adv,
     adv->ev_rng = ev_rng;
     adv->loss_rng = loss_rng;
     install_filter();
+    install_kv_filter();  // no-op unless the workload (and a window) is live
     // Reinstall the behavior policy for the restored round WITHOUT
     // republishing: the restored snapshots already contain whatever each
     // host (lying or honest) last published. A cursor of 0 means no

@@ -82,6 +82,14 @@ Scenario& Scenario::series(std::uint64_t stride, std::uint64_t cap) {
   return *this;
 }
 
+Scenario& Scenario::serve(std::uint64_t begin, std::uint64_t end,
+                          std::uint64_t rate) {
+  workload.begin = begin;
+  workload.end = end;
+  workload.rate = rate;
+  return *this;
+}
+
 std::size_t Scenario::num_jobs() const {
   if (seed_hi < seed_lo) return 0;
   return families.size() * host_counts.size() *
@@ -105,6 +113,10 @@ std::uint64_t Scenario::timeline_end() const {
   for (const auto& w : losses) end = std::max(end, w.end);
   for (const auto& w : partitions) end = std::max(end, w.end);
   for (const auto& w : byzantine) end = std::max(end, w.end);
+  // In-flight ops issued up to workload.end still need their timeouts to
+  // resolve; the runner keeps stepping until the in-flight table drains, so
+  // the *schedule* ends with the injection window.
+  if (workload.rate > 0) end = std::max(end, workload.end);
   return end;
 }
 
@@ -215,6 +227,28 @@ std::string Scenario::validate() const {
       return "series capacity exceeds 2^20";
     }
   }
+  if (workload.rate > 0) {
+    if (start != StartMode::kConverged) {
+      return "workload requires start converged (the data plane snapshots a "
+             "converged network)";
+    }
+    if (series_stride == 0) {
+      return "workload requires a series directive (latency/availability are "
+             "reported per series window)";
+    }
+    if (workload.begin >= workload.end) return "workload window is empty";
+    if (workload.keys < 1) return "workload keys must be >= 1";
+    if (workload.zipf < 0.0) return "workload zipf must be >= 0";
+    if (workload.put_fraction < 0.0 || workload.put_fraction > 1.0) {
+      return "workload put fraction outside [0, 1]";
+    }
+    if (workload.replicas < 1 || workload.replicas > n_guests) {
+      return "workload replicas must be in [1, guests]";
+    }
+    if (workload.prefill > workload.keys) {
+      return "workload prefill exceeds the key space";
+    }
+  }
   if (timeline_end() > max_rounds) {
     return "timeline extends past max-rounds";
   }
@@ -261,6 +295,17 @@ std::string Scenario::to_text() const {
   if (series_stride > 0) {
     out += "series " + std::to_string(series_stride) + " " +
            std::to_string(series_cap) + "\n";
+  }
+  // Same armed-gating as `series`: pre-D13 scenarios keep their exact bytes.
+  if (workload.rate > 0) {
+    out += "workload " + std::to_string(workload.begin) + " " +
+           std::to_string(workload.end) + " " + std::to_string(workload.rate) +
+           " " + std::to_string(workload.keys) + " " +
+           fmt_rate_tok(workload.zipf) + " " +
+           fmt_rate_tok(workload.put_fraction) + " " +
+           std::to_string(workload.replicas) + " " +
+           std::to_string(workload.timeout) + " " +
+           std::to_string(workload.prefill) + "\n";
   }
   const auto scope_suffix = [](std::uint8_t scope, std::uint32_t domain) {
     if (scope == kScopeRack) return " rack " + std::to_string(domain);
@@ -448,6 +493,38 @@ std::optional<Scenario> parse_scenario(const std::string& text,
       if (args == 2 && !parse_u64(tok[2], &sc.series_cap)) {
         return fail(error, line_no, "bad series capacity '" + tok[2] + "'");
       }
+    } else if (key == "workload" && args >= 3 && args <= 9) {
+      WorkloadSpec w;
+      if (!parse_u64(tok[1], &w.begin) || !parse_u64(tok[2], &w.end) ||
+          !parse_u64(tok[3], &w.rate) || w.rate < 1) {
+        return fail(error, line_no,
+                    "usage: workload BEGIN END RATE [KEYS ZIPF PUTS REPLICAS "
+                    "TIMEOUT PREFILL]");
+      }
+      if (args >= 4 && !parse_u64(tok[4], &w.keys)) {
+        return fail(error, line_no, "bad workload keys '" + tok[4] + "'");
+      }
+      if (args >= 5 && !parse_rate(tok[5], &w.zipf)) {
+        return fail(error, line_no, "bad workload zipf '" + tok[5] + "'");
+      }
+      if (args >= 6 && !parse_rate(tok[6], &w.put_fraction)) {
+        return fail(error, line_no,
+                    "bad workload put fraction '" + tok[6] + "'");
+      }
+      if (args >= 7) {
+        std::uint64_t r = 0;
+        if (!parse_u64(tok[7], &r) || r < 1) {
+          return fail(error, line_no, "bad workload replicas '" + tok[7] + "'");
+        }
+        w.replicas = static_cast<std::uint32_t>(r);
+      }
+      if (args >= 8 && !parse_u64(tok[8], &w.timeout)) {
+        return fail(error, line_no, "bad workload timeout '" + tok[8] + "'");
+      }
+      if (args == 9 && !parse_u64(tok[9], &w.prefill)) {
+        return fail(error, line_no, "bad workload prefill '" + tok[9] + "'");
+      }
+      sc.workload = w;
     } else if (key == "start" && args == 1) {
       if (tok[1] == "converged") {
         sc.start = StartMode::kConverged;

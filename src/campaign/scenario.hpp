@@ -48,6 +48,17 @@
 //
 //   series 4 64           # sample run counters every 4 rounds, 64-sample ring
 //
+// The serving layer (DESIGN.md D13) adds an open-loop KV workload — client
+// ops become calendar events against a data plane snapshotted from the
+// converged network, so every adversary scenario doubles as a lookup-
+// latency/availability SLO experiment:
+//
+//   # workload BEGIN END RATE [KEYS ZIPF PUTS REPLICAS TIMEOUT PREFILL]
+//   workload 0 120 50 4096 0.99 0.1 3 0 1024
+//     # rounds [0,120): 50 ops/round, 4096-key space with Zipf(0.99)
+//     # popularity, 10% puts, 3 replicas, auto client timeout, 1024 keys
+//     # preloaded into the stores before the timeline starts
+//
 // Event rounds are relative to the timeline start: round 0 is the converged
 // network for `start converged`, the raw initial configuration for
 // `start cold`. All randomness (victim picks, partition sides, loss draws)
@@ -132,6 +143,27 @@ struct ByzantineWindow {
   bool operator==(const ByzantineWindow&) const = default;
 };
 
+/// Open-loop serving workload (DESIGN.md D13): in timeline rounds
+/// [begin, end) the runner injects `rate` client ops per round into a KV
+/// data plane snapshotted from the converged network. Keys are drawn from a
+/// Zipf(`zipf`) popularity distribution over `keys` keys, each op is a put
+/// with probability `put_fraction` (else a get), and gets fail over across
+/// `replicas` spaced ring positions. `rate == 0` disarms the workload — the
+/// default, so pre-existing scenarios keep their exact report/text bytes.
+struct WorkloadSpec {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t rate = 0;     // client ops injected per timeline round
+  std::uint64_t keys = 1024;  // key-space size
+  double zipf = 0.0;          // key-popularity exponent (0 = uniform)
+  double put_fraction = 0.0;  // probability an op is a put
+  std::uint32_t replicas = 1;
+  std::uint64_t timeout = 0;  // per-attempt timeout in rounds; 0 = auto
+  std::uint64_t prefill = 0;  // keys preloaded into stores before round 0
+
+  bool operator==(const WorkloadSpec&) const = default;
+};
+
 enum class StartMode : std::uint8_t {
   kConverged,  // stabilize first; the timeline attacks a legal network
   kCold,       // the timeline runs from the raw initial configuration
@@ -162,6 +194,8 @@ struct Scenario {
   /// — unarmed scenarios keep their exact pre-D12 report and text bytes.
   std::uint64_t series_stride = 0;
   std::uint64_t series_cap = 256;
+  /// Serving-layer workload (DESIGN.md D13); workload.rate == 0 = off.
+  WorkloadSpec workload;
   std::vector<TimelineEvent> events;
   std::vector<LossWindow> losses;
   std::vector<PartitionWindow> partitions;
@@ -183,6 +217,10 @@ struct Scenario {
   Scenario& byz(std::uint64_t begin, std::uint64_t end, double fraction,
                 adversary::BehaviorKind kind = adversary::BehaviorKind::kLiar);
   Scenario& series(std::uint64_t stride, std::uint64_t cap = 256);
+  /// Arm the open-loop workload; tune the remaining knobs on `workload`.
+  Scenario& serve(std::uint64_t begin, std::uint64_t end, std::uint64_t rate);
+
+  bool workload_armed() const { return workload.rate > 0; }
 
   /// Jobs the sweep axes expand to: families x host counts x seeds.
   std::size_t num_jobs() const;

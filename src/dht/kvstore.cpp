@@ -92,10 +92,43 @@ GuestId replica_guest(std::uint64_t key, std::uint32_t j,
   return (key_to_guest(key, n_guests) + j * stride) % n_guests;
 }
 
-void KvProtocol::step(sim::NodeCtx<KvProtocol>& ctx) {
+std::optional<KvProtocol::Message> KvProtocol::NodeState::take_completion(
+    std::uint64_t op_id, Message::Kind kind) {
+  for (auto it = completed.begin(); it != completed.end(); ++it) {
+    if (it->op_id == op_id && it->kind == kind) {
+      Message m = std::move(*it);
+      completed.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t KvProtocol::NodeState::live_bytes() const {
+  const auto msg_bytes = [](const Message& m) {
+    return sizeof(Message) + m.value.size();
+  };
+  std::uint64_t b = 0;
+  for (const auto& [k, v] : store) b += sizeof(k) + sizeof(std::string) + v.size();
+  for (const auto& m : to_send) b += msg_bytes(m);
+  for (const auto& m : completed) b += msg_bytes(m);
+  return b;
+}
+
+void KvProtocol::schedule_wakeups(Ctx&) const {
+  // Purely message-driven: deliveries wake recipients and injections wake
+  // their host via state_mut, so no timer wakeups are ever needed.
+}
+
+void KvProtocol::step(Ctx& ctx) {
   auto& st = ctx.state();
   if (st.down) {
-    st.to_send.clear();  // a down host neither originates nor forwards
+    // A down host neither originates nor forwards. Account for everything it
+    // swallows so availability numbers are attributable, not mysterious.
+    st.dropped_ops += st.to_send.size();
+    st.to_send.clear();
+    st.dropped_msgs += ctx.inbox().size();
+    schedule_wakeups(ctx);
     return;
   }
 
@@ -114,7 +147,7 @@ void KvProtocol::step(sim::NodeCtx<KvProtocol>& ctx) {
         ack.kind = Message::Kind::kPutAck;
         ack.op_id = m.op_id;
         ack.key = m.key;
-        ack.target = m.origin % n_guests_;  // a host's id lies in its range
+        ack.target = m.reply_home;  // guest inside the client's range
         ack.origin = ctx.self();
         ack.hops = m.hops;
         return ack;
@@ -128,7 +161,7 @@ void KvProtocol::step(sim::NodeCtx<KvProtocol>& ctx) {
         const auto it = st.store.find(m.key);
         rep.found = it != st.store.end();
         if (rep.found) rep.value = it->second;
-        rep.target = m.origin % n_guests_;
+        rep.target = m.reply_home;  // guest inside the client's range
         rep.origin = ctx.self();
         rep.hops = m.hops;
         return rep;
@@ -166,43 +199,81 @@ void KvProtocol::step(sim::NodeCtx<KvProtocol>& ctx) {
   for (Message& m : st.to_send) route(std::move(m), ctx.self());
   st.to_send.clear();
   for (const auto& env : ctx.inbox()) route(env.msg, env.from);
+  schedule_wakeups(ctx);
 }
 
-KvCluster::KvCluster(const core::StabEngine& src, std::uint32_t n_replicas,
-                     std::uint64_t seed, std::uint32_t max_message_delay)
-    : n_replicas_(n_replicas), max_delay_(max_message_delay), rng_(seed) {
+std::unique_ptr<KvEngine> make_kv_engine(const core::StabEngine& src,
+                                         std::uint64_t seed,
+                                         std::uint32_t max_message_delay) {
   CHS_CHECK_MSG(core::is_converged(src),
-                "KvCluster requires a converged stabilizer engine");
-  CHS_CHECK(n_replicas >= 1);
+                "the KV data plane requires a converged stabilizer engine");
   const std::uint64_t n = src.protocol().params().n_guests;
-  CHS_CHECK_MSG(n_replicas <= n, "more replicas than ring positions");
   graph::Graph g(src.graph().ids());
   for (const auto& [u, v] : src.graph().edge_list()) g.add_edge(u, v);
-  eng_ = std::make_unique<KvEngine>(std::move(g), KvProtocol(n), seed);
-  for (NodeId id : eng_->graph().ids()) {
+  auto eng = std::make_unique<KvEngine>(std::move(g), KvProtocol(n), seed);
+  for (NodeId id : eng->graph().ids()) {
     const auto& from = src.state(id);
-    auto& to = eng_->state_mut(id);
+    auto& to = eng->state_mut(id);
     to.lo = from.lo;
     to.hi = from.hi;
     to.fwd = from.fwd_maps;
     to.succ =
         from.succ == stabilizer::kNone ? KvProtocol::kNoneHost : from.succ;
   }
-  eng_->set_max_message_delay(max_delay_);
-  eng_->republish();
+  eng->set_max_message_delay(max_message_delay);
+  eng->republish();
+  return eng;
+}
+
+std::uint64_t total_drops(const KvEngine& eng) {
+  std::uint64_t total = 0;
+  for (NodeId id : eng.graph().ids()) {
+    const auto& st = eng.state(id);
+    total += st.dropped_ops + st.dropped_msgs;
+  }
+  return total;
+}
+
+KvCluster::KvCluster(const core::StabEngine& src, std::uint32_t n_replicas,
+                     std::uint64_t seed, std::uint32_t max_message_delay)
+    : n_replicas_(n_replicas), max_delay_(max_message_delay), rng_(seed) {
+  CHS_CHECK(n_replicas >= 1);
+  const std::uint64_t n = src.protocol().params().n_guests;
+  CHS_CHECK_MSG(n_replicas <= n, "more replicas than ring positions");
+  eng_ = make_kv_engine(src, seed, max_delay_);
 }
 
 NodeId KvCluster::pick_live_client() {
+  // A client must own a non-empty range: replies are routed to a guest in
+  // the client's range (reply_home), so a rangeless host cannot hear back.
+  const auto usable = [&](NodeId h) {
+    const auto& st = eng_->state(h);
+    return !st.down && st.lo < st.hi;
+  };
   const auto& ids = eng_->graph().ids();
   for (std::size_t attempt = 0; attempt < 4 * ids.size(); ++attempt) {
     const NodeId h = ids[rng_.next_below(ids.size())];
-    if (!eng_->state(h).down) return h;
+    if (usable(h)) return h;
   }
   for (NodeId h : ids) {
-    if (!eng_->state(h).down) return h;
+    if (usable(h)) return h;
   }
   CHS_CHECK_MSG(false, "every host is down");
   return KvProtocol::kNoneHost;
+}
+
+void KvCluster::purge_completions(NodeId client, std::uint64_t op) {
+  auto& completed = eng_->state_mut(client).completed;
+  if (completed.empty()) return;
+  std::erase_if(completed, [op](const KvProtocol::Message& m) {
+    return m.op_id <= op;
+  });
+}
+
+KvStats KvCluster::stats() const {
+  KvStats s = stats_;
+  s.drops = total_drops(*eng_);
+  return s;
 }
 
 template <typename Pred>
@@ -234,18 +305,18 @@ std::uint32_t KvCluster::put(std::uint64_t key, std::string value) {
       m.value = value;
       m.target = replica_guest(key, j, n_replicas_, n);
       m.origin = client;
+      m.reply_home = eng_->state(client).lo;
       eng_->state_mut(client).to_send.push_back(std::move(m));
       ok = pump(
           [&] {
-            for (const auto& c : eng_->state(client).completed) {
-              if (c.op_id == op && c.kind == Message::Kind::kPutAck) {
-                stats_.max_hops = std::max(stats_.max_hops, c.hops);
-                return true;
-              }
-            }
-            return false;
+            auto c = eng_->state_mut(client).take_completion(
+                op, Message::Kind::kPutAck);
+            if (!c.has_value()) return false;
+            stats_.max_hops = std::max(stats_.max_hops, c->hops);
+            return true;
           },
           attempt_budget(n) * max_delay_);
+      purge_completions(client, op);
     }
     if (ok) {
       ++acked;
@@ -272,20 +343,20 @@ std::optional<std::string> KvCluster::get(std::uint64_t key) {
       m.key = key;
       m.target = replica_guest(key, j, n_replicas_, n);
       m.origin = client;
+      m.reply_home = eng_->state(client).lo;
       eng_->state_mut(client).to_send.push_back(std::move(m));
       std::optional<std::string> result;
       bool answered = pump(
           [&] {
-            for (const auto& c : eng_->state(client).completed) {
-              if (c.op_id == op && c.kind == Message::Kind::kGetReply) {
-                if (c.found) result = c.value;
-                stats_.max_hops = std::max(stats_.max_hops, c.hops);
-                return true;
-              }
-            }
-            return false;
+            auto c = eng_->state_mut(client).take_completion(
+                op, Message::Kind::kGetReply);
+            if (!c.has_value()) return false;
+            if (c->found) result = std::move(c->value);
+            stats_.max_hops = std::max(stats_.max_hops, c->hops);
+            return true;
           },
           attempt_budget(n) * max_delay_);
+      purge_completions(client, op);
       if (result.has_value()) {
         ++stats_.get_hits;
         return result;

@@ -47,6 +47,11 @@ GuestId replica_guest(std::uint64_t key, std::uint32_t j,
 class KvProtocol {
  public:
   static constexpr NodeId kNoneHost = ~std::uint64_t{0};
+  /// Active-set stepping (DESIGN.md D6): the data plane is purely
+  /// message-driven, so only hosts with deliveries due (or freshly injected
+  /// client ops, which state_mut wakes) run a step. Idle hosts cost nothing,
+  /// which is what lets a 100k-host plane carry 100k in-flight ops.
+  static constexpr bool kUsesActiveSet = true;
 
   struct Message {
     enum class Kind : std::uint8_t { kPut, kGet, kPutAck, kGetReply };
@@ -54,8 +59,12 @@ class KvProtocol {
     std::uint64_t op_id = 0;
     std::uint64_t key = 0;
     std::string value;
-    GuestId target = 0;      // ring position this message is routed to
-    NodeId origin = kNoneHost;  // client host; acks/replies route to its id
+    GuestId target = 0;         // ring position this message is routed to
+    NodeId origin = kNoneHost;  // client host for requests, server for acks
+    // A guest inside the client's responsible range, stamped at issue time;
+    // acks/replies are routed here. (Routing them to `origin % n_guests`
+    // assumed a host's id lies in its own range, which a retarget breaks.)
+    GuestId reply_home = 0;
     std::uint32_t hops = 0;
     bool found = false;
   };
@@ -68,14 +77,29 @@ class KvProtocol {
     std::map<std::uint64_t, std::string> store;  // replicas this host holds
     std::vector<Message> to_send;                // client ops to fire
     // Client-side completion log: acks and replies that reached this host.
+    // Consumers prune on match (take_completion / wholesale drain) so the
+    // log stays bounded regardless of op count.
     std::vector<Message> completed;
     std::uint64_t served_puts = 0;  // server-side counters
     std::uint64_t served_gets = 0;
+    // Client ops discarded because this host was down when they would have
+    // fired (accounted so availability numbers are attributable).
+    std::uint64_t dropped_ops = 0;
+    // Routed messages swallowed because they arrived at a down host.
+    std::uint64_t dropped_msgs = 0;
+
+    /// Remove and return the completion matching (op_id, kind), if present.
+    std::optional<Message> take_completion(std::uint64_t op_id,
+                                           Message::Kind kind);
+    /// Rough heap footprint of the dynamic containers, for leak assertions.
+    std::uint64_t live_bytes() const;
   };
 
   struct PublicState {
     bool down = false;
   };
+
+  using Ctx = sim::NodeCtx<KvProtocol>;
 
   explicit KvProtocol(std::uint64_t n_guests) : n_guests_(n_guests) {}
 
@@ -83,7 +107,18 @@ class KvProtocol {
 
   void init_node(NodeId, NodeState&, util::Rng&) {}
   void publish(const NodeState& st, PublicState& pub) { pub.down = st.down; }
-  void step(sim::NodeCtx<KvProtocol>& ctx);
+  void step(Ctx& ctx);
+
+  /// Active-set contract hook. The data plane has no timers: every action is
+  /// caused by a delivery (which wakes the recipient) or an external
+  /// injection through state_mut (which wakes the host), so there is never a
+  /// spontaneous wakeup to announce.
+  void schedule_wakeups(Ctx& ctx) const;
+
+  /// Engine checkpoint hook: the protocol itself carries only immutable
+  /// configuration (n_guests_, supplied by the factory on restore).
+  template <typename A>
+  void persist_fields(A&) {}
 
  private:
   std::uint64_t n_guests_;
@@ -91,9 +126,22 @@ class KvProtocol {
 
 using KvEngine = sim::Engine<KvProtocol>;
 
+/// Snapshot a *converged* stabilizer engine's topology and routing state
+/// into a KV data-plane engine (same hand-off as routing::make_lookup_engine;
+/// CHS_CHECKs convergence). `max_message_delay` > 1 runs the plane under the
+/// §7 bounded-asynchrony model.
+std::unique_ptr<KvEngine> make_kv_engine(const core::StabEngine& src,
+                                         std::uint64_t seed,
+                                         std::uint32_t max_message_delay = 1);
+
+/// Sum of per-host dropped counters (ops cleared on down hosts plus routed
+/// messages swallowed by down hosts).
+std::uint64_t total_drops(const KvEngine& eng);
+
 struct KvStats {
   std::uint64_t puts = 0, put_acks = 0;
   std::uint64_t gets = 0, get_hits = 0, get_retries = 0;
+  std::uint64_t drops = 0;  // ops + routed messages lost at down hosts
   std::uint64_t rounds = 0;
   std::uint32_t max_hops = 0;
 };
@@ -127,7 +175,8 @@ class KvCluster {
   std::vector<NodeId> holders(std::uint64_t key) const;
 
   std::uint32_t n_replicas() const { return n_replicas_; }
-  const KvStats& stats() const { return stats_; }
+  /// By value: `drops` is aggregated from per-host counters on each call.
+  KvStats stats() const;
   KvEngine& engine() { return *eng_; }
   const KvEngine& engine() const { return *eng_; }
 
@@ -136,6 +185,9 @@ class KvCluster {
   /// Run until the predicate fires or `budget` rounds pass.
   template <typename Pred>
   bool pump(Pred&& done, std::uint64_t budget);
+  /// Drop completion-log entries for this client's finished ops (op ids are
+  /// issued sequentially, so everything at or below `op` is settled).
+  void purge_completions(NodeId client, std::uint64_t op);
 
   std::unique_ptr<KvEngine> eng_;
   std::uint32_t n_replicas_;

@@ -5,6 +5,44 @@
 #include "util/check.hpp"
 
 namespace chs::obs {
+namespace {
+
+// Element-wise b[i] - a[i] accumulated into out (sizes match or are empty;
+// the cursor's histogram never shrinks).
+void accumulate_hist_delta(std::vector<std::uint64_t>& out,
+                           const std::vector<std::uint64_t>& prev,
+                           const std::vector<std::uint64_t>& cur) {
+  if (cur.empty()) return;
+  if (out.size() < cur.size()) out.resize(cur.size(), 0);
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    const std::uint64_t base = i < prev.size() ? prev[i] : 0;
+    out[i] += cur[i] - base;
+  }
+}
+
+}  // namespace
+
+std::size_t lat_bucket(std::uint64_t rounds) {
+  std::size_t b = 0;
+  while (b + 1 < kLatBuckets && rounds >= (std::uint64_t{2} << b)) ++b;
+  return b;
+}
+
+std::uint64_t lat_quantile(const std::vector<std::uint64_t>& hist,
+                           std::uint64_t q_myriad) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : hist) total += c;
+  if (total == 0) return 0;
+  // Smallest bucket whose cumulative count covers the quantile (ceiling
+  // division keeps this exact in integers).
+  const std::uint64_t need = (total * q_myriad + 9999) / 10000;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    cum += hist[i];
+    if (cum >= need) return (std::uint64_t{2} << i) - 1;
+  }
+  return (std::uint64_t{2} << (hist.size() - 1)) - 1;
+}
 
 SeriesRecorder::SeriesRecorder(std::uint64_t stride, std::uint64_t cap)
     : stride_(stride), cap_(cap), eff_stride_(stride) {
@@ -15,7 +53,8 @@ SeriesRecorder::SeriesRecorder(std::uint64_t stride, std::uint64_t cap)
 }
 
 void SeriesRecorder::on_round(std::uint64_t t, const SeriesCursor& c,
-                              std::uint64_t windows_open) {
+                              std::uint64_t windows_open,
+                              std::uint64_t inflight) {
   bucket_.active += c.active - prev_.active;
   bucket_.actions += c.actions - prev_.actions;
   bucket_.messages += c.messages - prev_.messages;
@@ -24,6 +63,13 @@ void SeriesRecorder::on_round(std::uint64_t t, const SeriesCursor& c,
   bucket_.contained += c.contained - prev_.contained;
   bucket_.violations += c.violations - prev_.violations;
   bucket_.windows_open = std::max(bucket_.windows_open, windows_open);
+  bucket_.ops_issued += c.ops_issued - prev_.ops_issued;
+  bucket_.ops_completed += c.ops_completed - prev_.ops_completed;
+  bucket_.ops_timeout += c.ops_timeout - prev_.ops_timeout;
+  bucket_.ops_retried += c.ops_retried - prev_.ops_retried;
+  bucket_.kv_messages += c.kv_messages - prev_.kv_messages;
+  bucket_.inflight = std::max(bucket_.inflight, inflight);
+  accumulate_hist_delta(bucket_.lat_hist, prev_.lat_hist, c.lat_hist);
   prev_ = c;
   ++bucket_rounds_;
   if (bucket_rounds_ >= eff_stride_) close_bucket(t);
@@ -56,6 +102,14 @@ void SeriesRecorder::close_bucket(std::uint64_t t) {
     m.contained = a.contained + b.contained;
     m.violations = a.violations + b.violations;
     m.windows_open = std::max(a.windows_open, b.windows_open);
+    m.ops_issued = a.ops_issued + b.ops_issued;
+    m.ops_completed = a.ops_completed + b.ops_completed;
+    m.ops_timeout = a.ops_timeout + b.ops_timeout;
+    m.ops_retried = a.ops_retried + b.ops_retried;
+    m.kv_messages = a.kv_messages + b.kv_messages;
+    m.inflight = std::max(a.inflight, b.inflight);
+    m.lat_hist = a.lat_hist;
+    accumulate_hist_delta(m.lat_hist, {}, b.lat_hist);
     merged.push_back(m);
   }
   samples_ = std::move(merged);

@@ -40,6 +40,20 @@ struct SeriesSample {
   std::uint64_t violations = 0;  // real (unattributed) oracle violations
   std::uint64_t windows_open = 0;  // byzantine windows open (gauge)
 
+  // Serving-layer counters (DESIGN.md D13), populated only when a workload
+  // is armed; zero/empty otherwise so non-workload reports are unchanged.
+  std::uint64_t ops_issued = 0;     // client ops injected
+  std::uint64_t ops_completed = 0;  // ops answered (ack / reply, either way)
+  std::uint64_t ops_timeout = 0;    // ops that exhausted every retry
+  std::uint64_t ops_retried = 0;    // replica-failover re-issues
+  std::uint64_t kv_messages = 0;    // data-plane network messages
+  std::uint64_t inflight = 0;       // concurrent in-flight ops (gauge)
+  // Completion-latency histogram: bucket i counts ops that completed in
+  // [2^i, 2^(i+1)) rounds (bucket 0 is [0,2), the last bucket is open).
+  // Log-bucketed counters sum exactly under pair-merge downsampling, which
+  // is what keeps per-window p50/p99 meaningful after stride doubling.
+  std::vector<std::uint64_t> lat_hist;
+
   bool operator==(const SeriesSample&) const = default;
 
   template <typename A>
@@ -53,8 +67,28 @@ struct SeriesSample {
     a(contained);
     a(violations);
     a(windows_open);
+    a(ops_issued);
+    a(ops_completed);
+    a(ops_timeout);
+    a(ops_retried);
+    a(kv_messages);
+    a(inflight);
+    a(lat_hist);
   }
 };
+
+/// Number of log2 latency buckets (latencies above 2^15 rounds saturate).
+inline constexpr std::size_t kLatBuckets = 16;
+
+/// Bucket index for a completion latency in rounds.
+std::size_t lat_bucket(std::uint64_t rounds);
+
+/// Quantile upper bound from a log2 histogram: the inclusive upper edge
+/// (2^(i+1) - 1) of the first bucket where the cumulative count reaches
+/// q * total, with q in per-myriad (5000 = p50, 9900 = p99). Returns 0 for
+/// an empty histogram.
+std::uint64_t lat_quantile(const std::vector<std::uint64_t>& hist,
+                           std::uint64_t q_myriad);
 
 /// Cumulative source counters the recorder differentiates. The caller (the
 /// campaign job loop) fills one of these per timeline round from engine
@@ -68,6 +102,13 @@ struct SeriesCursor {
   std::uint64_t snapshots = 0;
   std::uint64_t contained = 0;
   std::uint64_t violations = 0;
+  // Serving-layer cumulatives (zero/empty when no workload is armed).
+  std::uint64_t ops_issued = 0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t ops_timeout = 0;
+  std::uint64_t ops_retried = 0;
+  std::uint64_t kv_messages = 0;
+  std::vector<std::uint64_t> lat_hist;  // cumulative log2 buckets
 
   template <typename A>
   void persist_fields(A& a) {
@@ -78,6 +119,12 @@ struct SeriesCursor {
     a(snapshots);
     a(contained);
     a(violations);
+    a(ops_issued);
+    a(ops_completed);
+    a(ops_timeout);
+    a(ops_retried);
+    a(kv_messages);
+    a(lat_hist);
   }
 };
 
@@ -95,9 +142,10 @@ class SeriesRecorder {
   /// Record timeline round `t` (the round that just executed): accumulate
   /// the counter deltas since the previous call into the open window, close
   /// the window when it reaches the effective stride, and downsample when
-  /// the ring fills.
+  /// the ring fills. `inflight` is the concurrent-op gauge (0 when no
+  /// workload is armed).
   void on_round(std::uint64_t t, const SeriesCursor& c,
-                std::uint64_t windows_open);
+                std::uint64_t windows_open, std::uint64_t inflight = 0);
 
   /// Close a partially filled final window (job end). Idempotent per
   /// window: a flush with nothing accumulated records nothing.

@@ -23,7 +23,10 @@
 
 #include "campaign/report.hpp"
 #include "campaign/scenario.hpp"
+#include "dht/kvstore.hpp"
+#include "dht/workload.hpp"
 #include "persist/io.hpp"
+#include "routing/protocol.hpp"
 #include "stabilizer/messages.hpp"
 #include "stabilizer/state.hpp"
 #include "topology/cbt.hpp"
@@ -312,6 +315,82 @@ void persist_fields(A& a, MNudge& v) {
 
 }  // namespace chs::stabilizer
 
+// --- data plane (dht + routing): checkpointable since the active-set port ---
+
+namespace chs::dht {
+
+template <typename A>
+void persist_fields(A& a, KvProtocol::Message& v) {
+  a(v.kind);
+  a(v.op_id);
+  a(v.key);
+  a(v.value);
+  a(v.target);
+  a(v.origin);
+  a(v.reply_home);
+  a(v.hops);
+  a(v.found);
+}
+
+template <typename A>
+void persist_fields(A& a, KvProtocol::NodeState& v) {
+  a(v.lo);
+  a(v.hi);
+  a(v.fwd);
+  a(v.succ);
+  a(v.down);
+  a(v.store);
+  a(v.to_send);
+  a(v.completed);
+  a(v.served_puts);
+  a(v.served_gets);
+  a(v.dropped_ops);
+  a(v.dropped_msgs);
+}
+
+template <typename A>
+void persist_fields(A& a, KvProtocol::PublicState& v) {
+  a(v.down);
+}
+
+template <typename A>
+void persist_fields(A& a, InFlightOp& v) {
+  a(v.kind);
+  a(v.key);
+  a(v.client);
+  a(v.issued_at);
+  a(v.deadline);
+  a(v.attempt);
+  a(v.acks_pending);
+}
+
+}  // namespace chs::dht
+
+namespace chs::routing {
+
+template <typename A>
+void persist_fields(A& a, LookupProtocol::Message& v) {
+  a(v.lookup_id);
+  a(v.target);
+  a(v.origin);
+  a(v.hops);
+}
+
+template <typename A>
+void persist_fields(A& a, LookupProtocol::NodeState& v) {
+  a(v.lo);
+  a(v.hi);
+  a(v.fwd);
+  a(v.succ);
+  a(v.delivered);
+  a(v.to_send);
+}
+
+template <typename A>
+void persist_fields(A& a, LookupProtocol::PublicState&) {}
+
+}  // namespace chs::routing
+
 namespace chs::campaign {
 
 template <typename A>
@@ -348,6 +427,19 @@ void persist_fields(A& a, ByzantineWindow& v) {
 }
 
 template <typename A>
+void persist_fields(A& a, WorkloadSpec& v) {
+  a(v.begin);
+  a(v.end);
+  a(v.rate);
+  a(v.keys);
+  a(v.zipf);
+  a(v.put_fraction);
+  a(v.replicas);
+  a(v.timeout);
+  a(v.prefill);
+}
+
+template <typename A>
 void persist_fields(A& a, Scenario& v) {
   a(v.name);
   a(v.n_guests);
@@ -368,6 +460,7 @@ void persist_fields(A& a, Scenario& v) {
   a(v.byzantine);
   a(v.series_stride);
   a(v.series_cap);
+  a(v.workload);
 }
 
 template <typename A>
@@ -422,6 +515,16 @@ void persist_fields(A& a, JobResult& v) {
   a(v.series_armed);
   a(v.series_stride);
   a(v.series);
+  a(v.workload_armed);
+  a(v.wl_issued);
+  a(v.wl_completed);
+  a(v.wl_timeouts);
+  a(v.wl_retries);
+  a(v.wl_hits);
+  a(v.wl_drops);
+  a(v.wl_peak_inflight);
+  a(v.wl_p50);
+  a(v.wl_p99);
 }
 
 }  // namespace chs::campaign

@@ -76,6 +76,8 @@ const char* tag_note(const std::string& name) {
   // campaign job / campaign file
   if (name == "JOBR") return "job loop state";
   if (name == "OBSR") return "telemetry series recorder";
+  if (name == "WKLD") return "serving workload driver";
+  if (name == "KVDP") return "embedded KV data-plane blob";
   if (name == "ENGB") return "embedded engine blob";
   if (name == "ENGD") return "embedded engine delta";
   if (name == "PROB") return "probe state";

@@ -91,7 +91,11 @@ const char* blob_kind_name(BlobKind k);
 // v4: telemetry (DESIGN.md D12) — RunMetrics round_actions counter, scenario
 // series knobs, JobResult series fields, job-blob OBSR series-recorder
 // section.
-inline constexpr std::uint32_t kFormatVersion = 4;
+// v5: serving layer (DESIGN.md D13) — scenario workload spec, JobResult
+// workload totals, SeriesSample workload counters + latency histogram,
+// job-blob WKLD (open-loop generator state) and KVDP (KV data-plane engine)
+// sections.
+inline constexpr std::uint32_t kFormatVersion = 5;
 
 /// Section tag from a 4-char mnemonic: tag4("ENGN").
 constexpr std::uint32_t tag4(const char (&s)[5]) {

@@ -49,7 +49,9 @@ NodeId LookupProtocol::next_hop(const NodeState& st, GuestId t,
   return best_host;
 }
 
-void LookupProtocol::step(sim::NodeCtx<LookupProtocol>& ctx) {
+void LookupProtocol::schedule_wakeups(Ctx&) const {}
+
+void LookupProtocol::step(Ctx& ctx) {
   auto& st = ctx.state();
   const auto route = [&](const Message& m) {
     if (m.target >= st.lo && m.target < st.hi) {
@@ -65,13 +67,17 @@ void LookupProtocol::step(sim::NodeCtx<LookupProtocol>& ctx) {
     ctx.send(next, fwd);
   };
 
-  if (ctx.round() == 0) {
+  // Fire whatever was injected since the last step (state_mut woke us);
+  // under active-set stepping this replaces the old round-0-only gate and
+  // lets lookups start at any point of an engine's lifetime.
+  if (!st.to_send.empty()) {
     for (const auto& [target, id] : st.to_send) {
       route(Message{id, target, ctx.self(), 0});
     }
     st.to_send.clear();
   }
   for (const auto& env : ctx.inbox()) route(env.msg);
+  schedule_wakeups(ctx);
 }
 
 std::unique_ptr<LookupEngine> make_lookup_engine(const core::StabEngine& src,

@@ -25,6 +25,11 @@ using topology::GuestId;
 
 class LookupProtocol {
  public:
+  /// Active-set stepping (DESIGN.md D6): lookups are purely message-driven —
+  /// injections via state_mut wake the origin, deliveries wake each hop — so
+  /// idle hosts never step and a large converged plane costs nothing.
+  static constexpr bool kUsesActiveSet = true;
+
   struct Message {
     std::uint64_t lookup_id = 0;
     GuestId target = 0;
@@ -37,10 +42,12 @@ class LookupProtocol {
     NodeId succ = kNoneHost;
     // Delivery log (target guest, hops) for lookups that ended here.
     std::vector<std::pair<GuestId, std::uint32_t>> delivered;
-    // Lookups to fire on round 0: (target, id).
+    // Injected lookups to fire on this host's next step: (target, id).
     std::vector<std::pair<GuestId, std::uint64_t>> to_send;
   };
   struct PublicState {};
+
+  using Ctx = sim::NodeCtx<LookupProtocol>;
 
   explicit LookupProtocol(std::uint64_t n_guests) : n_guests_(n_guests) {}
 
@@ -48,7 +55,15 @@ class LookupProtocol {
 
   void init_node(NodeId, NodeState&, util::Rng&) {}
   void publish(const NodeState&, PublicState&) {}
-  void step(sim::NodeCtx<LookupProtocol>& ctx);
+  void step(Ctx& ctx);
+
+  /// Active-set contract hook: no timers, so nothing to announce (see
+  /// KvProtocol::schedule_wakeups for the reasoning).
+  void schedule_wakeups(Ctx& ctx) const;
+
+  /// Engine checkpoint hook: only immutable configuration lives here.
+  template <typename A>
+  void persist_fields(A&) {}
 
   /// Best next hop for target t from a host with the given state; kNoneHost
   /// when t is local or no neighbor makes progress. When `usable` is

@@ -17,7 +17,9 @@
 
 #include "core/churn.hpp"
 #include "core/network.hpp"
+#include "dht/workload.hpp"
 #include "graph/generators.hpp"
+#include "obs/series.hpp"
 #include "persist/fields.hpp"
 #include "persist/io.hpp"
 #include "util/log.hpp"
@@ -103,6 +105,41 @@ int main() {
     std::fprintf(stderr,
                  "FAIL: delta %zu bytes is not >=10x smaller than base %zu\n",
                  delta.size(), base.size());
+    return 1;
+  }
+
+  // Serving-layer smoke (DESIGN.md D13): the open-loop generator must hold
+  // >= 100k concurrent in-flight ops against the 100k-host data plane.
+  t0 = std::chrono::steady_clock::now();
+  dht::WorkloadConfig wc;
+  wc.begin = 0;
+  wc.end = 20;
+  wc.rate = 12000;
+  wc.keys = 100000;
+  wc.zipf = 0.99;
+  wc.put_fraction = 0.05;
+  wc.replicas = 2;
+  wc.prefill = 50000;
+  dht::WorkloadDriver wl(*eng, wc, /*job_seed=*/7, /*max_delay=*/1);
+  std::uint64_t t = 0;
+  while (!wl.idle(t)) wl.on_timeline_round(t++, *eng);
+  const dht::WorkloadTotals& wt = wl.totals();
+  std::printf(
+      "workload: %llu ops in %.1fs over %llu rounds, peak_inflight=%llu, "
+      "completed=%llu, p50=%llu p99=%llu rounds\n",
+      (unsigned long long)wt.issued, secs_since(t0), (unsigned long long)t,
+      (unsigned long long)wt.peak_inflight, (unsigned long long)wt.completed,
+      (unsigned long long)obs::lat_quantile(wl.lat_hist(), 5000),
+      (unsigned long long)obs::lat_quantile(wl.lat_hist(), 9900));
+  if (wt.peak_inflight < 100000) {
+    std::fprintf(stderr, "FAIL: peak in-flight %llu < 100000\n",
+                 (unsigned long long)wt.peak_inflight);
+    return 1;
+  }
+  if (wt.completed == 0 || wt.completed + wt.timeouts != wt.issued) {
+    std::fprintf(stderr, "FAIL: workload accounting off (%llu + %llu vs %llu)\n",
+                 (unsigned long long)wt.completed,
+                 (unsigned long long)wt.timeouts, (unsigned long long)wt.issued);
     return 1;
   }
 

@@ -1,0 +1,427 @@
+// The serving layer (DESIGN.md D13): the open-loop workload grammar, the
+// Zipf sampler, the data-plane bug fixes that made it possible (ack routing
+// to the client's range, attributable drops at down hosts, bounded
+// completion logs), and the campaign bar — byte-identical reports at any
+// worker count and across a mid-workload checkpoint/resume.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+#include "core/churn.hpp"
+#include "dht/workload.hpp"
+#include "graph/generators.hpp"
+#include "persist/fields.hpp"
+#include "util/log.hpp"
+
+namespace chs {
+namespace {
+
+using campaign::JobSpec;
+using campaign::Scenario;
+using campaign::StartMode;
+
+std::vector<std::uint8_t> result_bytes(const campaign::JobResult& r) {
+  persist::Writer w(persist::BlobKind::kRaw);
+  w.begin_section(persist::tag4("TEST"));
+  w(r);
+  w.end_section();
+  return w.take();
+}
+
+// --- scenario grammar -------------------------------------------------------
+
+TEST(WorkloadScenario, ParsesAllFieldsAndRoundTrips) {
+  const char* text = R"(
+name serving
+guests 64
+hosts 12
+families random_tree
+seeds 1 1
+max-rounds 100000
+series 8
+workload 0 120 50 4096 0.99 0.1 3 0 1024
+)";
+  std::string error;
+  const auto sc = campaign::parse_scenario(text, &error);
+  ASSERT_TRUE(sc.has_value()) << error;
+  EXPECT_TRUE(sc->workload_armed());
+  EXPECT_EQ(sc->workload.begin, 0u);
+  EXPECT_EQ(sc->workload.end, 120u);
+  EXPECT_EQ(sc->workload.rate, 50u);
+  EXPECT_EQ(sc->workload.keys, 4096u);
+  EXPECT_DOUBLE_EQ(sc->workload.zipf, 0.99);
+  EXPECT_DOUBLE_EQ(sc->workload.put_fraction, 0.1);
+  EXPECT_EQ(sc->workload.replicas, 3u);
+  EXPECT_EQ(sc->workload.timeout, 0u);
+  EXPECT_EQ(sc->workload.prefill, 1024u);
+  EXPECT_EQ(sc->validate(), "");
+  // The text format is its own fixed point.
+  const std::string out = sc->to_text();
+  const auto again = campaign::parse_scenario(out, &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->to_text(), out);
+  // A workload-free scenario emits no workload line at all.
+  Scenario plain;
+  plain.name = "plain";
+  EXPECT_EQ(plain.to_text().find("workload"), std::string::npos);
+}
+
+TEST(WorkloadScenario, ShortFormUsesDefaults) {
+  std::string error;
+  const auto sc = campaign::parse_scenario(
+      "name s\nguests 64\nhosts 10\nseries 4\nworkload 0 50 10\n", &error);
+  ASSERT_TRUE(sc.has_value()) << error;
+  EXPECT_TRUE(sc->workload_armed());
+  EXPECT_EQ(sc->workload.rate, 10u);
+  EXPECT_EQ(sc->validate(), "");
+}
+
+TEST(WorkloadScenario, ValidationCatchesBadSpecs) {
+  Scenario sc;
+  sc.name = "bad";
+  sc.n_guests = 64;
+  sc.host_counts = {10};
+  sc.series_stride = 4;
+  sc.serve(0, 50, 10);
+  ASSERT_EQ(sc.validate(), "");
+
+  Scenario cold = sc;
+  cold.start = StartMode::kCold;  // no converged network to snapshot
+  EXPECT_NE(cold.validate(), "");
+
+  Scenario no_series = sc;
+  no_series.series_stride = 0;  // latency/availability need series windows
+  EXPECT_NE(no_series.validate(), "");
+
+  Scenario empty_window = sc;
+  empty_window.workload.begin = 50;
+  empty_window.workload.end = 50;
+  EXPECT_NE(empty_window.validate(), "");
+
+  Scenario bad_puts = sc;
+  bad_puts.workload.put_fraction = 1.5;
+  EXPECT_NE(bad_puts.validate(), "");
+
+  Scenario bad_replicas = sc;
+  bad_replicas.workload.replicas = 0;
+  EXPECT_NE(bad_replicas.validate(), "");
+
+  Scenario wide_replicas = sc;
+  wide_replicas.workload.replicas = 65;  // more replicas than guests
+  EXPECT_NE(wide_replicas.validate(), "");
+
+  Scenario fat_prefill = sc;
+  fat_prefill.workload.prefill = sc.workload.keys + 1;
+  EXPECT_NE(fat_prefill.validate(), "");
+}
+
+// --- Zipf sampler -----------------------------------------------------------
+
+TEST(Zipf, SkewedDrawsFavorLowRanksAndStayInRange) {
+  dht::ZipfSampler zipf(1000, 0.99);
+  util::Rng rng(42);
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = zipf(rng);
+    ASSERT_LT(k, 1000u);
+    ++counts[k];
+  }
+  // Rank 0 must dominate the tail decisively under s ~ 1.
+  EXPECT_GT(counts[0], 1000u);
+  EXPECT_GT(counts[0], counts[100] * 5);
+}
+
+TEST(Zipf, ZeroExponentIsUniformAndDeterministic) {
+  dht::ZipfSampler zipf(64, 0.0);
+  util::Rng a(7), b(7);
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (int i = 0; i < 6400; ++i) {
+    const std::uint64_t k = zipf(a);
+    EXPECT_EQ(k, zipf(b));  // same stream, same draws
+    ASSERT_LT(k, 64u);
+    ++counts[k];
+  }
+  for (const auto& [k, c] : counts) EXPECT_LT(c, 400u) << "rank " << k;
+}
+
+// --- data-plane fixes -------------------------------------------------------
+
+constexpr std::uint64_t kGuests = 256;
+constexpr std::size_t kHosts = 32;
+
+std::unique_ptr<core::StabEngine> converged_engine(std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto ids = graph::sample_ids(kHosts, kGuests, rng);
+  core::Params p;
+  p.n_guests = kGuests;
+  auto e = core::make_engine(core::scaffold_graph(ids, kGuests), p, seed);
+  core::install_legal_cbt(*e, core::Phase::kChord);
+  const auto res = core::run_to_convergence(*e, 100000);
+  CHS_CHECK_MSG(res.converged, "fixture engine failed to converge");
+  return e;
+}
+
+TEST(KvRegression, AcksReachClientsOnRetargetedConfiguration) {
+  // Route acks by the *stamped* client range, not `origin % n_guests`: the
+  // data plane routes purely by range state, so a rebalanced/retargeted
+  // overlay may serve ranges that do not contain the server's own id. Under
+  // the old rule every ack went to the host whose range covered the client's
+  // *id* — a different host after rebalancing — and every op timed out.
+  // Rotate the canonical ranges by one ring position (each host serves its
+  // predecessor's range; fingers are stale-but-functional, exactly the
+  // post-handoff moment) and demand full roundtrips.
+  util::set_log_level(util::LogLevel::kError);
+  auto eng = converged_engine(11);
+  dht::KvCluster kv(*eng, /*n_replicas=*/2, /*seed=*/5);
+  const auto& ids = kv.engine().graph().ids();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> canonical;
+  for (graph::NodeId id : ids) {
+    canonical.emplace_back(kv.engine().state(id).lo, kv.engine().state(id).hi);
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto& r = canonical[(i + ids.size() - 1) % ids.size()];
+    auto& st = kv.engine().state_mut(ids[i]);
+    st.lo = r.first;
+    st.hi = r.second;
+  }
+  // The regression premise must hold: hosts' ids are outside their ranges.
+  std::size_t displaced = 0;
+  for (graph::NodeId id : ids) {
+    const auto& st = kv.engine().state(id);
+    if (id < st.lo || id >= st.hi) ++displaced;
+  }
+  ASSERT_GT(displaced, ids.size() / 2) << "rotation left ids range-anchored";
+
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    ASSERT_GT(kv.put(key, "v" + std::to_string(key)), 0u) << "key " << key;
+  }
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    const auto got = kv.get(key);
+    ASSERT_TRUE(got.has_value()) << "key " << key;
+    EXPECT_EQ(*got, "v" + std::to_string(key));
+  }
+  EXPECT_EQ(dht::total_drops(kv.engine()), 0u);
+}
+
+TEST(KvAccounting, DownHostDropsAreCountedNotSilent) {
+  util::set_log_level(util::LogLevel::kError);
+  auto eng = converged_engine(12);
+  auto kv = dht::make_kv_engine(*eng, 9);
+  const graph::NodeId victim = kv->graph().ids().front();
+  // Queue a client op on the victim, then take it down before it can fire:
+  // the op must land in dropped_ops, not vanish.
+  dht::KvProtocol::Message m;
+  m.kind = dht::KvProtocol::Message::Kind::kGet;
+  m.op_id = 1;
+  m.key = 3;
+  m.target = dht::replica_guest(3, 0, 1, kGuests);
+  m.origin = victim;
+  m.reply_home = kv->state(victim).lo;
+  kv->state_mut(victim).to_send.push_back(m);
+  kv->state_mut(victim).down = true;
+  kv->republish(victim);
+  kv->step_round();
+  EXPECT_EQ(kv->state(victim).dropped_ops, 1u);
+  EXPECT_GE(dht::total_drops(*kv), 1u);
+
+  // The facade surfaces the same counters as KvStats::drops.
+  dht::KvCluster cluster(*eng, 2, 9);
+  const graph::NodeId down = cluster.engine().graph().ids().back();
+  cluster.fail_host(down);
+  for (std::uint64_t key = 0; key < 24; ++key) {
+    cluster.put(key, "x");
+    cluster.get(key);
+  }
+  EXPECT_EQ(cluster.stats().drops, dht::total_drops(cluster.engine()));
+}
+
+TEST(KvAccounting, CompletionLogsStayBoundedOverManyOps) {
+  // Satellite fix: completions are pruned on match, so the per-host logs
+  // (and live bytes) must not grow with op count.
+  util::set_log_level(util::LogLevel::kError);
+  auto eng = converged_engine(13);
+  dht::KvCluster kv(*eng, /*n_replicas=*/3, /*seed=*/21);
+  const auto residue = [&kv] {
+    std::uint64_t n = 0;
+    for (graph::NodeId id : kv.engine().graph().ids()) {
+      n += kv.engine().state(id).completed.size();
+    }
+    return n;
+  };
+  const auto live = [&kv] {
+    std::uint64_t n = 0;
+    for (graph::NodeId id : kv.engine().graph().ids()) {
+      n += kv.engine().state(id).live_bytes();
+    }
+    return n;
+  };
+  for (std::uint64_t key = 0; key < 64; ++key) kv.put(key, "v");
+  for (std::uint64_t key = 0; key < 64; ++key) kv.get(key);
+  const std::uint64_t residue1 = residue();
+  const std::uint64_t live1 = live();
+  for (int lap = 0; lap < 3; ++lap) {
+    for (std::uint64_t key = 0; key < 64; ++key) kv.put(key, "v");
+    for (std::uint64_t key = 0; key < 64; ++key) kv.get(key);
+  }
+  // Stale completions do not accumulate across laps (a handful may be in
+  // flight at any instant), and re-putting the same keys adds no storage.
+  EXPECT_LE(residue(), residue1 + kv.n_replicas());
+  EXPECT_LE(live(), live1 + 64);
+}
+
+// --- the open-loop campaign bar ---------------------------------------------
+
+Scenario serving_scenario() {
+  Scenario sc;
+  sc.name = "serving";
+  sc.n_guests = 64;
+  sc.host_counts = {16};
+  sc.families = {graph::Family::kRandomTree};
+  sc.seed_lo = sc.seed_hi = 1;
+  sc.max_rounds = 100000;
+  sc.series_stride = 8;
+  // Gets with occasional puts over a churn burst and a loss window: ops
+  // must retry around down primaries and detour lost hops, and every drop
+  // must be attributed.
+  sc.serve(0, 40, 6);
+  sc.workload.keys = 256;
+  sc.workload.zipf = 0.9;
+  sc.workload.put_fraction = 0.2;
+  sc.workload.replicas = 2;
+  sc.workload.prefill = 256;
+  sc.churn_at(5, 3);
+  sc.loss(10, 25, 0.3);
+  return sc;
+}
+
+TEST(WorkloadJob, ServesTrafficThroughChurnAndReportsIt) {
+  util::set_log_level(util::LogLevel::kError);
+  const Scenario sc = serving_scenario();
+  ASSERT_EQ(sc.validate(), "");
+  const auto r = campaign::run_job(sc, campaign::expand_jobs(sc)[0]);
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(r.workload_armed);
+  EXPECT_EQ(r.wl_issued, 40u * 6u);
+  EXPECT_GT(r.wl_completed, 0u);
+  EXPECT_GT(r.wl_hits, 0u);
+  EXPECT_EQ(r.wl_completed + r.wl_timeouts, r.wl_issued);
+  EXPECT_GT(r.wl_peak_inflight, 0u);
+  EXPECT_GE(r.wl_p99, r.wl_p50);
+  // The series windows carry the per-phase serving view.
+  ASSERT_TRUE(r.series_armed);
+  ASSERT_FALSE(r.series.empty());
+  std::uint64_t issued = 0, completed = 0;
+  for (const obs::SeriesSample& s : r.series) {
+    issued += s.ops_issued;
+    completed += s.ops_completed;
+  }
+  EXPECT_EQ(issued, r.wl_issued);
+  EXPECT_EQ(completed, r.wl_completed);
+}
+
+TEST(WorkloadDeterminism, ResultBytesIdenticalAcrossEngineWorkers) {
+  util::set_log_level(util::LogLevel::kError);
+  const Scenario sc = serving_scenario();
+  const auto spec = campaign::expand_jobs(sc)[0];
+  const auto want = result_bytes(campaign::run_job(sc, spec, 1));
+  for (const std::size_t workers : {2u, 8u}) {
+    EXPECT_EQ(result_bytes(campaign::run_job(sc, spec, workers)), want)
+        << "workers=" << workers;
+  }
+}
+
+TEST(WorkloadDeterminism, MidWorkloadResumeIsByteIdentical) {
+  // The tentpole's checkpoint claim: snapshot while ops are in flight and
+  // fault windows are open, resume at several worker counts, and demand
+  // the finished result byte-for-byte.
+  util::set_log_level(util::LogLevel::kError);
+  const Scenario sc = serving_scenario();
+  const auto jobs = campaign::expand_jobs(sc);
+
+  std::vector<std::uint8_t> snapshot;
+  std::uint64_t inflight_at_snapshot = 0;
+  campaign::JobRunner donor(sc, jobs[0]);
+  donor.run([&](campaign::JobRunner& jr) {
+    if (snapshot.empty() && jr.in_timeline() && jr.timeline_round() == 15) {
+      persist::Writer w(persist::BlobKind::kJob);
+      jr.checkpoint(w);
+      snapshot = w.take();
+    }
+    return true;
+  });
+  ASSERT_TRUE(donor.finished());
+  const auto want = result_bytes(donor.result());
+  ASSERT_FALSE(snapshot.empty());
+  ASSERT_GT(donor.result().wl_issued, 0u);
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    campaign::JobRunner resumed(sc, jobs[0], workers);
+    persist::Reader r(snapshot);
+    ASSERT_TRUE(r.expect_header(persist::BlobKind::kJob).ok);
+    const auto s = resumed.restore(r);
+    ASSERT_TRUE(s.ok) << s.error;
+    ASSERT_TRUE(r.expect_end().ok);
+    resumed.run();
+    EXPECT_EQ(result_bytes(resumed.result()), want)
+        << "mid-workload resume diverged at " << workers << " workers";
+  }
+  (void)inflight_at_snapshot;
+}
+
+TEST(WorkloadDeterminism, ReportBytesIdenticalAcrossJobThreadCounts) {
+  util::set_log_level(util::LogLevel::kError);
+  Scenario sc = serving_scenario();
+  sc.seed_lo = 1;
+  sc.seed_hi = 3;
+  const auto r1 = campaign::run_campaign(sc, {.jobs = 1});
+  ASSERT_EQ(r1.jobs, 3u);
+  const auto json = r1.to_json();
+  EXPECT_NE(json.find("\"workload\""), std::string::npos);
+  EXPECT_NE(json.find("\"availability\""), std::string::npos);
+  for (const std::size_t jobs : {2u, 4u}) {
+    const auto rk = campaign::run_campaign(sc, {.jobs = jobs});
+    EXPECT_EQ(rk.to_json(), json) << "jobs=" << jobs;
+  }
+  // Per-sample workload fields appear in the JSON series block.
+  EXPECT_NE(json.find("\"kv_messages\""), std::string::npos);
+  EXPECT_NE(json.find("\"inflight\""), std::string::npos);
+}
+
+TEST(WorkloadFailover, LossyWindowForcesRetriesThatStillComplete) {
+  // Heavy loss mid-window with the control plane converged throughout: the
+  // serving set stays live, so expired gets must retry on the next replica
+  // position with a fresh client instead of dying — and traffic issued
+  // after the window heals must complete cleanly.
+  util::set_log_level(util::LogLevel::kError);
+  Scenario sc = serving_scenario();
+  sc.name = "failover";
+  sc.events.clear();
+  sc.losses.clear();
+  sc.workload.end = 160;
+  sc.workload.replicas = 3;
+  sc.loss(10, 60, 0.6);
+  const auto r = campaign::run_job(sc, campaign::expand_jobs(sc)[0]);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.wl_retries, 0u) << "lossy window never exercised get failover";
+  EXPECT_GT(r.wl_completed, r.wl_issued / 2);
+  // The tail of the run (post-heal) serves cleanly again.
+  ASSERT_FALSE(r.series.empty());
+  std::uint64_t tail_completed = 0;
+  for (std::size_t i = r.series.size() >= 8 ? r.series.size() - 8 : 0;
+       i < r.series.size(); ++i) {
+    tail_completed += r.series[i].ops_completed;
+  }
+  EXPECT_GT(tail_completed, 0u) << "no completions after the window healed";
+  // Determinism holds under failover pressure too.
+  const auto spec = campaign::expand_jobs(sc)[0];
+  const auto want = result_bytes(campaign::run_job(sc, spec, 1));
+  for (const std::size_t workers : {2u, 8u}) {
+    EXPECT_EQ(result_bytes(campaign::run_job(sc, spec, workers)), want)
+        << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace chs

@@ -421,6 +421,26 @@ int cmd_campaign(const Args& a) {
     report.to_table().print();
     std::printf("\n");
     report.aggregate_table().print();
+    // Serving summary (DESIGN.md D13), only when the scenario declared a
+    // `workload` directive — one line per job so the churn-burst SLO story
+    // is visible without opening the JSON.
+    for (const campaign::JobResult& r : report.results) {
+      if (!r.workload_armed) continue;
+      const std::uint64_t settled = r.wl_completed + r.wl_timeouts;
+      std::printf(
+          "job %zu workload: issued=%llu completed=%llu timeouts=%llu "
+          "retried=%llu drops=%llu peak_inflight=%llu p50<=%llu p99<=%llu "
+          "availability=%.4f\n",
+          r.spec.index, (unsigned long long)r.wl_issued,
+          (unsigned long long)r.wl_completed,
+          (unsigned long long)r.wl_timeouts, (unsigned long long)r.wl_retries,
+          (unsigned long long)r.wl_drops,
+          (unsigned long long)r.wl_peak_inflight,
+          (unsigned long long)r.wl_p50, (unsigned long long)r.wl_p99,
+          settled == 0 ? 1.0
+                       : static_cast<double>(r.wl_completed) /
+                             static_cast<double>(settled));
+    }
   }
   // Explicitly armed, so it prints under --quiet too — but to stderr, so a
   // --json/--csv pipeline on stdout stays machine-clean.
