@@ -1304,7 +1304,8 @@ CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
   // wall-clock phase profiles merge into one campaign-wide accumulator.
   // Both are diagnostic — armed or not, the report's deterministic bytes
   // (and every checkpoint) are identical.
-  const bool flight_on = !opts.flight_dir.empty();
+  const bool flight_on =
+      !opts.flight_dir.empty() || static_cast<bool>(opts.flight_sink);
   std::mutex perf_mu;
   sim::RoundProfile perf_total;
 
@@ -1395,7 +1396,8 @@ CampaignReport run_campaign(const Scenario& sc, const RunOptions& opts) {
     }
     if (!runner.finished()) return;  // halted mid-job; snapshot stands
     results[i] = runner.result();
-    if (flight) {
+    if (flight && opts.flight_sink) opts.flight_sink(results[i], *flight);
+    if (flight && !opts.flight_dir.empty()) {
       // A failed job — non-convergence or an oracle hard-fail — leaves its
       // black box behind: a Chrome-trace dump plus a .scn repro of the
       // scenario, named by job index.

@@ -214,6 +214,16 @@ struct RunOptions {
   /// JSON) next to a `.scn` repro of the scenario. Diagnostic only: report
   /// bytes are identical with or without it.
   std::string flight_dir;
+  /// Coverage seam (DESIGN.md D14): when set, every job runs with a flight
+  /// recorder — exactly as flight_dir arms one — and the callback receives
+  /// the finished job's result and its ring, on the job's thread, right
+  /// after the result slot is written. The ring's event sequence is
+  /// deterministic at any worker count, so consumers that reduce it to
+  /// per-job values (the guided fuzzer's feature extraction) stay inside
+  /// the D7 determinism contract. Diagnostic only: arming the sink never
+  /// changes simulation or report bytes.
+  std::function<void(const JobResult&, const obs::FlightRecorder&)>
+      flight_sink;
   /// Accumulate wall-clock phase timings across all jobs into
   /// CampaignReport::perf. Never part of golden-diffed artifacts.
   bool profile = false;

@@ -85,6 +85,7 @@ const char* tag_note(const std::string& name) {
   if (name == "JOB ") return "per-job checkpoint slot";
   // fuzzer
   if (name == "FUZZ") return "fuzz run prefix";
+  if (name == "CORP") return "fuzz corpus + scheduler state";
   return nullptr;
 }
 

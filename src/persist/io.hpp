@@ -95,7 +95,10 @@ const char* blob_kind_name(BlobKind k);
 // workload totals, SeriesSample workload counters + latency histogram,
 // job-blob WKLD (open-loop generator state) and KVDP (KV data-plane engine)
 // sections.
-inline constexpr std::uint32_t kFormatVersion = 5;
+// v6: coverage-guided fuzzing (DESIGN.md D14) — oracle code-path bitmask,
+// fuzz-report coverage counters + feature set, fuzz-blob CORP section
+// (corpus entries, scheduler state, corpus-directory binding).
+inline constexpr std::uint32_t kFormatVersion = 6;
 
 /// Section tag from a 4-char mnemonic: tag4("ENGN").
 constexpr std::uint32_t tag4(const char (&s)[5]) {

@@ -73,6 +73,10 @@ namespace chs::sim {
 using graph::NodeId;
 using graph::NodeIndex;
 
+/// Sentinel for EdgeDel::witness: the deletion carries no connectivity
+/// certificate and is applied unconditionally.
+inline constexpr NodeId kNoWitness = ~NodeId{0};
+
 /// How step_round selects the nodes to step.
 enum class StepMode : std::uint8_t {
   kAll,        // classic loop: every node, every round
@@ -129,6 +133,13 @@ struct ActionBuffer {
   struct EdgeDel {
     NodeId a, b;
     const char* site;  // deletions carry provenance for edge-delete tracing
+    // Connectivity certificate (kNoWitness = none): the deleter saw the
+    // path a-witness-b in its (one-round-stale) views. The engine re-checks
+    // that path against the live graph at apply time and drops the delete
+    // if it has vanished — a concurrent churn or deletion may have removed
+    // a certificate edge after the decision was made, and committing the
+    // delete anyway can disconnect the network.
+    NodeId witness;
   };
 
   std::vector<Send> sends;
@@ -242,8 +253,13 @@ class NodeCtx {
   /// Delete the edge between self and v. The edge may already have been
   /// deleted by the other endpoint in an earlier round; the request is then
   /// a no-op at apply time.
-  void disconnect(NodeId v, const char* site = "?") {
-    acts_->disconnects.push_back({self_, v, site});
+  /// `witness` (optional) names a node w such that the caller's views
+  /// showed the path self-w-v; the engine validates that path still exists
+  /// when the deferred delete is applied and drops the delete otherwise
+  /// (see ActionBuffer::EdgeDel::witness).
+  void disconnect(NodeId v, const char* site = "?",
+                  NodeId witness = kNoWitness) {
+    acts_->disconnects.push_back({self_, v, site, witness});
   }
 
   /// Debug: who last requested deletion of edge (self, v), if recorded.
@@ -585,6 +601,25 @@ class Engine {
     // the same round re-creates deliberately).
     for (std::size_t di = 0; di < pending_deletes_.size(); ++di) {
       const auto& [u, v] = pending_deletes_[di];
+      // Commit-time certificate validation: the deleter promised the path
+      // u-w-v as the reason (u, v) is safe to drop. Deletes are deferred a
+      // whole round, so a concurrent external removal (churn, fault) or an
+      // earlier delete in this very batch may have severed that path; the
+      // batch applies sequentially, so each check sees all prior deletes.
+      // A dropped delete is not lost work — the junk edge survives one more
+      // round and the owner re-certifies against fresh views. Both endpoints
+      // are re-activated exactly as if the delete had committed: in
+      // active-set mode nothing else would re-step the owner (its state did
+      // not change), and the junk edge would linger until an unrelated
+      // wakeup — breaking the D5 kAll/kActiveSet trace equivalence.
+      if (const NodeId w = pending_delete_witnesses_[di]; w != kNoWitness) {
+        if (!graph_.has_edge(u, w) || !graph_.has_edge(w, v)) {
+          metrics_.count_stale_cert_drop();
+          wake(graph_.index_of(u));
+          wake(graph_.index_of(v));
+          continue;
+        }
+      }
       if (graph_.remove_edge(u, v)) {
         metrics_.count_edge_del();
         topo_changed_ = ckpt_topo_changed_ = true;
@@ -595,6 +630,7 @@ class Engine {
       }
     }
     pending_delete_sites_.clear();
+    pending_delete_witnesses_.clear();
     for (const auto& [u, v] : pending_adds_) {
       if (graph_.add_edge(u, v)) {
         metrics_.count_edge_add();
@@ -924,6 +960,7 @@ class Engine {
     pending_adds_.clear();
     pending_deletes_.clear();
     pending_delete_sites_.clear();
+    pending_delete_witnesses_.clear();
     observed_deltas_.clear();
     // The blob this reader came from is unknown here, so the incremental
     // chain is broken: restore_blob() re-establishes it from the bytes.
@@ -1223,6 +1260,7 @@ class Engine {
     pending_adds_.clear();
     pending_deletes_.clear();
     pending_delete_sites_.clear();
+    pending_delete_witnesses_.clear();
     observed_deltas_.clear();
     clear_ckpt_tracking();
     has_ckpt_base_ = false;  // see restore_delta_blob
@@ -1422,6 +1460,7 @@ class Engine {
     for (const auto& d : buf.disconnects) {
       pending_deletes_.emplace_back(d.a, d.b);
       pending_delete_sites_.push_back(d.site);
+      pending_delete_witnesses_.push_back(d.witness);
     }
     for (const auto& a : buf.introduces) {
       pending_adds_.emplace_back(a.a, a.b);
@@ -1506,6 +1545,7 @@ class Engine {
   std::vector<std::pair<NodeId, NodeId>> pending_adds_;
   std::vector<std::pair<NodeId, NodeId>> pending_deletes_;
   std::vector<const char*> pending_delete_sites_;
+  std::vector<NodeId> pending_delete_witnesses_;
   std::map<std::pair<NodeId, NodeId>, const char*> last_delete_;
   RunMetrics metrics_;
   DeliveryFilter delivery_filter_;  // empty = deliver everything

@@ -45,12 +45,17 @@ class RunMetrics {
   void count_message_dropped() { ++messages_dropped_; }
   void count_edge_add() { ++edge_adds_; }
   void count_edge_del() { ++edge_dels_; }
+  /// A deferred protocol deletion dropped at apply time because its
+  /// connectivity-certificate path no longer existed in the live graph
+  /// (Engine commit-time validation; see ActionBuffer::EdgeDel::witness).
+  void count_stale_cert_drop() { ++stale_cert_drops_; }
   void count_snapshots(std::uint64_t k) { snapshots_published_ += k; }
 
   std::uint64_t messages() const { return messages_; }
   std::uint64_t messages_dropped() const { return messages_dropped_; }
   std::uint64_t edge_adds() const { return edge_adds_; }
   std::uint64_t edge_dels() const { return edge_dels_; }
+  std::uint64_t stale_cert_drops() const { return stale_cert_drops_; }
   std::uint64_t rounds() const { return rounds_; }
 
   /// Cumulative protocol actions (sends + holds + edge requests) over all
@@ -112,6 +117,7 @@ class RunMetrics {
     a(cached_max_degree_);
     a(trace_recording_);
     a(trace_);
+    a(stale_cert_drops_);
   }
 
  private:
@@ -119,6 +125,7 @@ class RunMetrics {
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t edge_adds_ = 0;
   std::uint64_t edge_dels_ = 0;
+  std::uint64_t stale_cert_drops_ = 0;
   std::uint64_t rounds_ = 0;
   std::uint64_t round_actions_ = 0;
   std::uint64_t nodes_stepped_ = 0;

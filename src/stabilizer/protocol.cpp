@@ -169,15 +169,22 @@ void Protocol::structural_neighbors(const HostState& st,
   out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
-bool Protocol::deletion_certificate(Ctx& ctx, NodeId v) const {
+NodeId Protocol::deletion_certificate(Ctx& ctx, NodeId v) const {
   // Connectivity certificate: some structural neighbor w currently reports
   // v as its own neighbor, so dropping (me, v) leaves the path me-w-v.
+  // The views are one round stale, so the certificate alone is NOT safe:
+  // a concurrent churn event or another node's deletion can remove a
+  // certificate edge in the same round, and committing this delete anyway
+  // can isolate v (fuzzer repro: examples/scenarios/cert-race-disconnect).
+  // The witness w is therefore returned with the disconnect request and
+  // the engine re-validates the path me-w-v against the live graph at
+  // apply time, dropping the delete if it has vanished.
   for (NodeId w : structural_neighbors(ctx.state())) {
     if (w == v || !ctx.is_neighbor(w)) continue;
     const auto view = ctx.view(w);
-    if (view && view->has_neighbor(v)) return true;
+    if (view && view->has_neighbor(v)) return w;
   }
-  return false;
+  return kNone;
 }
 
 std::vector<NodeId> Protocol::external_neighbors(Ctx& ctx) const {
@@ -214,7 +221,8 @@ void Protocol::classify_and_clean_edges(Ctx& ctx) {
     // new structure mirrors, or via external corruption, which republishes
     // before the next round (DESIGN.md D4).
     if (view->considers_structural(st.id)) continue;
-    if (deletion_certificate(ctx, v)) ctx.disconnect(v, "protocol-d0");
+    if (const NodeId w = deletion_certificate(ctx, v); w != kNone)
+      ctx.disconnect(v, "protocol-d0", w);
   }
 }
 

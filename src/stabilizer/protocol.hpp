@@ -144,7 +144,10 @@ class Protocol {
   /// In-place variant (sorted, deduped into `out`): publish() runs once per
   /// dirty node per round and must reuse the snapshot's buffer.
   void structural_neighbors(const HostState& st, std::vector<NodeId>& out) const;
-  bool deletion_certificate(Ctx& ctx, NodeId v) const;
+  /// Returns the certificate witness w (path me-w-v in current views), or
+  /// kNone when no certificate exists. The engine re-validates the path at
+  /// apply time — see Ctx::disconnect's witness parameter.
+  NodeId deletion_certificate(Ctx& ctx, NodeId v) const;
   void classify_and_clean_edges(Ctx& ctx);
   std::vector<NodeId> external_neighbors(Ctx& ctx) const;
 

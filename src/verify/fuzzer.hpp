@@ -1,19 +1,34 @@
-// Scenario fuzzer (DESIGN.md D8).
+// Scenario fuzzer (DESIGN.md D8, coverage-guided loop D14).
 //
 // The north star asks for "as many scenarios as you can imagine"; the
 // fuzzer imagines them mechanically. A seeded grammar over the campaign
 // Scenario builder generates random-but-valid adversarial timelines —
 // churn bursts, state wipes, loss windows, partitions, mid-run retargets,
-// over randomized initial families, host counts, guest spaces, targets,
-// and asynchrony — and fans each one out through the existing campaign
-// runner with the invariant oracle armed on every job. Any failing job
-// (oracle violation, non-convergence, setup failure) is optionally shrunk
-// to a minimal .scn repro by the delta-debugging minimizer.
+// Byzantine windows, telemetry series, serving workloads — and fans each
+// one out through the existing campaign runner with the invariant oracle
+// armed on every job. Any failing job (oracle violation, non-convergence,
+// setup failure) is optionally shrunk to a minimal .scn repro by the
+// delta-debugging minimizer.
 //
-// Everything is deterministic in (seed, budget): case i draws from a
-// dedicated stream split from the fuzz seed, so reports are byte-identical
-// at any --jobs / --workers value, and extending the budget replays the
-// same prefix of cases.
+// Guided mode (the default, DESIGN.md D14) upgrades the blind loop to
+// AFL-style coverage guidance shaped like Fast Downward's merge-selector
+// scoring loop: every finished job is reduced to a set of deterministic
+// *coverage features* — invariant-violation classes and oracle code paths,
+// phase/merge-stage transitions from the flight-recorder seam,
+// convergence-round outliers, workload timeout/retry/availability extremes
+// — and a scenario that exercises a feature no earlier case reached joins
+// a persistent corpus. Later cases mutate the best-scoring corpus entry
+// (perturb one knob, splice timeline elements from a second entry, append
+// a fresh suffix) instead of always regenerating from scratch; the
+// scheduler picks the base by score = new_features / (1 + picked), lowest
+// index on ties. Cases execute sequentially whatever --jobs is (the
+// parallelism lives inside each case's campaign), so corpus evolution —
+// and therefore the whole case sequence — is byte-identical at any
+// parallelism, and extending the budget replays the same prefix.
+//
+// Everything is deterministic in (seed, budget, corpus): case i draws from
+// a dedicated stream split from the fuzz seed, so reports are
+// byte-identical at any --jobs / --workers value.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +42,19 @@
 
 namespace chs::verify {
 
+/// One coverage class (DESIGN.md D14): a small deterministic id. Blocks:
+///   0x001x job outcome flags          0x002x setup-round log2 bucket
+///   0x003x timeline-round log2 bucket 0x005x-0x008x event kinds/outcomes
+///   0x010x real-violation invariant   0x011x contained-violation invariant
+///   0x013x invariant-check kind exercised (oracle path bits 0-5: the
+///          check machinery — attach-full, dirty-recheck, delta-endpoints,
+///          deletion-rebuild, stride-defer, detach-flush)
+///   0x014x oracle code-path bits      0x018x adversary outcomes
+///   0x01Cx series outcomes            0x020x-0x023x workload extremes
+///   0x030x flight event kinds         0x034x/0x038x phase / merge-stage
+///                                     transition note buckets
+using Feature = std::uint32_t;
+
 struct FuzzOptions {
   std::uint64_t seed = 1;
   std::uint64_t budget = 16;  // scenarios to generate and run
@@ -35,6 +63,19 @@ struct FuzzOptions {
   OracleConfig oracle;        // armed on every job of every case
   bool minimize = false;      // shrink failures to minimal repros
   std::uint64_t max_probes = 128;  // minimizer budget per failure
+
+  // --- coverage guidance (DESIGN.md D14) ---
+  /// Corpus + mutation + fitness scheduling. False = the PR 4 blind loop
+  /// (every case regenerated from scratch); coverage counters are tracked
+  /// either way so the modes compare on equal footing.
+  bool guided = true;
+  /// Optional on-disk corpus directory. Existing *.scn files (sorted by
+  /// name) are replayed as the first cases — seeding the corpus — and every
+  /// scenario that earns a corpus entry is saved back as
+  /// `<dir>/<name>.scn`. The fuzz checkpoint records the directory's
+  /// expected contents; --resume verifies them and fails loudly on any
+  /// drift (satellite contract, same spirit as kCampaign scenario pinning).
+  std::string corpus_dir;
 
   // --- checkpoint/resume (DESIGN.md D9), case-granular ---
   /// When set, rewrite this file (atomically) after every completed case:
@@ -68,6 +109,25 @@ struct FuzzFailure {
   }
 };
 
+/// One corpus entry of the guided loop: a scenario that exercised at least
+/// one feature no earlier case had, plus the scheduler's bookkeeping.
+struct CorpusEntry {
+  campaign::Scenario scenario;
+  std::uint64_t case_index = 0;   // case that earned the entry
+  std::uint64_t new_features = 0; // features it was first to exercise
+  std::uint64_t picked = 0;       // times chosen as a mutation base
+  std::string file;               // backing .scn in corpus_dir ("" = memory)
+
+  template <typename A>
+  void persist_fields(A& a) {
+    a(scenario);
+    a(case_index);
+    a(new_features);
+    a(picked);
+    a(file);
+  }
+};
+
 struct FuzzReport {
   std::uint64_t seed = 0;
   std::uint64_t cases = 0;
@@ -75,6 +135,14 @@ struct FuzzReport {
   std::uint64_t events = 0;          // timeline events exercised
   std::uint64_t oracle_rounds_checked = 0;
   std::vector<FuzzFailure> failures;
+
+  // --- coverage (DESIGN.md D14; tracked in both modes) ---
+  std::uint64_t coverage_classes = 0;   // distinct features seen
+  std::uint64_t invariant_classes = 0;  // distinct violation-class features
+  std::uint32_t oracle_paths = 0;       // union of InvariantOracle::Path bits
+  /// Final corpus, in earn order (guided mode; empty when blind). Persisted
+  /// by the checkpoint's CORP section, not by persist_fields.
+  std::vector<CorpusEntry> corpus;
 
   /// Deterministic human-readable report: one line per case, then a
   /// detailed block (with the minimized .scn body, when present) per
@@ -93,17 +161,28 @@ struct FuzzReport {
     a(oracle_rounds_checked);
     a(failures);
     a(case_lines_);
+    a(coverage_classes);
+    a(invariant_classes);
+    a(oracle_paths);
+    a(features_);
   }
 
  private:
   friend FuzzReport run_fuzz(const FuzzOptions&);
   std::vector<std::string> case_lines_;
+  std::vector<Feature> features_;  // sorted unique; size == coverage_classes
 };
 
 /// A partially completed fuzz run, as stored by checkpoint_path.
 struct FuzzResume {
   std::uint64_t next_case = 0;  // first case NOT yet executed
   FuzzReport partial;           // report prefix over cases [0, next_case)
+
+  // --- CORP section (DESIGN.md D14): corpus + directory binding ---
+  bool had_corpus_dir = false;       // run was recorded with --corpus
+  std::vector<std::string> seed_files;     // dir seeds replayed as cases 0..n
+  std::vector<std::string> corpus_files;   // expected dir listing, sorted
+  std::vector<std::uint64_t> corpus_hashes;  // content hashes, parallel
 };
 
 /// Load and validate a fuzz checkpoint. Fails loudly on corrupt files and
@@ -113,13 +192,27 @@ persist::Status read_fuzz_checkpoint(const std::string& path,
                                      std::uint64_t expect_seed,
                                      FuzzResume& out);
 
+/// Verify a loaded checkpoint's CORP state against the corpus directory the
+/// resume wants to continue with: --corpus presence must match the recorded
+/// run, the directory's *.scn listing must equal the recorded one, and every
+/// file's content hash must match. Any drift fails loudly (naming the CORP
+/// section and the offending file) with the engine untouched — the same
+/// contract kCampaign blobs apply to their embedded scenario. run_fuzz calls
+/// this before executing anything; exposed so tests (and tools) can check a
+/// checkpoint without running it.
+persist::Status check_corpus_binding(const FuzzResume& rs,
+                                     const std::string& corpus_dir);
+
 /// The seeded grammar: one random-but-valid scenario. Generated scenarios
 /// always pass Scenario::validate() and expand to at most two jobs, so a
-/// fuzz case stays cheap. Deterministic in the rng state.
+/// fuzz case stays cheap. Deterministic in the rng state. Newer grammar
+/// axes (bestiary D11; series/workload/flash-crowd/long-soak D14) draw
+/// strictly after the older ones, so a given (seed, case) keeps its old
+/// draw prefix byte-identical — pinned by the prefix-stability test.
 campaign::Scenario generate_scenario(std::uint64_t case_index, util::Rng& rng);
 
 /// Generate `budget` scenarios, run each through the campaign runner with
-/// the oracle armed, collect failures, optionally minimize them.
+/// the oracle armed, collect failures and coverage, optionally minimize.
 FuzzReport run_fuzz(const FuzzOptions& opt);
 
 }  // namespace chs::verify

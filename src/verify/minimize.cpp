@@ -200,7 +200,11 @@ MinimizeResult minimize(const Scenario& sc0, const campaign::JobSpec& spec,
         cand.families != b.families || cand.seed_lo != b.seed_lo ||
         cand.seed_hi != b.seed_hi || cand.target != b.target ||
         cand.delay != b.delay || cand.delay_model != b.delay_model ||
-        cand.start != b.start) {
+        cand.start != b.start || cand.series_stride != b.series_stride ||
+        cand.series_cap != b.series_cap || cand.workload != b.workload) {
+      // Series recording and the serving workload carry state from the
+      // first round on (sampling cursor, key space, in-flight ops), so a
+      // snapshot only serves candidates that keep them verbatim.
       return false;
     }
     if (!tt->in_timeline) return cand.max_rounds >= tt->engine_round;
@@ -305,6 +309,26 @@ MinimizeResult minimize(const Scenario& sc0, const campaign::JobSpec& spec,
       }
     }
     if (changed) continue;
+    // Mutation-origin directives (the guided grammar's D14 axes) drop next:
+    // most failures do not need guest traffic or telemetry to reproduce.
+    // The workload goes before the series — validate only admits a
+    // series-free scenario once no workload references the recorder.
+    if (res.scenario.workload_armed()) {
+      Scenario cand = res.scenario;
+      cand.workload = {};
+      if (try_candidate(std::move(cand), "drop workload")) {
+        changed = true;
+        continue;
+      }
+    }
+    if (res.scenario.series_stride > 0) {
+      Scenario cand = res.scenario;
+      cand.series_stride = 0;
+      if (try_candidate(std::move(cand), "drop series")) {
+        changed = true;
+        continue;
+      }
+    }
     if (res.scenario.delay_model != "uniform") {
       Scenario cand = res.scenario;
       cand.delay_model = "uniform";
@@ -348,6 +372,52 @@ MinimizeResult minimize(const Scenario& sc0, const campaign::JobSpec& spec,
       }
     }
     if (changed) continue;
+    // Shrink workload knobs when the workload itself is load-bearing: rate
+    // toward 1 op/round, the window toward its open, replication / prefill /
+    // skew toward the trivial settings.
+    if (res.scenario.workload_armed()) {
+      const campaign::WorkloadSpec& w = res.scenario.workload;
+      if (w.rate > 1) {
+        Scenario cand = res.scenario;
+        cand.workload.rate /= 2;
+        if (try_candidate(std::move(cand), "halve workload rate")) {
+          changed = true;
+          continue;
+        }
+      }
+      if (w.end - w.begin > 2) {
+        Scenario cand = res.scenario;
+        cand.workload.end = w.begin + (w.end - w.begin) / 2;
+        if (try_candidate(std::move(cand), "halve workload window")) {
+          changed = true;
+          continue;
+        }
+      }
+      if (w.replicas > 1) {
+        Scenario cand = res.scenario;
+        cand.workload.replicas = 1;
+        if (try_candidate(std::move(cand), "drop workload replication")) {
+          changed = true;
+          continue;
+        }
+      }
+      if (w.prefill > 0) {
+        Scenario cand = res.scenario;
+        cand.workload.prefill = 0;
+        if (try_candidate(std::move(cand), "drop workload prefill")) {
+          changed = true;
+          continue;
+        }
+      }
+      if (w.zipf > 0) {
+        Scenario cand = res.scenario;
+        cand.workload.zipf = 0;
+        if (try_candidate(std::move(cand), "drop workload skew")) {
+          changed = true;
+          continue;
+        }
+      }
+    }
     // Shrink the configuration: hosts toward 3, guests toward the hosts.
     if (res.scenario.host_counts[0] > 3) {
       Scenario cand = res.scenario;

@@ -8,9 +8,13 @@
 // try structure-shrinking candidate edits, keeping each edit iff the
 // failure (same signature) still reproduces:
 //
-//   * drop timeline events, loss windows, and partition windows outright;
+//   * drop timeline events, loss/partition/Byzantine windows outright;
+//   * drop the serving workload, then the telemetry series (the guided
+//     fuzzer's D14 axes — most failures need neither);
 //   * halve churn/fault victim counts toward 1;
 //   * halve event rounds toward 0 (tightens the timeline);
+//   * halve workload knobs (rate, window, replication, prefill, skew)
+//     when the workload itself is load-bearing;
 //   * halve the host count toward 3 and the guest space toward the host
 //     count (smaller state spaces, faster replays);
 //   * replace the seed with small ones (1..4) for a tidier repro.

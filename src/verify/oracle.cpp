@@ -24,6 +24,7 @@ InvariantOracle::InvariantOracle(core::StabEngine& eng, OracleConfig cfg)
       });
   // Full check at attach: the incremental scheme below re-checks only what
   // changes, so it is exact only relative to a verified base state.
+  paths_ |= kPathAttachFull;
   ++rounds_checked_;
   const auto& g = eng.graph();
   ++connectivity_rebuilds_;
@@ -49,6 +50,7 @@ void InvariantOracle::detach() {
   // pending set, and the run would be reported clean. Only violations
   // that appear *and heal* strictly between samples may be missed.
   if (!violation_ && (!pending_.empty() || deletions_pending_)) {
+    paths_ |= kPathDetachFlush;
     evaluate(eng_->round());
   }
   eng_->set_round_observer({});
@@ -70,11 +72,16 @@ void InvariantOracle::on_round(std::uint64_t round,
   for (const sim::EdgeDelta& d : deltas) {
     // Either endpoint's structural references (I4) may have gained or lost
     // their backing edge; state-only invariants are unaffected.
+    paths_ |= kPathDeltaEndpoints;
     mark_pending(eng_->graph().index_of(d.u));
     mark_pending(eng_->graph().index_of(d.v));
     if (d.removed) deletions_pending_ = true;
   }
-  if (++rounds_since_check_ >= cfg_.stride) evaluate(round);
+  if (++rounds_since_check_ >= cfg_.stride) {
+    evaluate(round);
+  } else {
+    paths_ |= kPathStrideDefer;
+  }
 }
 
 void InvariantOracle::evaluate(std::uint64_t round) {
@@ -85,6 +92,7 @@ void InvariantOracle::evaluate(std::uint64_t round) {
     // Additions cannot disconnect a connected graph; only rounds that
     // applied a deletion pay the O(V + E) recompute.
     deletions_pending_ = false;
+    paths_ |= kPathDeletionRebuild;
     ++connectivity_rebuilds_;
     if (g.size() > 1 && !graph::is_connected(g)) {
       record(round, "I1: network disconnected", stabilizer::kNone);
@@ -94,6 +102,7 @@ void InvariantOracle::evaluate(std::uint64_t round) {
   // Ascending host order keeps the first-violation verdict deterministic
   // whatever order the pending set accumulated in.
   std::sort(pending_.begin(), pending_.end());
+  if (!pending_.empty()) paths_ |= kPathDirtyRecheck;
   for (NodeIndex i : pending_) {
     ++hosts_checked_;
     std::string v = core::check_host_invariants(*eng_, g.id_of(i));
@@ -127,11 +136,13 @@ bool InvariantOracle::record(std::uint64_t round, std::string what,
       for (NodeId nb : eng_->graph().neighbors(focus)) {
         if (is_adversarial(nb)) {
           blamed = true;
+          paths_ |= kPathNeighborBlame;
           break;
         }
       }
     }
     if (blamed) {
+      paths_ |= kPathContained;
       ++contained_violations_;
       if (flight_) {
         flight_->record(round, obs::FlightKind::kViolationContained,
@@ -150,7 +161,11 @@ bool InvariantOracle::record(std::uint64_t round, std::string what,
   Violation v;
   v.round = round;
   v.what = std::move(what);
-  if (cfg_.hard_fail) v.trace = capture_trace(focus);
+  paths_ |= kPathRealViolation;
+  if (cfg_.hard_fail) {
+    paths_ |= kPathTraceCapture;
+    v.trace = capture_trace(focus);
+  }
   violation_ = std::move(v);
   return true;
 }

@@ -110,6 +110,23 @@ class InvariantOracle {
   /// adversarial set, never serialized.
   void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
 
+  /// Code paths exercised, one bit each (DESIGN.md D14). The guided fuzzer
+  /// reads this as a free coverage signal: a scenario that drives the oracle
+  /// down a path no earlier case reached is worth keeping in the corpus.
+  enum Path : std::uint32_t {
+    kPathAttachFull = 1u << 0,     // attach-time full check ran
+    kPathDirtyRecheck = 1u << 1,   // incremental per-host re-check ran
+    kPathDeltaEndpoints = 1u << 2, // edge-delta endpoints joined the set
+    kPathDeletionRebuild = 1u << 3,// I1 recompute after a deletion round
+    kPathStrideDefer = 1u << 4,    // stride > 1 deferred an evaluation
+    kPathDetachFlush = 1u << 5,    // detach flushed a partial stride window
+    kPathContained = 1u << 6,      // a violation was classified contained
+    kPathNeighborBlame = 1u << 7,  // containment via a neighbor, not direct
+    kPathRealViolation = 1u << 8,  // a violation became the verdict
+    kPathTraceCapture = 1u << 9,   // hard-fail trace captured
+  };
+  std::uint32_t paths() const { return paths_; }
+
   /// Sampled rounds actually evaluated (stride-thinned; includes the
   /// attach-time full check).
   std::uint64_t rounds_checked() const { return rounds_checked_; }
@@ -135,6 +152,7 @@ class InvariantOracle {
     a(connectivity_rebuilds_);
     a(violation_);
     a(contained_violations_);
+    a(paths_);
   }
 
  private:
@@ -160,6 +178,7 @@ class InvariantOracle {
   std::uint64_t connectivity_rebuilds_ = 0;
   std::optional<Violation> violation_;
   std::uint64_t contained_violations_ = 0;
+  std::uint32_t paths_ = 0;  // Path bits exercised so far
   std::vector<graph::NodeId> adversarial_;  // sorted; reinstalled, not saved
   obs::FlightRecorder* flight_ = nullptr;   // diagnostic sink, not saved
 };
@@ -172,7 +191,10 @@ class InvariantOracle {
 ///
 ///   campaign::RunOptions opts;
 ///   opts.probe = verify::oracle_probe_factory(cfg);
-class OracleProbe final : public campaign::JobProbe {
+///
+/// Subclassable: the guided fuzzer's CoverageProbe extends finish() to drain
+/// the oracle's code-path bitmask into its coverage slot.
+class OracleProbe : public campaign::JobProbe {
  public:
   explicit OracleProbe(OracleConfig cfg = {}) : cfg_(cfg) {}
 

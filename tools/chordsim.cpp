@@ -20,6 +20,7 @@
 //   chordsim fuzz   [--budget 16] [--seed 1] [--stride 1] [--minimize]
 //                   [--jobs 1] [--workers 1] [--repro-dir DIR] [--quiet]
 //                   [--checkpoint FILE] [--resume FILE]
+//                   [--corpus DIR] [--blind]
 //   chordsim describe <checkpoint-file>
 //
 // Checkpoint/resume (DESIGN.md D9): `campaign --checkpoint FILE` maintains
@@ -38,7 +39,13 @@
 // invariant oracle armed (checking I1-I5 every `--stride` rounds), and, with
 // `--minimize`, shrinks any failure to a minimal .scn repro (written into
 // `--repro-dir` when given). The report is byte-identical for any
-// `--jobs`/`--workers` values, like campaign reports.
+// `--jobs`/`--workers` values, like campaign reports. Guided mode is the
+// default (DESIGN.md D14): scenarios that exercise new coverage features
+// join a corpus and later cases mutate the best-scoring entry; `--corpus
+// DIR` persists the corpus (existing .scn files seed the run, interesting
+// scenarios are saved back, and a `--resume` verifies the directory against
+// the checkpoint's recorded state); `--blind` restores the regenerate-
+// from-scratch loop.
 //
 // Telemetry (DESIGN.md D12): `campaign --flight DIR` arms a per-job flight
 // recorder and dumps `<scenario>_job<N>.trace.json` + a `.scn` repro for
@@ -493,6 +500,14 @@ int cmd_fuzz(const Args& a) {
   // --repro-dir exists to collect minimized .scn files; without
   // minimization there would be nothing to write, so it implies --minimize.
   opt.minimize = a.has("minimize") || a.has("repro-dir");
+  opt.guided = !a.has("blind");
+  opt.corpus_dir = a.get("corpus", "");
+  if (a.has("blind") && a.has("corpus")) {
+    std::fprintf(stderr,
+                 "--blind regenerates every case from scratch; it cannot "
+                 "combine with --corpus\n");
+    return 2;
+  }
   const auto report = verify::run_fuzz(opt);
   if (!a.has("quiet")) {
     std::fputs(report.to_text().c_str(), stdout);
@@ -659,9 +674,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "fuzz") {
     static const char* const kFlags[] = {
-        "budget",    "seed",  "stride",     "minimize", "jobs",
+        "budget",    "seed",  "stride",     "minimize",   "jobs",
         "workers",   "quiet", "repro-dir",  "checkpoint", "resume",
-        nullptr};
+        "corpus",    "blind", nullptr};
     return cmd_fuzz(parse(argc, argv, 2, kFlags));
   }
   if (cmd == "describe") {
